@@ -1,0 +1,83 @@
+"""E11 — ablation: FD-driven null resolution (Section 5 future work).
+
+Paper artifact: "functional dependencies also play an important role in
+resolving partial information. In functional databases the type
+functional information indicates relevant functional dependencies."
+
+Setup: a chain of *many-one* functions; N derived inserts create N
+null-valued chains; then the real intermediate facts arrive. Without
+resolution the nulls linger as ambiguity (every null keeps matching
+other facts ambiguously); with :func:`repro.fdb.constraints.
+resolve_nulls` the FDs force each null to its real value and the
+ambiguity disappears. The report shows the before/after ambiguity
+metrics; the bench times the resolution pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import TypeFunctionality
+from repro.fdb.ambiguity import measure
+from repro.fdb.constraints import resolve_nulls
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.logic import Truth
+from repro.fdb.persistence import dumps, loads
+from repro.workloads.generator import chain_fdb
+
+N_INSERTS = 12
+
+
+def build_unresolved() -> FunctionalDatabase:
+    db = chain_fdb(2, functionality=TypeFunctionality.MANY_ONE)
+    for i in range(N_INSERTS):
+        db.insert("v", f"a{i}", f"c{i}")        # NVC: <a_i, n_i>, <n_i, c_i>
+    for i in range(N_INSERTS):
+        db.insert("f1", f"a{i}", f"b{i}")       # the real mid values
+    return db
+
+
+def test_resolution_removes_all_nulls(report):
+    db = build_unresolved()
+    before = measure(db)
+    assert before.null_count == N_INSERTS
+
+    substitutions = resolve_nulls(db)
+    after = measure(db)
+
+    assert len(substitutions) == N_INSERTS
+    assert after.null_count == 0
+    # The derived facts survive resolution as plain true facts.
+    for i in range(N_INSERTS):
+        assert db.truth_of("v", f"a{i}", f"c{i}") is Truth.TRUE
+        assert db.table("f2").get(f"b{i}", f"c{i}") is not None
+
+    report.line("E11 -- ablation: FD-driven null resolution")
+    report.line(f"({N_INSERTS} derived inserts over many-one f1 o f2, "
+                "then the real f1 facts)")
+    report.line()
+    report.table(
+        ("variant", "nulls in store", "ambiguous derived facts"),
+        [
+            ("without resolution", before.null_count,
+             before.per_function("v").ambiguous_facts),
+            ("with resolve_nulls", after.null_count,
+             after.per_function("v").ambiguous_facts),
+        ],
+    )
+    report.line()
+    report.line(f"substitutions performed: "
+                + "; ".join(str(s) for s in substitutions[:4])
+                + (" ..." if len(substitutions) > 4 else ""))
+    report.line()
+    report.line("shape: exploiting the many-one type functionality "
+                "eliminates every NVC null, as Section 5 anticipates.")
+
+
+def test_bench_resolution_pass(benchmark):
+    snapshot = dumps(build_unresolved())
+
+    def run():
+        db = loads(snapshot)
+        return resolve_nulls(db)
+
+    substitutions = benchmark(run)
+    assert len(substitutions) == N_INSERTS

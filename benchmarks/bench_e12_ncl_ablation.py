@@ -1,0 +1,99 @@
+"""E12 — ablation: why the NCL dual structure is in the paper.
+
+Paper artifact (Section 4): "a fact can participate in the derivations
+of several derived facts. It is therefore possible for a fact to be a
+member of several NCs, and it is necessary to keep track of all the
+NCs that the fact is a member of. The 'negated conjunction list' (NCL)
+attached to each fact maintains the set of NCs in which this fact
+participates."
+
+The ablated variant drops the NCL and finds a fact's NCs by scanning
+the whole registry — O(total NC members) per lookup instead of
+O(|NCL|). With F facts sharing one hub fact across many NCs, the bench
+times resolving the hub fact's ambiguity both ways and reports the
+ratio; both variants must compute the identical NC set.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.facts import Fact
+from repro.workloads.generator import chain_fdb
+
+N_NCS = 300
+
+
+def build_hub_database() -> tuple[FunctionalDatabase, Fact]:
+    """One f2 hub fact participating in N_NCS negated conjunctions
+    (each from deleting a different derived fact through the hub)."""
+    db = chain_fdb(2)
+    db.load("f2", [("hub", "c")])
+    db.load("f1", [(f"a{i}", "hub") for i in range(N_NCS)])
+    for i in range(N_NCS):
+        db.delete("v", f"a{i}", "c")
+    hub = db.table("f2").get("hub", "c")
+    assert len(hub.ncl) == N_NCS
+    return db, hub
+
+
+def ncs_via_ncl(db: FunctionalDatabase, fact: Fact) -> set[int]:
+    """The paper's way: read the fact's NCL."""
+    return set(fact.ncl)
+
+
+def ncs_via_scan(db: FunctionalDatabase, fact: Fact,
+                 function: str) -> set[int]:
+    """The ablated way: scan every NC in the registry."""
+    ref = fact.ref(function)
+    return {nc.index for nc in db.ncs if ref in nc.members}
+
+
+def test_both_variants_agree_and_ncl_wins(report):
+    db, hub = build_hub_database()
+
+    start = time.perf_counter()
+    via_ncl = ncs_via_ncl(db, hub)
+    ncl_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    via_scan = ncs_via_scan(db, hub, "f2")
+    scan_time = time.perf_counter() - start
+
+    assert via_ncl == via_scan
+    assert len(via_ncl) == N_NCS
+
+    report.line("E12 -- ablation: the NCL dual structure")
+    report.line(f"(one hub fact in {N_NCS} NCs)")
+    report.line()
+    report.table(
+        ("variant", "lookup time (us)"),
+        [
+            ("NCL dual structure (paper)", f"{ncl_time * 1e6:.1f}"),
+            ("registry scan (ablated)", f"{scan_time * 1e6:.1f}"),
+        ],
+    )
+    ratio = scan_time / ncl_time if ncl_time > 0 else float("inf")
+    report.line()
+    report.line(f"scan / NCL ratio: {ratio:.0f}x -- the dual structure "
+                "makes dismantling independent of the registry size.")
+    assert scan_time > ncl_time
+
+
+def test_bench_dismantle_with_ncl(benchmark):
+    """base-insert on the hub dismantles all its NCs through the NCL;
+    the benchmark round-trips build+resolve."""
+    def run():
+        db, hub = build_hub_database()
+        db.insert("f2", "hub", "c")   # dismantles every NC
+        return db
+
+    db = benchmark(run)
+    assert len(db.ncs) == 0
+
+
+def test_bench_scan_lookup(benchmark):
+    db, hub = build_hub_database()
+    result = benchmark(ncs_via_scan, db, hub, "f2")
+    assert len(result) == N_NCS

@@ -1,0 +1,101 @@
+"""E13 — ablation: NVC materialization across multiple derivations.
+
+DESIGN.md decision under test: a derived insert materializes an NVC
+for *every* confirmed derivation (``insert_mode='all'``), because the
+logical implication (2) of Section 3.2 holds per derivation; the
+cheaper ``'primary'`` mode covers only the first derivation.
+
+The bench measures the trade on a function with two derivations:
+
+* correctness — :func:`repro.fdb.audit.audit_insert_coverage` finds
+  one coverage gap per insert in 'primary' mode and none in 'all';
+* cost — stored facts and nulls per insert, and insert latency.
+"""
+
+from __future__ import annotations
+
+from repro.core.derivation import Derivation
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.fdb.audit import audit_insert_coverage
+from repro.fdb.database import FunctionalDatabase
+
+N_INSERTS = 10
+
+
+def two_route_db(insert_mode: str) -> FunctionalDatabase:
+    """v = f1 o f2, and alternatively v = g (a recorded shortcut)."""
+    A, B, C = (ObjectType(n) for n in "ABC")
+    MM = TypeFunctionality.MANY_MANY
+    db = FunctionalDatabase(insert_mode=insert_mode)
+    f1 = FunctionDef("f1", A, C, MM)
+    f2 = FunctionDef("f2", C, B, MM)
+    g = FunctionDef("g", A, B, MM)
+    for f in (f1, f2, g):
+        db.declare_base(f)
+    db.declare_derived(
+        FunctionDef("v", A, B, MM),
+        [Derivation.of(f1, f2), Derivation.of(g)],
+    )
+    return db
+
+
+def run(insert_mode: str) -> tuple[FunctionalDatabase, int, int, int]:
+    db = two_route_db(insert_mode)
+    for i in range(N_INSERTS):
+        db.insert("v", f"a{i}", f"b{i}")
+    counts = db.counts()
+    gaps = len(audit_insert_coverage(db))
+    return db, counts["stored_facts"], counts["next_null_index"] - 1, gaps
+
+
+def test_insert_mode_tradeoff(report):
+    _, all_facts, all_nulls, all_gaps = run("all")
+    _, primary_facts, primary_nulls, primary_gaps = run("primary")
+
+    assert all_gaps == 0
+    assert primary_gaps == N_INSERTS        # one gap per insert (via g)
+    assert primary_facts < all_facts        # 'primary' stores less
+    assert all_facts == N_INSERTS * 3       # 2 chain rows + 1 g row
+    assert primary_facts == N_INSERTS * 2
+
+    report.line("E13 -- ablation: derived-insert NVC materialization")
+    report.line(f"(v has two derivations: f1 o f2 and g; "
+                f"{N_INSERTS} derived inserts)")
+    report.line()
+    report.table(
+        ("insert_mode", "stored facts", "nulls issued",
+         "coverage gaps (audit)"),
+        [
+            ("all (default)", all_facts, all_nulls, all_gaps),
+            ("primary", primary_facts, primary_nulls, primary_gaps),
+        ],
+    )
+    report.line()
+    report.line("shape: 'primary' is ~1/3 cheaper in stored rows but "
+                "breaks implication (2) on the second derivation; "
+                "'all' keeps every derivation witnessed.")
+
+
+def test_bench_insert_mode_all(benchmark):
+    counter = iter(range(10 ** 9))
+
+    db = two_route_db("all")
+
+    def run_one():
+        i = next(counter)
+        db.insert("v", f"x{i}", f"y{i}")
+
+    benchmark(run_one)
+
+
+def test_bench_insert_mode_primary(benchmark):
+    counter = iter(range(10 ** 9))
+
+    db = two_route_db("primary")
+
+    def run_one():
+        i = next(counter)
+        db.insert("v", f"x{i}", f"y{i}")
+
+    benchmark(run_one)

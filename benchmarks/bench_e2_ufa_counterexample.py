@@ -1,0 +1,59 @@
+"""E2 — the Section 2.1 UFA counterexample (schema S2).
+
+Paper artifact: teach / class_list / lecturer_of, where under the
+intended semantics only lecturer_of is derived, yet each function is
+syntactically and type-functionally equivalent to the composition of
+the other two. The bench shows (a) AMS under the UFA removes *a*
+function — the first eligible, teach, which is semantically wrong —
+and (b) the on-line design aid with the knowing designer lands on the
+correct separation. This is the paper's motivation for Method 2.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.design_aid import DesignSession, ScriptedDesigner
+from repro.core.minimal_schema import minimal_schema_ams
+from repro.workloads.university import schema_s2
+
+
+def knowing_designer() -> ScriptedDesigner:
+    return ScriptedDesigner(removals={
+        frozenset({"teach", "class_list", "lecturer_of"}): "lecturer_of",
+    })
+
+
+def test_ams_misclassifies_under_broken_ufa(report):
+    schema = schema_s2()
+    result = minimal_schema_ams(schema)
+    # AMS removes exactly one function; by declaration order it is
+    # teach -- which the intended semantics say is base.
+    assert result.derived_names == ("teach",)
+
+    session = DesignSession(knowing_designer())
+    session.add_all(schema)
+    assert set(session.derived_schema.names) == {"lecturer_of"}
+    assert set(session.base_schema.names) == {"teach", "class_list"}
+
+    report.line("E2 -- UFA counterexample (schema S2)")
+    report.line()
+    report.block(str(schema))
+    report.line()
+    report.line("AMS under UFA classifies as derived : "
+                + ", ".join(result.derived_names)
+                + "   (semantically WRONG)")
+    report.line("on-line design aid (designer knows) : "
+                + ", ".join(session.derived_schema.names)
+                + "   (correct)")
+    report.line()
+    report.line("conclusion: S2 cannot be admitted under the UFA; "
+                "designer knowledge is required (Section 2.1).")
+
+
+def test_bench_design_aid_on_s2(benchmark):
+    def run():
+        session = DesignSession(knowing_designer())
+        session.add_all(schema_s2())
+        return session.finish()
+
+    outcome = benchmark(run)
+    assert outcome.derived.names == ("lecturer_of",)

@@ -1,0 +1,124 @@
+"""E5 — Method 2.1 complexity: cheap while acyclic, expensive once
+cycles are kept.
+
+Paper artifact (Section 2.2): "If the function graph is maintained as
+an acyclic graph, then addition of a new function will result in at
+most one cycle ... thus method [2.1] takes O(n^3) time. In the case of
+the function graph being cyclic, addition of an edge may result in an
+exponential number of cycles."
+
+Two measured series:
+
+* acyclic regime — chains of growing length where every chord addition
+  closes exactly one cycle (the AutoDesigner removes it, keeping the
+  graph acyclic): cycles-per-addition stays 1;
+* cyclic regime — theta graphs with a growing number of parallel
+  paths, a designer that *keeps* every cycle: the closing edge raises
+  one report per parallel path, and total session time grows sharply.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.design_aid import AutoDesigner, CallbackDesigner, DesignSession
+from repro.workloads.generator import cyclic_design_schema
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+
+MM = TypeFunctionality.MANY_MANY
+
+
+def chain_with_chords(length: int) -> Schema:
+    """T0 - T1 - ... - Tn chain plus one chord per three hops; each
+    chord closes exactly one cycle when added."""
+    types = [ObjectType(f"T{i}") for i in range(length + 1)]
+    schema = Schema()
+    for i in range(length):
+        schema.add(FunctionDef(f"c{i}", types[i], types[i + 1], MM))
+    for i in range(0, length - 2, 3):
+        schema.add(FunctionDef(f"chord{i}", types[i], types[i + 2], MM))
+    return schema
+
+
+def run_acyclic(length: int) -> tuple[int, int, float]:
+    schema = chain_with_chords(length)
+    session = DesignSession(AutoDesigner())
+    start = time.perf_counter()
+    session.add_all(schema)
+    elapsed = time.perf_counter() - start
+    cycles = sum(1 for e in session.log if e.kind == "cycle")
+    chords = sum(1 for n in schema.names if n.startswith("chord"))
+    return cycles, chords, elapsed
+
+
+def run_cyclic(n_paths: int) -> tuple[int, float]:
+    schema = cyclic_design_schema(n_paths, path_length=2)
+    keeper = CallbackDesigner(lambda report: None)  # keep every cycle
+    session = DesignSession(keeper)
+    start = time.perf_counter()
+    session.add_all(schema)
+    elapsed = time.perf_counter() - start
+    cycles = sum(1 for e in session.log if e.kind == "cycle")
+    return cycles, elapsed
+
+
+def test_acyclic_regime_one_cycle_per_addition(report):
+    rows = []
+    for length in (9, 18, 36, 72):
+        cycles, chords, elapsed = run_acyclic(length)
+        rows.append((length, chords, cycles, f"{elapsed * 1e3:.2f}"))
+        # At most one cycle per addition; here exactly one per chord.
+        assert cycles == chords
+    report.line("E5 -- Method 2.1 cost")
+    report.line()
+    report.line("acyclic regime (each chord closes exactly one cycle):")
+    report.table(
+        ("chain length", "chords added", "cycles reported", "time (ms)"),
+        rows,
+    )
+
+
+def test_cyclic_regime_cycles_grow(report):
+    rows = []
+    previous_cycles = 0
+    for n_paths in (2, 4, 8, 16):
+        cycles, elapsed = run_cyclic(n_paths)
+        rows.append((n_paths, cycles, f"{elapsed * 1e3:.2f}"))
+        # The closing edge alone reports one cycle per parallel path.
+        assert cycles >= n_paths
+        assert cycles >= previous_cycles
+        previous_cycles = cycles
+    report.line()
+    report.line("cyclic regime (designer keeps every cycle; the closing")
+    report.line("edge must be reported once per parallel path):")
+    report.table(
+        ("parallel paths", "cycles reported", "time (ms)"), rows
+    )
+    report.line()
+    report.line("shape check: cycle reports grow with graph cyclicity, "
+                "as Section 2.2 warns.")
+
+
+def test_bench_acyclic_session(benchmark):
+    schema = chain_with_chords(36)
+
+    def run():
+        session = DesignSession(AutoDesigner())
+        session.add_all(schema)
+        return session
+
+    session = benchmark(run)
+    assert session.graph.is_acyclic()
+
+
+def test_bench_cyclic_session(benchmark):
+    schema = cyclic_design_schema(8, path_length=2)
+
+    def run():
+        session = DesignSession(CallbackDesigner(lambda report: None))
+        session.add_all(schema)
+        return session
+
+    session = benchmark(run)
+    assert not session.graph.is_acyclic()

@@ -1,0 +1,107 @@
+"""E8 — the Section 4.2 worked example: the five update tables.
+
+Paper artifact: the central worked example — the pupil database taken
+through u1..u5, with the paper printing the full state (truth flags,
+NCLs, the null n1, starred ambiguous pupil facts) after each update.
+The bench replays the sequence, asserts each state row for row, and
+writes the five rendered tables for eyeball comparison with the paper.
+"""
+
+from __future__ import annotations
+
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.logic import Truth
+from repro.fdb.render import render_state
+from repro.fdb.updates import apply_update
+from repro.workloads.university import pupil_database, section_42_updates
+
+T, A = Truth.TRUE, Truth.AMBIGUOUS
+
+# Expected stored rows (x, y, flag, NCL) and pupil extensions after
+# each update, straight from the paper's five tables.
+EXPECTED = [
+    {  # u1: DEL(pupil, <euclid, john>)
+        "teach": [("euclid", "math", "A", "{g1}"),
+                  ("laplace", "math", "T", "{}")],
+        "class_list": [("math", "john", "A", "{g1}"),
+                       ("math", "bill", "T", "{}")],
+        "pupil": {("euclid", "bill"): A, ("laplace", "john"): A,
+                  ("laplace", "bill"): T},
+    },
+    {  # u2: INS(pupil, <gauss, bill>)
+        "teach": [("euclid", "math", "A", "{g1}"),
+                  ("laplace", "math", "T", "{}"),
+                  ("gauss", "n1", "T", "{}")],
+        "class_list": [("math", "john", "A", "{g1}"),
+                       ("math", "bill", "T", "{}"),
+                       ("n1", "bill", "T", "{}")],
+        "pupil": {("euclid", "bill"): A, ("laplace", "john"): A,
+                  ("laplace", "bill"): T, ("gauss", "bill"): T,
+                  ("gauss", "john"): A},
+    },
+    {  # u3: DEL(teach, <euclid, math>)
+        "teach": [("laplace", "math", "T", "{}"),
+                  ("gauss", "n1", "T", "{}")],
+        "class_list": [("math", "john", "A", "{}"),
+                       ("math", "bill", "T", "{}"),
+                       ("n1", "bill", "T", "{}")],
+        "pupil": {("laplace", "john"): A, ("laplace", "bill"): T,
+                  ("gauss", "bill"): T, ("gauss", "john"): A},
+    },
+    {  # u4: INS(class_list, <math, john>)
+        "teach": [("laplace", "math", "T", "{}"),
+                  ("gauss", "n1", "T", "{}")],
+        "class_list": [("math", "john", "T", "{}"),
+                       ("math", "bill", "T", "{}"),
+                       ("n1", "bill", "T", "{}")],
+        "pupil": {("laplace", "john"): T, ("laplace", "bill"): T,
+                  ("gauss", "bill"): T, ("gauss", "john"): A},
+    },
+    {  # u5: INS(teach, <gauss, math>)
+        "teach": [("laplace", "math", "T", "{}"),
+                  ("gauss", "n1", "T", "{}"),
+                  ("gauss", "math", "T", "{}")],
+        "class_list": [("math", "john", "T", "{}"),
+                       ("math", "bill", "T", "{}"),
+                       ("n1", "bill", "T", "{}")],
+        "pupil": {("laplace", "john"): T, ("laplace", "bill"): T,
+                  ("gauss", "bill"): T, ("gauss", "john"): T},
+    },
+]
+
+
+def test_trace_matches_paper_tables(report):
+    db = pupil_database()
+    updates = section_42_updates()
+    report.line("E8 -- Section 4.2 update trace, state after each update")
+    report.line()
+    report.line("initial instance:")
+    report.block(render_state(db))
+    for update, expected in zip(updates, EXPECTED):
+        apply_update(db, update)
+        assert db.table("teach").rows() == expected["teach"], str(update)
+        assert db.table("class_list").rows() == expected["class_list"], (
+            str(update)
+        )
+        assert derived_extension(db, "pupil") == expected["pupil"], (
+            str(update)
+        )
+        report.line()
+        report.line(f"after {update}:")
+        report.block(render_state(db))
+    report.line()
+    report.line("every flag, NCL entry, null and star matches the "
+                "paper's five tables.")
+
+
+def test_bench_full_sequence(benchmark):
+    updates = section_42_updates()
+
+    def run():
+        db = pupil_database()
+        for update in updates:
+            apply_update(db, update)
+        return db
+
+    db = benchmark(run)
+    assert derived_extension(db, "pupil") == EXPECTED[-1]["pupil"]

@@ -1,0 +1,77 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench module reproduces one paper artifact (see DESIGN.md's
+experiment index). Besides the pytest-benchmark timings, every bench
+writes a human-readable report — the same rows/series the paper
+reports — into ``benchmarks/results/<exp_id>.txt`` via the ``report``
+fixture, so `pytest benchmarks/ --benchmark-only` leaves comparable
+artifacts behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+class ReportWriter:
+    """Collects lines and writes them to results/<exp_id>.txt."""
+
+    def __init__(self, exp_id: str) -> None:
+        self.exp_id = exp_id
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def block(self, text: str) -> None:
+        self.lines.extend(text.splitlines())
+
+    def table(self, headers: tuple[str, ...], rows: list[tuple]) -> None:
+        str_rows = [tuple(str(c) for c in row) for row in rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in str_rows))
+            if str_rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        def fmt(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        self.line(fmt(headers))
+        self.line(fmt(tuple("-" * w for w in widths)))
+        for row in str_rows:
+            self.line(fmt(row))
+
+    def flush(self) -> Path:
+        """Write this test's lines to the experiment's report file.
+
+        Several tests of one bench module share the file: the first
+        flush of a session truncates it, later flushes append. Files of
+        experiments whose report tests did not run this session (e.g.
+        under ``--benchmark-only``) are left untouched.
+        """
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.exp_id}.txt"
+        mode = "a" if self.exp_id in _written_this_session else "w"
+        _written_this_session.add(self.exp_id)
+        with path.open(mode, encoding="utf-8") as handle:
+            handle.write("\n".join(self.lines) + "\n")
+        return path
+
+
+_written_this_session: set[str] = set()
+
+
+@pytest.fixture
+def report(request) -> ReportWriter:
+    """A report writer named after the bench module (e.g. e4_ams_scaling)."""
+    module = request.module.__name__
+    exp_id = module.split(".")[-1].removeprefix("bench_")
+    writer = ReportWriter(exp_id)
+    yield writer
+    if writer.lines:
+        path = writer.flush()
+        # Also echo to the terminal when -s is passed.
+        print(f"\n[{writer.exp_id}] report written to {path}")

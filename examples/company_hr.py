@@ -1,0 +1,115 @@
+"""An HR database: false twins, policies, and entity loops.
+
+Run:  python examples/company_hr.py
+
+The company workload stresses what the university example cannot:
+
+* two functions with *identical* signatures and functionalities —
+  ``reports_to`` and ``dept_head_of: employee -> manager`` — where only
+  one is derived. The Unique Form Assumption would conflate them; the
+  design dialogue keeps them apart;
+* one-one functions (``manages``, ``badge``), whose functional
+  dependencies resolve the nulls a derived insert creates in *both*
+  directions;
+* integrity policies guarding updates, and Daplex-style loops asking
+  HR questions.
+"""
+
+from __future__ import annotations
+
+from repro.core.design_aid import DesignSession
+from repro.fdb.constraints import resolve_nulls
+from repro.lang.interp import Interpreter
+from repro.workloads.company import (
+    company_database,
+    company_design_order,
+    company_designer,
+)
+
+
+def heading(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def design_dialogue() -> None:
+    heading("design: the false twin must be kept")
+    session = DesignSession(company_designer())
+    for function in company_design_order():
+        mark = len(session.log)
+        session.add(function)
+        for event in session.log[mark:]:
+            print(event.describe())
+    print()
+    print(session.finish().summary())
+
+
+def run_hr() -> None:
+    heading("HR operations")
+    db = company_database()
+
+    print("reports_to(alice) vs dept_head_of(alice):")
+    print("  reports_to  :", db.extension("reports_to").get(
+        ("alice", "erin")))
+    print("  dept_head_of:",
+          {y: str(t) for (x, y), t in
+           db.extension("dept_head_of").items() if x == "alice"})
+    print("same signature, different answers -- the twin is real.")
+
+    heading("a derived hire and its resolution")
+    db.insert("dept_head_of", "frank", "erin")
+    print("INS(dept_head_of, <frank, erin>) materialized:")
+    for fact in db.table("works_in").facts():
+        if str(fact.x) == "frank":
+            print(f"  works_in: {fact}")
+    for fact in db.table("manages").facts():
+        if str(fact.x) == "erin":
+            print(f"  manages : {fact}")
+    substitutions = resolve_nulls(db)
+    print("one-one manages already places erin in research, so:")
+    for substitution in substitutions:
+        print(f"  {substitution}")
+    print("  works_in now:",
+          [str(f.pair) for f in db.table("works_in").facts()
+           if str(f.x) == "frank"])
+
+
+def hr_console() -> None:
+    heading("the same database through the console language")
+    interp = Interpreter()
+    script = """
+        add works_in: employee -> department (many-one);
+        add manages: manager -> department (one-one);
+        add badge: employee -> badge_id (one-one);
+        commit;
+        insert works_in(alice, sales);
+        insert works_in(bob, sales);
+        insert works_in(carol, research);
+        insert manages(dave, sales);
+        insert manages(erin, research);
+        insert badge(alice, b1);
+        insert badge(bob, b2);
+        constraint card badge per domain max 1;
+        guard on;
+        insert badge(alice, b99);
+        """
+    for line in interp.execute(script):
+        print(line)
+    for line in interp.execute(
+        "for each e in employee such that works_in(e) = sales "
+        "print works_in, badge;"
+    ):
+        print(line)
+    for line in interp.execute(
+        "query (works_in o manages^-1)(carol);"
+    ):
+        print("carol's department head:", line.strip())
+
+
+def main() -> None:
+    design_dialogue()
+    run_hr()
+    hr_console()
+
+
+if __name__ == "__main__":
+    main()

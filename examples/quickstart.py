@@ -1,0 +1,78 @@
+"""Quickstart: design a small functional database, update it, query it.
+
+Run:  python examples/quickstart.py
+
+Walks the whole public API in ~60 lines: parse a schema in the paper's
+notation, let the design aid separate base from derived functions,
+build a database, perform base and derived updates, and watch the
+three-valued answers change.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AutoDesigner,
+    DesignSession,
+    FunctionalDatabase,
+    Truth,
+    fn,
+    parse_schema,
+)
+from repro.fdb.render import render_state
+
+
+def main() -> None:
+    # 1. A conceptual schema, exactly as the paper writes it. The third
+    #    function is redundant: pupil = teach o class_list.
+    schema = parse_schema("""
+        teach: faculty -> course; (many-many)
+        class_list: course -> student; (many-many)
+        pupil: faculty -> student; (many-many)
+    """)
+
+    # 2. Method 2.1 with an automatic designer: adding pupil closes a
+    #    cycle, and the newest candidate is classified as derived.
+    session = DesignSession(AutoDesigner())
+    session.add_all(schema)
+    outcome = session.finish()
+    print("-- design --")
+    print(outcome.summary())
+
+    # 3. The design becomes a live database.
+    db = FunctionalDatabase.from_design(outcome)
+    db.insert("teach", "euclid", "math")
+    db.insert("teach", "laplace", "math")
+    db.insert("class_list", "math", "john")
+    db.insert("class_list", "math", "bill")
+
+    print("\n-- instance --")
+    print(render_state(db))
+
+    # 4. Querying: derived functions answer through their derivations.
+    assert db.truth_of("pupil", "euclid", "john") is Truth.TRUE
+    print("\npupil(euclid) =", sorted(
+        str(student) for student in fn("pupil").image(db, "euclid")
+    ))
+
+    # 5. Deleting a derived fact creates a negated conjunction instead
+    #    of guessing which base fact to remove: no side effects.
+    db.delete("pupil", "euclid", "john")
+    print("\n-- after DEL(pupil, <euclid, john>) --")
+    print(render_state(db))
+    print(db.ncs)
+    assert db.truth_of("pupil", "euclid", "john") is Truth.FALSE
+    assert db.truth_of("pupil", "euclid", "bill") is Truth.AMBIGUOUS
+
+    # 6. A later base insert resolves the ambiguity: re-asserting
+    #    teach(euclid, math) dismantles the NC and truthifies the fact,
+    #    so pupil(euclid, bill) is true again (while class_list(math,
+    #    john) stays ambiguous until somebody asserts it too).
+    db.insert("teach", "euclid", "math")
+    assert db.truth_of("pupil", "euclid", "bill") is Truth.TRUE
+    assert db.truth_of("pupil", "euclid", "john") is Truth.AMBIGUOUS
+    print("\nafter re-asserting teach(euclid, math): "
+          "pupil(euclid, bill) is true again")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""``python -m repro`` launches the interactive design aid (the same
+entry point as the ``fdb-repl`` console script)."""
+
+from __future__ import annotations
+
+from repro.lang.repl import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Core of the reproduction: the paper's primary contribution.
+
+This subpackage contains the schema model of a functional database
+(Section 1 of the paper), the function graph and the Minimal Schema
+Problem machinery (Section 2.1), and the on-line interactive design aid
+(Sections 2.2-2.3).
+
+The runtime side — stored tables, three-valued facts, and the update
+algorithms of Sections 3-4 — lives in :mod:`repro.fdb`.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Multiplicity, ObjectType, TypeFunctionality
+from repro.core.schema import FunctionDef, Schema
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.graph import Edge, FunctionGraph, Path
+from repro.core.minimal_schema import (
+    MinimalSchemaResult,
+    all_minimal_schemas,
+    minimal_schema,
+    minimal_schema_ams,
+    minimal_schema_without_ufa,
+)
+from repro.core.design_aid import (
+    AutoDesigner,
+    CycleReport,
+    Designer,
+    DesignSession,
+    ScriptedDesigner,
+)
+from repro.core.schema_text import format_schema, parse_function_def, parse_schema
+from repro.core.closure import closure_signatures, derivable_functions
+from repro.core.dot import design_to_dot, graph_to_dot
+from repro.core.offline import OfflineDesignReport, verify_offline_design
+
+__all__ = [
+    "all_minimal_schemas",
+    "closure_signatures",
+    "derivable_functions",
+    "design_to_dot",
+    "graph_to_dot",
+    "OfflineDesignReport",
+    "verify_offline_design",
+    "Multiplicity",
+    "ObjectType",
+    "TypeFunctionality",
+    "FunctionDef",
+    "Schema",
+    "Derivation",
+    "Op",
+    "Step",
+    "Edge",
+    "FunctionGraph",
+    "Path",
+    "MinimalSchemaResult",
+    "minimal_schema",
+    "minimal_schema_ams",
+    "minimal_schema_without_ufa",
+    "Designer",
+    "ScriptedDesigner",
+    "AutoDesigner",
+    "CycleReport",
+    "DesignSession",
+    "format_schema",
+    "parse_function_def",
+    "parse_schema",
+]

@@ -1,0 +1,116 @@
+"""The closure <G> of a set of functions (Section 2.1).
+
+    "We define the closure of a set of functions G as
+     <G> = { g | g = u1(f_i1) o u2(f_i2) ... o uk(f_ik) }
+     where f_ij in G, u_i in {identity, inverse}."
+
+The closure is infinite as a set of expressions, but its *signatures*
+— (domain, range, type functionality) triples — form a finite set
+(at most |types|^2 * 4), and that is what the design tooling needs:
+"what could be derived from these base functions, and how?".
+
+:func:`closure_signatures` computes every reachable signature with a
+shortest witness derivation, via breadth-first search over
+``(type, functionality)`` states from each starting type — the same
+monotone state space :meth:`repro.core.graph.FunctionGraph.
+has_equivalent_walk` exploits, so the computation is polynomial.
+:func:`derivable_functions` then answers the designer's question
+directly: which schema functions are derivable from a candidate base
+set, and by what (shortest) derivation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.derivation import Derivation
+from repro.core.graph import FunctionGraph
+from repro.core.schema import Schema
+from repro.core.types import ObjectType, TypeFunctionality
+
+__all__ = ["Signature", "closure_signatures", "derivable_functions"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A derivable signature with one (shortest) witness."""
+
+    domain: ObjectType
+    range: ObjectType
+    functionality: TypeFunctionality
+    witness: Derivation
+
+    def __str__(self) -> str:
+        return (
+            f"{self.domain} -> {self.range}; ({self.functionality}) "
+            f"via {self.witness}"
+        )
+
+
+def closure_signatures(
+    functions: Schema,
+    *,
+    max_length: int | None = None,
+) -> dict[tuple[ObjectType, ObjectType, TypeFunctionality], Derivation]:
+    """Every signature in <G> with a shortest witness derivation.
+
+    ``max_length`` optionally caps derivation length (the full closure
+    needs at most ``4 * |types|`` steps per start, but designers rarely
+    care past a handful).
+    """
+    graph = FunctionGraph.of_schema(functions)
+    found: dict[
+        tuple[ObjectType, ObjectType, TypeFunctionality], Derivation
+    ] = {}
+    for start in graph.nodes:
+        # BFS over (node, functionality) states, remembering the first
+        # (hence shortest) path that reached each state.
+        initial = (start, TypeFunctionality.ONE_ONE)
+        paths: dict = {initial: ()}
+        queue = deque([initial])
+        while queue:
+            state = queue.popleft()
+            node, tf = state
+            steps_so_far = paths[state]
+            if max_length is not None and len(steps_so_far) >= max_length:
+                continue
+            for traversal in graph._traversals_from(node, frozenset()):
+                new_tf = tf.compose(traversal.functionality)
+                new_state = (traversal.target, new_tf)
+                if new_state in paths:
+                    continue
+                paths[new_state] = steps_so_far + (traversal,)
+                queue.append(new_state)
+        for (node, tf), steps in paths.items():
+            if not steps:
+                continue
+            key = (start, node, tf)
+            if key not in found:
+                found[key] = Derivation(
+                    step.to_step() for step in steps
+                )
+    return found
+
+
+def derivable_functions(
+    schema: Schema,
+    base_names: list[str] | tuple[str, ...],
+    *,
+    max_length: int | None = None,
+) -> dict[str, Derivation | None]:
+    """Which schema functions lie in the closure of the named base set.
+
+    Returns every non-base function mapped to a shortest witness
+    derivation, or None when it is not derivable — the off-line
+    question "can this base set carry the schema?" in one call.
+    """
+    base = schema.restricted_to(base_names)
+    signatures = closure_signatures(base, max_length=max_length)
+    result: dict[str, Derivation | None] = {}
+    for function in schema:
+        if function.name in base:
+            continue
+        key = (function.domain, function.range, function.functionality)
+        result[function.name] = signatures.get(key)
+    return result

@@ -1,0 +1,202 @@
+"""Derivations of derived functions.
+
+Section 1: "A derivation of a derived function is an ordered sequence of
+base functions along with the appropriate operations, which specifies a
+method of obtaining the derived function from these base functions.
+Composition and inverse are the two most important operations in such
+derivations."
+
+A :class:`Derivation` is a non-empty sequence of :class:`Step`\\ s, each a
+base function used either directly (``Op.IDENTITY``) or inverted
+(``Op.INVERSE``), chained by composition. Formally it represents
+
+    g = u1(f_i1) o u2(f_i2) o ... o uk(f_ik),   u_j in {identity, inverse}
+
+exactly as in the definition of the closure ``<G>`` in Section 2.1.
+
+A derivation is *well-formed* when adjacent steps chain: the range of
+each step's effective mapping equals the domain of the next step's. The
+effective domain/range of a step are the function's own when used via
+identity and swapped when inverted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import DerivationError
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality, compose_functionalities
+
+__all__ = ["Op", "Step", "Derivation"]
+
+
+class Op(enum.Enum):
+    """The two functional operators appearing in derivations."""
+
+    IDENTITY = "identity"
+    INVERSE = "inverse"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One base function in a derivation, possibly inverted."""
+
+    function: FunctionDef
+    op: Op = Op.IDENTITY
+
+    @property
+    def domain(self) -> ObjectType:
+        """Domain of the step's effective mapping."""
+        if self.op is Op.INVERSE:
+            return self.function.range
+        return self.function.domain
+
+    @property
+    def range(self) -> ObjectType:
+        """Range of the step's effective mapping."""
+        if self.op is Op.INVERSE:
+            return self.function.domain
+        return self.function.range
+
+    @property
+    def functionality(self) -> TypeFunctionality:
+        """Type functionality of the step's effective mapping."""
+        if self.op is Op.INVERSE:
+            return self.function.functionality.inverse()
+        return self.function.functionality
+
+    def inverted(self) -> "Step":
+        """The step with its operator flipped."""
+        other = Op.INVERSE if self.op is Op.IDENTITY else Op.IDENTITY
+        return Step(self.function, other)
+
+    def __str__(self) -> str:
+        if self.op is Op.INVERSE:
+            return f"{self.function.name}^-1"
+        return self.function.name
+
+
+class Derivation:
+    """A composition chain of (possibly inverted) base functions.
+
+    >>> Derivation([Step(teach, Op.INVERSE)])          # doctest: +SKIP
+    taught_by's derivation: teach^-1
+    >>> Derivation.compose_names(schema, "score", "cutoff")  # doctest: +SKIP
+    score o cutoff
+    """
+
+    def __init__(self, steps: Iterable[Step]) -> None:
+        self._steps = tuple(steps)
+        if not self._steps:
+            raise DerivationError("a derivation must have at least one step")
+        for left, right in zip(self._steps, self._steps[1:]):
+            if left.range != right.domain:
+                raise DerivationError(
+                    f"steps do not chain: {left} has range {left.range} "
+                    f"but {right} has domain {right.domain}"
+                )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, *steps: FunctionDef | Step) -> "Derivation":
+        """Build a derivation from function definitions and/or steps.
+
+        Bare :class:`FunctionDef`\\ s are wrapped in identity steps.
+        """
+        return cls(
+            step if isinstance(step, Step) else Step(step) for step in steps
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def steps(self) -> tuple[Step, ...]:
+        return self._steps
+
+    @property
+    def domain(self) -> ObjectType:
+        return self._steps[0].domain
+
+    @property
+    def range(self) -> ObjectType:
+        return self._steps[-1].range
+
+    @property
+    def functionality(self) -> TypeFunctionality:
+        """Composition of the step functionalities, in order."""
+        return compose_functionalities(step.functionality for step in self._steps)
+
+    @property
+    def function_names(self) -> tuple[str, ...]:
+        return tuple(step.function.name for step in self._steps)
+
+    def uses(self, name: str) -> bool:
+        """Whether the named function appears in any step."""
+        return any(step.function.name == name for step in self._steps)
+
+    # -- equivalence tests (Section 2.1) --------------------------------------
+
+    def syntactically_equivalent_to(self, function: FunctionDef) -> bool:
+        """Same domain and range as ``function``."""
+        return self.domain == function.domain and self.range == function.range
+
+    def type_functionally_equivalent_to(self, function: FunctionDef) -> bool:
+        return self.functionality == function.functionality
+
+    def matches(self, function: FunctionDef) -> bool:
+        """Syntactic *and* type-functional equivalence with ``function``.
+
+        Under the UFA this is exactly the condition for the derivation to
+        be semantically equivalent to ``function`` — i.e. to *be* a
+        derivation of it.
+        """
+        return (
+            self.syntactically_equivalent_to(function)
+            and self.type_functionally_equivalent_to(function)
+        )
+
+    # -- algebra -----------------------------------------------------------------
+
+    def inverted(self) -> "Derivation":
+        """The derivation of the inverse mapping.
+
+        ``(u1 f1 o ... o uk fk)^-1 = uk' fk o ... o u1' f1`` where each
+        step is flipped and the order reversed.
+        """
+        return Derivation(step.inverted() for step in reversed(self._steps))
+
+    def then(self, other: "Derivation") -> "Derivation":
+        """Concatenate: ``self o other``."""
+        return Derivation(self._steps + other._steps)
+
+    # -- container protocol --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __getitem__(self, index: int) -> Step:
+        return self._steps[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Derivation):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __str__(self) -> str:
+        return " o ".join(str(step) for step in self._steps)
+
+    def __repr__(self) -> str:
+        return f"Derivation({list(self._steps)!r})"

@@ -1,0 +1,514 @@
+"""The function graph of a functional database schema.
+
+Section 2.1: "We define the function graph of an FDB F with schema S as
+an undirected graph G_F = (V, E) where V is the set of object types of F
+(i.e., domains and ranges of the various functions) and E = {(D1, D2) |
+for some F in S, F: D1 -> D2}. The syntax and type functionality of an
+edge follow from the function it represents. We define the syntax of a
+path D_i1, ..., D_ik as D_i1 -> D_ik. The type functionality of a path
+is the composition of the type functionality of the edges in the path."
+
+Because two distinct functions may connect the same pair of object types
+(``teach`` and ``taught_by`` both join faculty and course), the graph is
+an undirected *multigraph*: one edge per function, identified by the
+function's name. Traversing an edge against its function's direction
+applies the inverse operator, so a path is exactly a derivation
+``u1(f_i1) o ... o uk(f_ik)`` with ``u_j in {identity, inverse}``.
+
+Two kinds of path search are provided:
+
+* :meth:`FunctionGraph.iter_paths` enumerates *simple* paths (no repeated
+  node), which is what cycle detection and derivation listing need;
+* :meth:`FunctionGraph.has_equivalent_walk` decides, via a BFS over
+  ``(node, type-functionality)`` states, whether *any* walk between two
+  nodes realizes a target type functionality. Type functionalities only
+  grow (toward many-many) under composition, so the state space has at
+  most ``4 |V|`` states and the search runs in O(V + E) — this is the
+  "search traversal of the function graph which takes O(n) time" inside
+  Algorithm AMS (Lemma 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import (
+    Multiplicity,
+    ObjectType,
+    TypeFunctionality,
+    compose_functionalities,
+)
+
+__all__ = ["Edge", "PathStep", "Path", "FunctionGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """An edge of the function graph: one function of the schema.
+
+    ``u``/``v`` are the function's domain/range; as a graph edge it is
+    undirected, but the orientation matters for the syntax and type
+    functionality of paths through it.
+    """
+
+    function: FunctionDef
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    @property
+    def u(self) -> ObjectType:
+        return self.function.domain
+
+    @property
+    def v(self) -> ObjectType:
+        return self.function.range
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.u == self.v
+
+    def other_end(self, node: ObjectType) -> ObjectType:
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise GraphError(f"{node} is not an endpoint of edge {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.u} -- {self.v})"
+
+
+@dataclass(frozen=True, slots=True)
+class PathStep:
+    """One edge traversal within a path.
+
+    ``forward`` is True when the edge is traversed from the function's
+    domain to its range (identity operator) and False when traversed
+    against it (inverse operator).
+    """
+
+    edge: Edge
+    forward: bool
+
+    @property
+    def op(self) -> Op:
+        return Op.IDENTITY if self.forward else Op.INVERSE
+
+    @property
+    def source(self) -> ObjectType:
+        return self.edge.u if self.forward else self.edge.v
+
+    @property
+    def target(self) -> ObjectType:
+        return self.edge.v if self.forward else self.edge.u
+
+    @property
+    def functionality(self) -> TypeFunctionality:
+        tf = self.edge.function.functionality
+        return tf if self.forward else tf.inverse()
+
+    def reversed(self) -> "PathStep":
+        return PathStep(self.edge, not self.forward)
+
+    def to_step(self) -> Step:
+        return Step(self.edge.function, self.op)
+
+    def __str__(self) -> str:
+        suffix = "" if self.forward else "^-1"
+        return f"{self.edge.name}{suffix}"
+
+
+class Path:
+    """A path (or cycle, when start == end) in the function graph.
+
+    The empty path at a node is permitted (it is the identity mapping with
+    type functionality one-one); non-empty paths must chain.
+    """
+
+    def __init__(self, start: ObjectType, steps: Iterable[PathStep] = ()) -> None:
+        self.start = start
+        self.steps = tuple(steps)
+        at = start
+        for step in self.steps:
+            if step.source != at:
+                raise GraphError(
+                    f"path step {step} does not start at {at}"
+                )
+            at = step.target
+        self.end = at
+
+    # -- the paper's path attributes --------------------------------------
+
+    @property
+    def syntax(self) -> tuple[ObjectType, ObjectType]:
+        """The syntax of the path: ``start -> end`` (Section 2.1)."""
+        return (self.start, self.end)
+
+    @property
+    def functionality(self) -> TypeFunctionality:
+        """Composition of the traversed edges' type functionalities."""
+        return compose_functionalities(step.functionality for step in self.steps)
+
+    def equivalent_to(self, function: FunctionDef) -> bool:
+        """Syntactic and type-functional equivalence with ``function``."""
+        return (
+            self.start == function.domain
+            and self.end == function.range
+            and self.functionality == function.functionality
+        )
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[ObjectType, ...]:
+        result = [self.start]
+        for step in self.steps:
+            result.append(step.target)
+        return tuple(result)
+
+    @property
+    def edge_names(self) -> tuple[str, ...]:
+        return tuple(step.edge.name for step in self.steps)
+
+    @property
+    def is_cycle(self) -> bool:
+        return bool(self.steps) and self.start == self.end
+
+    def uses(self, edge_name: str) -> bool:
+        return edge_name in self.edge_names
+
+    def reversed(self) -> "Path":
+        return Path(
+            self.end, (step.reversed() for step in reversed(self.steps))
+        )
+
+    def to_derivation(self) -> Derivation:
+        """The derivation this path denotes (non-empty paths only)."""
+        if not self.steps:
+            raise GraphError("the empty path denotes no derivation")
+        return Derivation(step.to_step() for step in self.steps)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[PathStep]:
+        return iter(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.start == other.start and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.steps))
+
+    def __str__(self) -> str:
+        if not self.steps:
+            return f"<empty path at {self.start}>"
+        return " o ".join(str(step) for step in self.steps)
+
+    def __repr__(self) -> str:
+        return f"Path({self.start!r}, {list(self.steps)!r})"
+
+
+def _exceeds(current: TypeFunctionality, target: TypeFunctionality) -> bool:
+    """True when ``current`` already has MANY where ``target`` needs ONE.
+
+    Composition can only push components toward MANY, so such a state can
+    never reach ``target`` and may be pruned.
+    """
+    if (current.src_per_tgt is Multiplicity.MANY
+            and target.src_per_tgt is Multiplicity.ONE):
+        return True
+    return (current.tgt_per_src is Multiplicity.MANY
+            and target.tgt_per_src is Multiplicity.ONE)
+
+
+class FunctionGraph:
+    """An undirected multigraph with one edge per schema function."""
+
+    def __init__(self, functions: Iterable[FunctionDef] = ()) -> None:
+        self._edges: dict[str, Edge] = {}
+        self._adjacency: dict[ObjectType, list[Edge]] = {}
+        for function in functions:
+            self.add(function)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, function: FunctionDef) -> Edge:
+        """Insert an edge for ``function``; names must be unique."""
+        if function.name in self._edges:
+            raise GraphError(f"edge {function.name!r} already in graph")
+        edge = Edge(function)
+        self._edges[function.name] = edge
+        self._adjacency.setdefault(edge.u, []).append(edge)
+        if not edge.is_self_loop:
+            self._adjacency.setdefault(edge.v, []).append(edge)
+        return edge
+
+    def remove(self, name: str) -> Edge:
+        """Remove the named edge. Isolated nodes are kept: the object
+        types of the schema do not disappear when a function is
+        classified as derived."""
+        try:
+            edge = self._edges.pop(name)
+        except KeyError:
+            raise GraphError(f"no edge named {name!r}") from None
+        self._adjacency[edge.u].remove(edge)
+        if not edge.is_self_loop:
+            self._adjacency[edge.v].remove(edge)
+        return edge
+
+    @classmethod
+    def of_schema(cls, schema: Schema) -> "FunctionGraph":
+        return cls(schema)
+
+    # -- inspection ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        return tuple(self._edges.values())
+
+    @property
+    def edge_names(self) -> tuple[str, ...]:
+        return tuple(self._edges)
+
+    @property
+    def nodes(self) -> tuple[ObjectType, ...]:
+        return tuple(self._adjacency)
+
+    def edge(self, name: str) -> Edge:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise GraphError(f"no edge named {name!r}") from None
+
+    def edges_at(self, node: ObjectType) -> tuple[Edge, ...]:
+        return tuple(self._adjacency.get(node, ()))
+
+    def degree(self, node: ObjectType) -> int:
+        """Number of edge traversals available at ``node`` (a self-loop
+        contributes two)."""
+        total = 0
+        for edge in self._adjacency.get(node, ()):
+            total += 2 if edge.is_self_loop else 1
+        return total
+
+    def to_schema(self) -> Schema:
+        return Schema(edge.function for edge in self.edges)
+
+    def copy(self) -> "FunctionGraph":
+        return FunctionGraph(edge.function for edge in self.edges)
+
+    # -- traversal helpers -----------------------------------------------------
+
+    def _traversals_from(self, node: ObjectType,
+                         avoiding: frozenset[str]) -> Iterator[PathStep]:
+        """Every single-edge traversal leaving ``node``.
+
+        A non-loop edge yields one traversal (toward its other end); a
+        self-loop yields two (forward and backward), since composing with
+        the function or its inverse are distinct derivation steps.
+        """
+        for edge in self._adjacency.get(node, ()):
+            if edge.name in avoiding:
+                continue
+            if edge.is_self_loop:
+                yield PathStep(edge, forward=True)
+                yield PathStep(edge, forward=False)
+            else:
+                yield PathStep(edge, forward=(node == edge.u))
+
+    # -- simple-path enumeration -------------------------------------------------
+
+    def iter_paths(
+        self,
+        source: ObjectType,
+        target: ObjectType,
+        *,
+        avoiding: Iterable[str] = (),
+        max_length: int | None = None,
+        prune: Callable[[TypeFunctionality], bool] | None = None,
+    ) -> Iterator[Path]:
+        """Enumerate simple paths from ``source`` to ``target``.
+
+        A path is simple when it repeats no node and no edge — except
+        that when ``source == target`` the result is a simple *cycle*
+        returning to the start. Single self-loop traversals at
+        ``source`` count as cycles of length one. (Without the no-edge-
+        repeat rule, ``f o f^-1`` would count as a length-2 cycle at
+        every node; such immediate backtracks are walks, not cycles.)
+
+        ``avoiding`` names edges that may not be used. ``prune``, when
+        given, receives the type functionality composed so far and may
+        return True to abandon the branch (used to search for paths with
+        a target functionality without enumerating everything).
+        """
+        avoiding = frozenset(avoiding)
+        if source not in self._adjacency and source != target:
+            return
+
+        steps: list[PathStep] = []
+        visited: set[ObjectType] = {source}
+        used_edges: set[str] = set()
+
+        def extend(node: ObjectType, tf: TypeFunctionality) -> Iterator[Path]:
+            for traversal in self._traversals_from(node, avoiding):
+                if traversal.edge.name in used_edges:
+                    continue
+                nxt = traversal.target
+                new_tf = tf.compose(traversal.functionality)
+                if prune is not None and prune(new_tf):
+                    continue
+                if nxt == target:
+                    if max_length is None or len(steps) + 1 <= max_length:
+                        yield Path(source, (*steps, traversal))
+                    continue
+                if nxt in visited:
+                    continue
+                if max_length is not None and len(steps) + 1 >= max_length:
+                    continue
+                visited.add(nxt)
+                used_edges.add(traversal.edge.name)
+                steps.append(traversal)
+                yield from extend(nxt, new_tf)
+                steps.pop()
+                used_edges.remove(traversal.edge.name)
+                visited.remove(nxt)
+
+        yield from extend(source, TypeFunctionality.ONE_ONE)
+
+    def iter_equivalent_paths(
+        self,
+        function: FunctionDef,
+        *,
+        avoiding: Iterable[str] = (),
+        include_self: bool = False,
+    ) -> Iterator[Path]:
+        """Simple paths syntactically and type-functionally equivalent to
+        ``function``, i.e. the *potential derivations* of it present in
+        this graph (Section 2.2: "the set of derivations of a derived
+        function is given by the set of syntactic and type functionally
+        equivalent paths").
+
+        The function's own edge is excluded unless ``include_self``.
+        """
+        excluded = set(avoiding)
+        if not include_self:
+            excluded.add(function.name)
+        target_tf = function.functionality
+        for path in self.iter_paths(
+            function.domain,
+            function.range,
+            avoiding=excluded,
+            prune=lambda tf: _exceeds(tf, target_tf),
+        ):
+            if path.functionality == target_tf:
+                yield path
+
+    # -- walk-based equivalence decision (the AMS inner loop) -------------------
+
+    def has_equivalent_walk(
+        self,
+        function: FunctionDef,
+        *,
+        avoiding: Iterable[str] = (),
+    ) -> bool:
+        """Whether some walk (repeats allowed) from ``function.domain`` to
+        ``function.range`` composes to ``function.functionality``.
+
+        Derivations are sequences of base functions with repetition
+        allowed (the closure <G> of Section 2.1 places no distinctness
+        requirement on the f_ij), so a walk witnesses derivability just as
+        a simple path does. The BFS runs over (node, functionality)
+        states; since composition is monotone toward many-many, at most
+        ``4 |V|`` states exist and the scan is linear in the graph size.
+        """
+        excluded = frozenset(set(avoiding) | {function.name})
+        target_node = function.range
+        target_tf = function.functionality
+        start = (function.domain, TypeFunctionality.ONE_ONE)
+        seen: set[tuple[ObjectType, TypeFunctionality]] = {start}
+        queue: deque[tuple[ObjectType, TypeFunctionality]] = deque([start])
+        while queue:
+            node, tf = queue.popleft()
+            for traversal in self._traversals_from(node, excluded):
+                new_tf = tf.compose(traversal.functionality)
+                if _exceeds(new_tf, target_tf):
+                    continue
+                if traversal.target == target_node and new_tf == target_tf:
+                    return True
+                state = (traversal.target, new_tf)
+                if state in seen:
+                    continue
+                seen.add(state)
+                queue.append(state)
+        return False
+
+    # -- cycles -------------------------------------------------------------------
+
+    def cycles_through(self, name: str,
+                       max_length: int | None = None) -> Iterator[Path]:
+        """Simple cycles containing the named edge.
+
+        Each cycle is returned as a :class:`Path` that starts by
+        traversing the edge forward (domain to range) and returns to the
+        domain. A pair of parallel edges forms a length-2 cycle; a
+        self-loop forms a length-1 cycle.
+        """
+        edge = self.edge(name)
+        head = PathStep(edge, forward=True)
+        if edge.is_self_loop:
+            yield Path(edge.u, (head,))
+            return
+        remaining = None if max_length is None else max_length - 1
+        for back in self.iter_paths(
+            edge.v, edge.u, avoiding=(name,), max_length=remaining
+        ):
+            yield Path(edge.u, (head, *back.steps))
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph (as a multigraph) has no cycle."""
+        color: dict[ObjectType, int] = {}
+        for root in self._adjacency:
+            if root in color:
+                continue
+            # Iterative DFS tracking the edge used to enter each node, so
+            # parallel edges and self-loops register as cycles.
+            stack: list[tuple[ObjectType, str | None]] = [(root, None)]
+            color[root] = 1
+            while stack:
+                node, entry_edge = stack.pop()
+                for edge in self._adjacency.get(node, ()):
+                    if edge.is_self_loop:
+                        return False
+                    if edge.name == entry_edge:
+                        continue
+                    nxt = edge.other_end(node)
+                    if nxt in color:
+                        return False
+                    color[nxt] = 1
+                    stack.append((nxt, edge.name))
+        return True
+
+    def __str__(self) -> str:
+        lines = [f"FunctionGraph with {len(self._adjacency)} nodes, "
+                 f"{len(self._edges)} edges"]
+        for edge in self.edges:
+            lines.append(f"  {edge}")
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Off-line design verification (the paper's reference [13]).
+
+Section 5 contrasts the on-line methodology with "off-line approaches
+[13] to perform the task of identifying derived functions [that] rely
+upon constraints placed on the conceptual design". The off-line
+workflow is: the designer hands in a *finished* design — the schema,
+the base/derived partition, and optionally the claimed derivations —
+and the system verifies it wholesale instead of interacting.
+
+:func:`verify_offline_design` performs that audit:
+
+* every claimed derivation must be well-formed over the base functions
+  and syntactically/type-functionally equivalent to its function;
+* every derived function must have at least one candidate derivation
+  in the base function graph (otherwise the partition is untenable);
+* base functions that are themselves derivable from the *other* base
+  functions are flagged as redundancy warnings (the base set is not
+  minimal — legal, but exactly the inconsistency risk the paper's
+  introduction warns about).
+
+The report distinguishes hard *problems* (the design cannot stand)
+from *warnings* (the design works but embeds unmanaged redundancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.core.derivation import Derivation
+from repro.core.graph import FunctionGraph
+from repro.core.schema import Schema
+
+__all__ = ["OfflineDesignReport", "verify_offline_design"]
+
+
+@dataclass
+class OfflineDesignReport:
+    """Outcome of verifying a finished design."""
+
+    base: Schema
+    derived: Schema
+    problems: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    candidate_derivations: dict[str, tuple[Derivation, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ok(self) -> bool:
+        """No hard problems (warnings allowed)."""
+        return not self.problems
+
+    def summary(self) -> str:
+        lines = [
+            f"off-line design check: "
+            f"{'OK' if self.ok else 'REJECTED'} "
+            f"({len(self.problems)} problems, "
+            f"{len(self.warnings)} warnings)"
+        ]
+        for problem in self.problems:
+            lines.append(f"  problem: {problem}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        for name, derivations in self.candidate_derivations.items():
+            for derivation in derivations:
+                lines.append(f"  {name} = {derivation}")
+        return "\n".join(lines)
+
+
+def verify_offline_design(
+    schema: Schema,
+    base_names: list[str] | tuple[str, ...],
+    claimed: dict[str, Derivation] | None = None,
+) -> OfflineDesignReport:
+    """Audit a designer-supplied base/derived partition of ``schema``.
+
+    ``claimed`` optionally maps derived function names to the exact
+    derivation the designer asserts; unclaimed derived functions are
+    checked for the existence of *some* candidate derivation.
+    """
+    claimed = dict(claimed or {})
+    base_set = set(base_names)
+    unknown = base_set - set(schema.names)
+    if unknown:
+        raise SchemaError(
+            f"base names not in schema: {sorted(unknown)}"
+        )
+    base = schema.restricted_to(base_set)
+    derived = schema - base
+    report = OfflineDesignReport(base, derived)
+    graph = FunctionGraph.of_schema(base)
+
+    for name, derivation in claimed.items():
+        if name in base_set:
+            report.problems.append(
+                f"{name} is declared base but has a claimed derivation"
+            )
+            continue
+        if name not in schema:
+            report.problems.append(
+                f"claimed derivation for unknown function {name!r}"
+            )
+            continue
+        function = schema[name]
+        outside = [
+            step.function.name
+            for step in derivation
+            if step.function.name not in base_set
+        ]
+        if outside:
+            report.problems.append(
+                f"derivation of {name} uses non-base functions: "
+                f"{outside}"
+            )
+            continue
+        if not derivation.matches(function):
+            report.problems.append(
+                f"derivation {derivation} does not match {name}'s "
+                "syntax/type functionality"
+            )
+
+    for function in derived:
+        candidates = tuple(
+            path.to_derivation()
+            for path in graph.iter_equivalent_paths(function)
+        )
+        report.candidate_derivations[function.name] = candidates
+        if not candidates and function.name not in claimed:
+            report.problems.append(
+                f"derived function {function.name} has no candidate "
+                "derivation over the base functions"
+            )
+
+    for function in base:
+        if graph.has_equivalent_walk(function):
+            report.warnings.append(
+                f"base function {function.name} is derivable from the "
+                "other base functions (base set is not minimal)"
+            )
+    return report

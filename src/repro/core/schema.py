@@ -1,0 +1,182 @@
+"""Function definitions and conceptual schemas.
+
+A conceptual schema of a functional database is "a collection of
+functions" (Section 1): each function is a triplet
+``<function_name, domain_type, range_type>`` plus its declared type
+functionality. :class:`Schema` is an ordered, name-indexed collection of
+:class:`FunctionDef` with set-like operations (the paper constantly forms
+subschemas ``S - M`` and asks whether one schema is contained in
+another).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import DuplicateFunctionError, SchemaError, UnknownFunctionError
+from repro.core.types import ObjectType, TypeFunctionality
+
+__all__ = ["FunctionDef", "Schema"]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDef:
+    """A function definition ``name: domain -> range; (functionality)``.
+
+    Function definitions are *syntactic* objects: two functions with the
+    same domain and range are syntactically equivalent but may be
+    semantically different (Section 2.1). Identity of a ``FunctionDef``
+    is therefore by all four components; lookups in a :class:`Schema` are
+    by name.
+    """
+
+    name: str
+    domain: ObjectType
+    range: ObjectType
+    functionality: TypeFunctionality = TypeFunctionality.MANY_MANY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("function name must be non-empty")
+
+    def syntactically_equivalent(self, other: "FunctionDef") -> bool:
+        """Same domain type and same range type (Section 2.1)."""
+        return self.domain == other.domain and self.range == other.range
+
+    def type_functionally_equivalent(self, other: "FunctionDef") -> bool:
+        return self.functionality == other.functionality
+
+    @property
+    def endpoints(self) -> tuple[ObjectType, ObjectType]:
+        return (self.domain, self.range)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.domain} -> {self.range}; "
+            f"({self.functionality})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FunctionDef({self.name!r}, {self.domain!r}, {self.range!r}, "
+            f"{self.functionality!r})"
+        )
+
+
+class Schema:
+    """An ordered collection of function definitions with unique names.
+
+    Order matters: Algorithm AMS iterates over edges "for each edge e in
+    E", and the on-line design aid adds functions "one at a time" — both
+    in declaration order, so results are deterministic.
+
+    The class supports the subschema arithmetic used throughout Section 2:
+
+    >>> s = Schema([f1, f2, f3])          # doctest: +SKIP
+    >>> s - Schema([f2])                  # doctest: +SKIP
+    Schema([f1, f3])
+    """
+
+    def __init__(self, functions: Iterable[FunctionDef] = ()) -> None:
+        self._functions: dict[str, FunctionDef] = {}
+        for function in functions:
+            self.add(function)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, function: FunctionDef) -> None:
+        """Append a function definition; names must be unique."""
+        if function.name in self._functions:
+            raise DuplicateFunctionError(function.name)
+        self._functions[function.name] = function
+
+    def remove(self, name: str) -> FunctionDef:
+        """Remove and return the definition called ``name``."""
+        try:
+            return self._functions.pop(name)
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    # -- lookup ------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> FunctionDef:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def get(self, name: str) -> FunctionDef | None:
+        return self._functions.get(name)
+
+    def __contains__(self, item: str | FunctionDef) -> bool:
+        if isinstance(item, FunctionDef):
+            return self._functions.get(item.name) == item
+        return item in self._functions
+
+    def __iter__(self) -> Iterator[FunctionDef]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._functions)
+
+    @property
+    def object_types(self) -> tuple[ObjectType, ...]:
+        """Every domain and range appearing in the schema, in first-use
+        order (the vertex set of the function graph)."""
+        seen: dict[ObjectType, None] = {}
+        for function in self:
+            seen.setdefault(function.domain)
+            seen.setdefault(function.range)
+        return tuple(seen)
+
+    # -- subschema arithmetic ----------------------------------------------
+
+    def __sub__(self, other: "Schema | Iterable[FunctionDef]") -> "Schema":
+        excluded = {f.name for f in other}
+        return Schema(f for f in self if f.name not in excluded)
+
+    def __or__(self, other: "Schema") -> "Schema":
+        merged = Schema(self)
+        for function in other:
+            if function.name not in merged._functions:
+                merged.add(function)
+            elif merged[function.name] != function:
+                raise SchemaError(
+                    f"conflicting definitions of {function.name!r} in union"
+                )
+        return merged
+
+    def restricted_to(self, names: Iterable[str]) -> "Schema":
+        """The subschema containing exactly the named functions."""
+        wanted = set(names)
+        missing = wanted - set(self._functions)
+        if missing:
+            raise UnknownFunctionError(sorted(missing)[0])
+        return Schema(f for f in self if f.name in wanted)
+
+    def is_subschema_of(self, other: "Schema") -> bool:
+        return all(f in other for f in self)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return set(self._functions.values()) == set(other._functions.values())
+
+    def __hash__(self) -> int:  # schemas are mutable; keep them unhashable
+        raise TypeError("Schema is not hashable")
+
+    def copy(self) -> "Schema":
+        return Schema(self)
+
+    def __str__(self) -> str:
+        return "\n".join(str(f) for f in self)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._functions.values())!r})"

@@ -1,0 +1,99 @@
+"""Text format for conceptual schemas, matching the paper's notation.
+
+The paper prints function definitions as::
+
+    grade: [student; course] -> letter_grade; (many - one)
+    teach: faculty -> course
+
+(Table 1 and Section 2.1; the arrow appears in the paper as a unicode
+right arrow, rendered here as ``->``. The type functionality annotation
+is optional and defaults to many-many, the weakest assumption.)
+
+:func:`parse_schema` reads a block of such lines (blank lines and ``#``
+comments ignored); :func:`format_schema` prints a schema back in the
+same notation, so the Table 1 bench can round-trip the paper's figure.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+
+__all__ = ["parse_function_def", "parse_schema", "format_schema"]
+
+_ARROW = re.compile(r"->|→")
+_FUNCTIONALITY = re.compile(
+    r";?\s*\(\s*(one|many)\s*-\s*(one|many)\s*\)\s*;?\s*$", re.IGNORECASE
+)
+
+
+def parse_function_def(text: str, line: int | None = None) -> FunctionDef:
+    """Parse one definition line.
+
+    >>> str(parse_function_def("cutoff: marks -> letter_grade; (many-one)"))
+    'cutoff: marks -> letter_grade; (many-one)'
+    """
+    stripped = text.strip().rstrip(";").strip()
+    if not stripped:
+        raise ParseError("empty function definition", line)
+
+    functionality = TypeFunctionality.MANY_MANY
+    match = _FUNCTIONALITY.search(text)
+    if match:
+        functionality = TypeFunctionality.parse(
+            f"{match.group(1)}-{match.group(2)}"
+        )
+        stripped = text[: match.start()].strip().rstrip(";").strip()
+
+    if ":" not in stripped:
+        raise ParseError(
+            f"missing ':' in function definition {text!r}", line
+        )
+    name, _, signature = stripped.partition(":")
+    name = name.strip()
+    if not name or not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        raise ParseError(f"bad function name {name!r}", line)
+
+    parts = _ARROW.split(signature)
+    if len(parts) != 2:
+        raise ParseError(
+            f"expected exactly one '->' in {text!r}", line
+        )
+    try:
+        domain = ObjectType.parse(parts[0])
+        range_ = ObjectType.parse(parts[1])
+    except ValueError as exc:
+        raise ParseError(str(exc), line) from exc
+    return FunctionDef(name, domain, range_, functionality)
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse a newline-separated block of function definitions.
+
+    Lines may be numbered in the Table 1 style (``1. grade: ...``);
+    leading enumeration, blank lines and ``#`` comments are ignored.
+    """
+    schema = Schema()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        stripped = re.sub(r"^\d+\.\s*", "", stripped)
+        schema.add(parse_function_def(stripped, line=number))
+    return schema
+
+
+def format_schema(schema: Schema, *, numbered: bool = False) -> str:
+    """Render a schema in the paper's notation.
+
+    With ``numbered=True`` the output matches Table 1's enumerated
+    layout.
+    """
+    lines = []
+    for index, function in enumerate(schema, start=1):
+        prefix = f"{index}. " if numbered else ""
+        lines.append(prefix + str(function))
+    return "\n".join(lines)

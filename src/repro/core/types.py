@@ -1,0 +1,239 @@
+"""Object types and the type-functionality algebra.
+
+The paper models a functional database as a set of *object types* together
+with functions ``F: alpha -> beta`` between them. Functions are in general
+multi-valued mappings, and each carries a *type functionality* describing
+the nature of the mapping: one-one, one-many, many-one or many-many
+(Section 2.1).
+
+We represent a type functionality as a pair of :class:`Multiplicity`
+components:
+
+``src_per_tgt``
+    how many domain objects may map to a single range object;
+
+``tgt_per_src``
+    how many range objects a single domain object may map to.
+
+Under this encoding the paper's names read naturally: ``cutoff: marks ->
+letter_grade`` is *many-one* — many marks per letter grade
+(``src_per_tgt = MANY``), one letter grade per mark
+(``tgt_per_src = ONE``).
+
+The paper composes type functionalities along paths of the function graph
+("the type functionality of a path is the composition of the type
+functionality of the edges in the path"). Composition here is the natural
+worst-case rule: a component of the composite is ONE only when the
+corresponding components of both factors are ONE; MANY is absorbing.
+This makes ``(TypeFunctionality, compose)`` a commutative idempotent
+monoid with identity ``ONE_ONE`` and with ``inverse`` an involution that
+anti-commutes with composition — small algebraic laws the test suite
+checks exhaustively and by property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+__all__ = [
+    "Multiplicity",
+    "TypeFunctionality",
+    "ObjectType",
+    "product_type",
+    "compose_functionalities",
+]
+
+
+class Multiplicity(enum.Enum):
+    """How many objects on one side of a mapping may pair with one object
+    on the other side."""
+
+    ONE = "one"
+    MANY = "many"
+
+    def join(self, other: "Multiplicity") -> "Multiplicity":
+        """Worst-case combination: MANY absorbs."""
+        if self is Multiplicity.MANY or other is Multiplicity.MANY:
+            return Multiplicity.MANY
+        return Multiplicity.ONE
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class TypeFunctionality:
+    """The four mapping natures of the paper, as a pair of multiplicities.
+
+    >>> TypeFunctionality.parse("many-one").inverse()
+    TypeFunctionality.ONE_MANY
+    >>> TypeFunctionality.MANY_ONE.compose(TypeFunctionality.MANY_ONE)
+    TypeFunctionality.MANY_ONE
+    """
+
+    src_per_tgt: Multiplicity
+    tgt_per_src: Multiplicity
+
+    # The four canonical instances are attached to the class after its
+    # definition (``TypeFunctionality.MANY_ONE`` etc.) so user code never
+    # needs to build one from components.
+    ONE_ONE: ClassVar["TypeFunctionality"]
+    ONE_MANY: ClassVar["TypeFunctionality"]
+    MANY_ONE: ClassVar["TypeFunctionality"]
+    MANY_MANY: ClassVar["TypeFunctionality"]
+
+    def compose(self, other: "TypeFunctionality") -> "TypeFunctionality":
+        """Type functionality of ``self`` followed by ``other``.
+
+        If ``f: A -> B`` has functionality ``self`` and ``g: B -> C`` has
+        ``other``, the composite mapping ``f o g: A -> C`` (the paper's
+        ``x:(f o g) = (x:f):g``) has the returned functionality. The rule
+        is componentwise worst case: the composite maps a source to a
+        single target only when both stages do, and a target is reached
+        from a single source only when both stages are injective in that
+        sense.
+        """
+        return TypeFunctionality(
+            self.src_per_tgt.join(other.src_per_tgt),
+            self.tgt_per_src.join(other.tgt_per_src),
+        )
+
+    def inverse(self) -> "TypeFunctionality":
+        """Type functionality of the inverse mapping (components swap)."""
+        return TypeFunctionality(self.tgt_per_src, self.src_per_tgt)
+
+    @property
+    def is_single_valued(self) -> bool:
+        """True when each domain object maps to at most one range object.
+
+        In Section 5 the paper notes that "the type functional information
+        indicates relevant functional dependencies": a single-valued
+        function is exactly a functional dependency from its domain to its
+        range, which :mod:`repro.fdb.constraints` exploits to resolve
+        null values.
+        """
+        return self.tgt_per_src is Multiplicity.ONE
+
+    @property
+    def is_injective(self) -> bool:
+        """True when each range object is mapped to by at most one domain
+        object."""
+        return self.src_per_tgt is Multiplicity.ONE
+
+    @classmethod
+    def parse(cls, text: str) -> "TypeFunctionality":
+        """Parse the paper's notation, e.g. ``"many-one"`` or
+        ``"many - many"``. Case-insensitive; interior whitespace ignored.
+        """
+        normalized = "".join(text.split()).lower()
+        try:
+            src, tgt = normalized.split("-")
+            return cls(Multiplicity(src), Multiplicity(tgt))
+        except ValueError:
+            raise ValueError(
+                f"not a type functionality: {text!r} "
+                "(expected e.g. 'many-one')"
+            ) from None
+
+    @staticmethod
+    def all() -> tuple["TypeFunctionality", ...]:
+        """The four possible type functionalities, in a fixed order."""
+        return (
+            TypeFunctionality.ONE_ONE,
+            TypeFunctionality.ONE_MANY,
+            TypeFunctionality.MANY_ONE,
+            TypeFunctionality.MANY_MANY,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.src_per_tgt}-{self.tgt_per_src}"
+
+    def __repr__(self) -> str:
+        name = f"{self.src_per_tgt.name}_{self.tgt_per_src.name}"
+        return f"TypeFunctionality.{name}"
+
+
+# Canonical instances.
+TypeFunctionality.ONE_ONE = TypeFunctionality(Multiplicity.ONE, Multiplicity.ONE)
+TypeFunctionality.ONE_MANY = TypeFunctionality(Multiplicity.ONE, Multiplicity.MANY)
+TypeFunctionality.MANY_ONE = TypeFunctionality(Multiplicity.MANY, Multiplicity.ONE)
+TypeFunctionality.MANY_MANY = TypeFunctionality(Multiplicity.MANY, Multiplicity.MANY)
+
+
+def compose_functionalities(
+    functionalities: Iterable[TypeFunctionality],
+) -> TypeFunctionality:
+    """Fold :meth:`TypeFunctionality.compose` over a sequence.
+
+    The empty sequence yields the identity ``ONE_ONE``, matching the
+    convention that an empty path is the identity mapping.
+    """
+    result = TypeFunctionality.ONE_ONE
+    for tf in functionalities:
+        result = result.compose(tf)
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectType:
+    """An object (entity) type: a node of the function graph.
+
+    The paper's schemas include *product* domains like
+    ``[student; course]`` (the domain of ``grade`` in Table 1). A product
+    type is a single object type whose ``components`` record the factor
+    names; two product types are equal iff their component sequences are
+    equal. Simple types have an empty ``components`` tuple.
+    """
+
+    name: str
+    components: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("object type name must be non-empty")
+
+    @property
+    def is_product(self) -> bool:
+        return bool(self.components)
+
+    @classmethod
+    def parse(cls, text: str) -> "ObjectType":
+        """Parse a type name, accepting the paper's product syntax.
+
+        >>> ObjectType.parse("marks")
+        ObjectType('marks')
+        >>> ObjectType.parse("[student; course]")
+        ObjectType('[student; course]')
+        """
+        text = text.strip()
+        if text.startswith("[") and text.endswith("]"):
+            parts = tuple(
+                part.strip() for part in text[1:-1].split(";") if part.strip()
+            )
+            if not parts:
+                raise ValueError(f"empty product type: {text!r}")
+            return product_type(*parts)
+        if not text:
+            raise ValueError("empty object type name")
+        return cls(text)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"ObjectType({self.name!r})"
+
+
+def product_type(*components: str) -> ObjectType:
+    """Build a product object type from component names.
+
+    The canonical name matches the paper's notation:
+    ``product_type("student", "course")`` prints as
+    ``[student; course]``.
+    """
+    if not components:
+        raise ValueError("a product type needs at least one component")
+    name = "[" + "; ".join(components) + "]"
+    return ObjectType(name, tuple(components))

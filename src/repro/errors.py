@@ -1,0 +1,130 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the engine can catch one type. The subclasses mirror the
+layers of the system: schema-level errors, function-graph errors, update
+errors, and language errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownFunctionError",
+    "UnknownTypeError",
+    "DuplicateFunctionError",
+    "DerivationError",
+    "GraphError",
+    "DesignError",
+    "UpdateError",
+    "ConstraintViolation",
+    "NotABaseFunctionError",
+    "NotADerivedFunctionError",
+    "TransactionError",
+    "PersistenceError",
+    "ParseError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema-level inconsistency (bad definition, bad reference)."""
+
+
+class UnknownFunctionError(SchemaError):
+    """A function name was referenced that is not in the schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown function: {name!r}")
+        self.name = name
+
+
+class UnknownTypeError(SchemaError):
+    """An object type was referenced that is not in the schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown object type: {name!r}")
+        self.name = name
+
+
+class DuplicateFunctionError(SchemaError):
+    """Two function definitions share a name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"duplicate function definition: {name!r}")
+        self.name = name
+
+
+class DerivationError(ReproError):
+    """A derivation is malformed (steps do not chain, wrong endpoints...)."""
+
+
+class GraphError(ReproError):
+    """A function-graph operation failed (missing edge, bad path...)."""
+
+
+class DesignError(ReproError):
+    """An on-line design session was driven incorrectly."""
+
+
+class UpdateError(ReproError):
+    """An update could not be carried out."""
+
+
+class ConstraintViolation(UpdateError):
+    """An update would violate a declared constraint.
+
+    Carries the constraint description so tools can report it.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
+class NotABaseFunctionError(UpdateError):
+    """A base-only operation was attempted on a derived function."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"{name!r} is a derived function, not a base function")
+        self.name = name
+
+
+class NotADerivedFunctionError(UpdateError):
+    """A derived-only operation was attempted on a base function."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"{name!r} is a base function, not a derived function")
+        self.name = name
+
+
+class TransactionError(ReproError):
+    """Transaction misuse (nested begin, commit without begin...)."""
+
+
+class PersistenceError(ReproError):
+    """A snapshot could not be written or read back."""
+
+
+class ParseError(ReproError):
+    """The surface language could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        position = ""
+        if line is not None:
+            position = f" at line {line}"
+            if column is not None:
+                position += f", column {column}"
+        super().__init__(message + position)
+        self.line = line
+        self.column = column

@@ -1,0 +1,115 @@
+"""Quantifying ambiguity.
+
+Section 5: "In the presence of excessive ambiguous information it is
+desirable to quantify the degree of ambiguity." This module provides
+that quantification: counts of ambiguous stored facts, live NCs and
+nulls in circulation, plus a per-derived-function breakdown of how much
+of the visible extension is ambiguous.
+
+The *degree of ambiguity* of a function is the fraction of its visible
+facts that are ambiguous; the database-level degree aggregates base and
+derived extensions. The FD-resolution ablation bench (E11) uses these
+numbers to show how much ambiguity
+:func:`repro.fdb.constraints.resolve_nulls` removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.logic import Truth
+from repro.fdb.values import is_null
+
+__all__ = ["FunctionAmbiguity", "AmbiguityReport", "measure"]
+
+
+@dataclass(frozen=True)
+class FunctionAmbiguity:
+    """Ambiguity breakdown of one function's visible extension."""
+
+    name: str
+    kind: str  # "base" | "derived"
+    total_facts: int
+    ambiguous_facts: int
+
+    @property
+    def degree(self) -> float:
+        """Fraction of visible facts that are ambiguous (0.0 for an
+        empty extension)."""
+        if self.total_facts == 0:
+            return 0.0
+        return self.ambiguous_facts / self.total_facts
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.kind}): {self.ambiguous_facts}/"
+            f"{self.total_facts} ambiguous ({self.degree:.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class AmbiguityReport:
+    """Database-wide ambiguity metrics."""
+
+    functions: tuple[FunctionAmbiguity, ...]
+    nc_count: int
+    null_count: int
+
+    @property
+    def total_facts(self) -> int:
+        return sum(f.total_facts for f in self.functions)
+
+    @property
+    def ambiguous_facts(self) -> int:
+        return sum(f.ambiguous_facts for f in self.functions)
+
+    @property
+    def degree(self) -> float:
+        if self.total_facts == 0:
+            return 0.0
+        return self.ambiguous_facts / self.total_facts
+
+    def per_function(self, name: str) -> FunctionAmbiguity:
+        for entry in self.functions:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        lines = [
+            f"degree of ambiguity: {self.degree:.1%} "
+            f"({self.ambiguous_facts}/{self.total_facts} facts); "
+            f"{self.nc_count} NCs, {self.null_count} nulls"
+        ]
+        lines.extend(f"  {entry}" for entry in self.functions)
+        return "\n".join(lines)
+
+
+def measure(db: FunctionalDatabase) -> AmbiguityReport:
+    """Measure the current degree of ambiguity of a database."""
+    entries: list[FunctionAmbiguity] = []
+    nulls: set = set()
+    for name in db.base_names:
+        table = db.table(name)
+        ambiguous = 0
+        for fact in table.facts():
+            if fact.truth is Truth.AMBIGUOUS:
+                ambiguous += 1
+            if is_null(fact.x):
+                nulls.add(fact.x)
+            if is_null(fact.y):
+                nulls.add(fact.y)
+        entries.append(
+            FunctionAmbiguity(name, "base", len(table), ambiguous)
+        )
+    for name in db.derived_names:
+        extension = derived_extension(db, name)
+        ambiguous = sum(
+            1 for truth in extension.values() if truth is Truth.AMBIGUOUS
+        )
+        entries.append(
+            FunctionAmbiguity(name, "derived", len(extension), ambiguous)
+        )
+    return AmbiguityReport(tuple(entries), len(db.ncs), len(nulls))

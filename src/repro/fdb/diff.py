@@ -1,0 +1,113 @@
+"""Diffing database states.
+
+Updates on derived functions have deliberately indirect effects —
+flags flip, NCs appear, nulls materialize. A designer inspecting "what
+did that update actually do?" wants the delta, not two full table
+dumps. :func:`diff_snapshots` compares two persistence snapshots (the
+format the journal already stores), reporting:
+
+* facts added / removed, per function;
+* facts whose truth flag changed (T -> A or A -> T);
+* negated conjunctions created / dismantled.
+
+:meth:`repro.fdb.journal.Journal` exposes this as
+``change_of(index)`` / ``last_change()`` — and the surface language as
+the ``changes`` statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fdb.persistence import _decode_value
+
+__all__ = ["StateDiff", "diff_snapshots"]
+
+
+@dataclass(frozen=True)
+class StateDiff:
+    """The delta between two instance states."""
+
+    added: tuple[tuple[str, tuple, str], ...]          # (fn, pair, flag)
+    removed: tuple[tuple[str, tuple, str], ...]
+    flag_changes: tuple[tuple[str, tuple, str, str], ...]  # old, new
+    ncs_created: tuple[str, ...]
+    ncs_dismantled: tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.flag_changes
+                    or self.ncs_created or self.ncs_dismantled)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "(no changes)"
+        lines = []
+        for function, pair, flag in self.added:
+            lines.append(f"+ <{function}, {pair[0]}, {pair[1]}> [{flag}]")
+        for function, pair, flag in self.removed:
+            lines.append(f"- <{function}, {pair[0]}, {pair[1]}> [{flag}]")
+        for function, pair, old, new in self.flag_changes:
+            lines.append(
+                f"~ <{function}, {pair[0]}, {pair[1]}> {old} -> {new}"
+            )
+        for nc in self.ncs_created:
+            lines.append(f"+ NC {nc}")
+        for nc in self.ncs_dismantled:
+            lines.append(f"- NC {nc}")
+        return "\n".join(lines)
+
+
+def _facts_of(snapshot: dict) -> dict[tuple[str, tuple], str]:
+    facts: dict[tuple[str, tuple], str] = {}
+    for entry in snapshot["base"]:
+        function = entry["definition"]["name"]
+        for fact in entry["facts"]:
+            pair = (
+                _decode_value(fact["x"]), _decode_value(fact["y"])
+            )
+            facts[(function, pair)] = fact["flag"]
+    return facts
+
+
+def _ncs_of(snapshot: dict) -> dict[int, str]:
+    result = {}
+    for entry in snapshot["ncs"]:
+        members = " AND ".join(
+            f"<{m['function']}, {_decode_value(m['x'])}, "
+            f"{_decode_value(m['y'])}>"
+            for m in entry["members"]
+        )
+        result[entry["index"]] = f"g{entry['index']}: NOT({members})"
+    return result
+
+
+def diff_snapshots(before: dict, after: dict) -> StateDiff:
+    """Compare two :func:`repro.fdb.persistence.to_dict` snapshots."""
+    old_facts = _facts_of(before)
+    new_facts = _facts_of(after)
+    added = tuple(
+        (function, pair, flag)
+        for (function, pair), flag in new_facts.items()
+        if (function, pair) not in old_facts
+    )
+    removed = tuple(
+        (function, pair, flag)
+        for (function, pair), flag in old_facts.items()
+        if (function, pair) not in new_facts
+    )
+    flag_changes = tuple(
+        (function, pair, old_flag, new_facts[(function, pair)])
+        for (function, pair), old_flag in old_facts.items()
+        if (function, pair) in new_facts
+        and new_facts[(function, pair)] != old_flag
+    )
+    old_ncs = _ncs_of(before)
+    new_ncs = _ncs_of(after)
+    created = tuple(
+        text for index, text in new_ncs.items() if index not in old_ncs
+    )
+    dismantled = tuple(
+        text for index, text in old_ncs.items() if index not in new_ncs
+    )
+    return StateDiff(added, removed, flag_changes, created, dismantled)

@@ -1,0 +1,249 @@
+"""Chain enumeration and truth valuation of derived facts.
+
+Section 3.2 defines how the truth value of a derived fact follows from
+the stored base facts:
+
+    "A derived fact can be obtained by composing a chain of base facts
+    if adjacent pairs of facts in the chain match. ... A chain of base
+    facts matches exactly if each adjacent pair of facts match exactly.
+    A derived fact is true if it is obtained from a chain of true base
+    facts which matches exactly. It is ambiguous if it can be obtained
+    from a chain of base facts which is not a superset of a NC and each
+    chain of base facts from which it can be obtained either does not
+    match exactly or contains at least one ambiguous fact. A derived
+    fact is false if it is neither true nor ambiguous."
+
+A :class:`Chain` is one sequence of stored facts, one per derivation
+step (facts of inverted steps are traversed range-to-domain). The fact
+*obtained* from a chain has the chain's endpoint values; endpoints are
+therefore matched exactly, while adjacent interior values may match
+exactly or ambiguously (through nulls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.derivation import Derivation, Op
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.facts import Fact, FactRef
+from repro.fdb.logic import Truth
+from repro.fdb.values import Value
+
+__all__ = [
+    "Chain",
+    "iter_chains",
+    "truth_of",
+    "truth_of_derived",
+    "derived_extension",
+    "derived_image",
+]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One chain of stored base facts realizing a derivation.
+
+    ``facts[i]`` comes from the table of ``derivation.steps[i]``'s
+    function; inverted steps use the fact backwards. ``all_exact``
+    records whether every adjacent pair matched exactly.
+    """
+
+    derivation: Derivation
+    facts: tuple[Fact, ...]
+    all_exact: bool
+
+    @property
+    def start(self) -> Value:
+        step = self.derivation.steps[0]
+        fact = self.facts[0]
+        return fact.y if step.op is Op.INVERSE else fact.x
+
+    @property
+    def end(self) -> Value:
+        step = self.derivation.steps[-1]
+        fact = self.facts[-1]
+        return fact.x if step.op is Op.INVERSE else fact.y
+
+    @property
+    def pair(self) -> tuple[Value, Value]:
+        """The derived fact this chain obtains."""
+        return (self.start, self.end)
+
+    @property
+    def all_true(self) -> bool:
+        return all(fact.truth is Truth.TRUE for fact in self.facts)
+
+    def conjuncts(self) -> list[tuple[str, Fact]]:
+        """(function name, fact) pairs — the Conj-list for create-NC."""
+        return [
+            (step.function.name, fact)
+            for step, fact in zip(self.derivation.steps, self.facts)
+        ]
+
+    @property
+    def refs(self) -> frozenset[FactRef]:
+        return frozenset(
+            fact.ref(step.function.name)
+            for step, fact in zip(self.derivation.steps, self.facts)
+        )
+
+    def is_known_false(self, db: FunctionalDatabase) -> bool:
+        """Whether this chain's conjunction is already negated: its fact
+        set is a superset of some live NC."""
+        candidates: set[int] = set()
+        for fact in self.facts:
+            candidates |= fact.ncl
+        if not candidates:
+            return False
+        return db.ncs.subset_of_some_nc(self.refs, candidates)
+
+    def supports(self, db: FunctionalDatabase) -> Truth:
+        """What this single chain contributes to its derived fact."""
+        if self.all_exact and self.all_true:
+            return Truth.TRUE
+        if self.is_known_false(db):
+            return Truth.FALSE
+        return Truth.AMBIGUOUS
+
+    def __str__(self) -> str:
+        parts = [
+            f"<{step.function.name}, {fact.x}, {fact.y}>"
+            for step, fact in zip(self.derivation.steps, self.facts)
+        ]
+        return " . ".join(parts)
+
+
+def iter_chains(
+    db: FunctionalDatabase,
+    derivation: Derivation,
+    x: Value | None = None,
+    y: Value | None = None,
+    *,
+    allow_ambiguous: bool = True,
+) -> Iterator[Chain]:
+    """Enumerate chains of stored facts realizing ``derivation``.
+
+    ``x``/``y`` fix the chain endpoints (matched exactly, per the
+    definition of the obtained fact). ``allow_ambiguous=False``
+    restricts to exactly-matching chains — the ones whose conjunction
+    implies the derived fact, which is what ``derived-delete`` negates.
+    """
+    steps = derivation.steps
+
+    def candidates(index: int, current: Value | None) -> Iterator[tuple[Fact, bool]]:
+        step = steps[index]
+        table = db.table(step.function.name)
+        inverse = step.op is Op.INVERSE
+        if index == 0:
+            if x is None:
+                for fact in table.facts():
+                    yield fact, True
+            elif inverse:
+                for fact in table.facts_with_y(x):
+                    yield fact, True
+            else:
+                for fact in table.facts_with_x(x):
+                    yield fact, True
+            return
+        exact, ambiguous = (
+            table.matching_y(current) if inverse else table.matching_x(current)
+        )
+        for fact in exact:
+            yield fact, True
+        if allow_ambiguous:
+            for fact in ambiguous:
+                yield fact, False
+
+    def extend(
+        index: int,
+        facts: tuple[Fact, ...],
+        current: Value | None,
+        all_exact: bool,
+    ) -> Iterator[Chain]:
+        if index == len(steps):
+            yield Chain(derivation, facts, all_exact)
+            return
+        step = steps[index]
+        inverse = step.op is Op.INVERSE
+        last = index == len(steps) - 1
+        for fact, exact_match in candidates(index, current):
+            effective_end = fact.x if inverse else fact.y
+            if last and y is not None and effective_end != y:
+                continue
+            yield from extend(
+                index + 1,
+                facts + (fact,),
+                effective_end,
+                all_exact and exact_match,
+            )
+
+    yield from extend(0, (), None, True)
+
+
+def truth_of_derived(
+    db: FunctionalDatabase, name: str, x: Value, y: Value
+) -> Truth:
+    """Section 3.2 truth valuation of the derived fact ``name(x) = y``,
+    considering every confirmed derivation of the function."""
+    derived = db.derived(name)
+    ambiguous_found = False
+    for derivation in derived.derivations:
+        for chain in iter_chains(db, derivation, x, y):
+            support = chain.supports(db)
+            if support is Truth.TRUE:
+                return Truth.TRUE
+            if support is Truth.AMBIGUOUS:
+                ambiguous_found = True
+    return Truth.AMBIGUOUS if ambiguous_found else Truth.FALSE
+
+
+def truth_of(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Truth:
+    """Truth of any fact: stored flag (or FALSE) for base functions,
+    chain valuation for derived ones."""
+    if db.is_base(name):
+        return db.table(name).truth_of(x, y)
+    return truth_of_derived(db, name, x, y)
+
+
+def _accumulate(
+    db: FunctionalDatabase,
+    chains: Iterator[Chain],
+    into: dict[tuple[Value, Value], Truth],
+) -> None:
+    for chain in chains:
+        support = chain.supports(db)
+        if support is Truth.FALSE:
+            continue
+        pair = chain.pair
+        current = into.get(pair, Truth.FALSE)
+        if support > current:
+            into[pair] = support
+
+
+def derived_extension(
+    db: FunctionalDatabase, name: str
+) -> dict[tuple[Value, Value], Truth]:
+    """All derivable facts of a derived function with their truth
+    values (false facts are absent — they are simply not derivable).
+
+    This is what the paper prints as the Pupil column of the Section 4.2
+    tables, ambiguous facts starred.
+    """
+    derived = db.derived(name)
+    result: dict[tuple[Value, Value], Truth] = {}
+    for derivation in derived.derivations:
+        _accumulate(db, iter_chains(db, derivation), result)
+    return result
+
+
+def derived_image(
+    db: FunctionalDatabase, name: str, x: Value
+) -> dict[Value, Truth]:
+    """Range values of ``x`` under a derived function, with truths."""
+    derived = db.derived(name)
+    pairs: dict[tuple[Value, Value], Truth] = {}
+    for derivation in derived.derivations:
+        _accumulate(db, iter_chains(db, derivation, x=x), pairs)
+    return {y: truth for (_, y), truth in pairs.items()}

@@ -1,0 +1,85 @@
+"""Fact quadruples.
+
+Section 4: "a fact f(a) = b along with the relevant information is
+stored in the form of a quadruple <a, b, T/A, NCL> in the table
+corresponding to f". :class:`Fact` is that quadruple; the pair (a, b)
+is immutable while the truth flag and the NCL (the set of indices of
+the negated conjunctions the fact belongs to) mutate under updates.
+
+:class:`FactRef` names a fact globally — function name plus pair — and
+is what :class:`repro.fdb.nc.NegatedConjunction` stores, giving the
+NC -> fact half of the dual traversal structure (the fact's NCL is the
+other half).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fdb.logic import Truth
+from repro.fdb.values import Value
+
+__all__ = ["Fact", "FactRef"]
+
+
+@dataclass(frozen=True, slots=True)
+class FactRef:
+    """A global name for a base fact: ``<function, x, y>``.
+
+    This is the paper's fact triple notation ``<f, a, b>`` denoting
+    ``f(a) = b``.
+    """
+
+    function: str
+    x: Value
+    y: Value
+
+    @property
+    def pair(self) -> tuple[Value, Value]:
+        return (self.x, self.y)
+
+    def __str__(self) -> str:
+        return f"<{self.function}, {self.x}, {self.y}>"
+
+
+@dataclass(slots=True, eq=False)
+class Fact:
+    """A stored fact quadruple ``<x, y, T/A, NCL>``.
+
+    Identity is by object (``eq=False``): the same pair may exist in
+    different tables, and a fact's mutable state must not leak into
+    hashing. Lookups go through :class:`repro.fdb.table.FunctionTable`.
+    """
+
+    x: Value
+    y: Value
+    truth: Truth = Truth.TRUE
+    ncl: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.truth is Truth.FALSE:
+            raise ValueError(
+                "false facts are not stored in the database "
+                "(absence denotes falsity)"
+            )
+
+    @property
+    def pair(self) -> tuple[Value, Value]:
+        return (self.x, self.y)
+
+    @property
+    def flag(self) -> str:
+        return self.truth.flag
+
+    def ref(self, function: str) -> FactRef:
+        return FactRef(function, self.x, self.y)
+
+    def ncl_text(self) -> str:
+        """The NCL as printed in the Section 4.2 tables: ``{}`` or
+        ``{g1, g2}``."""
+        if not self.ncl:
+            return "{}"
+        return "{" + ", ".join(f"g{d}" for d in sorted(self.ncl)) + "}"
+
+    def __str__(self) -> str:
+        return f"<{self.x}, {self.y}, {self.flag}, {self.ncl_text()}>"

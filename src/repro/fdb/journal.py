@@ -1,0 +1,181 @@
+"""Update journal: history, undo and redo.
+
+Section 3 treats a general update request as "a sequence of such simple
+updates"; a practical tool also needs to *revisit* that sequence — the
+design aid is interactive, and a designer who disagrees with an
+update's consequences (an unexpected NC, a surprising ambiguity) wants
+to step back. :class:`Journal` wraps a database and records every
+executed :class:`repro.fdb.updates.Update` together with the state
+snapshot preceding it, giving linear undo/redo.
+
+Undo restores the *entire instance state* (tables, NC registry, null
+counter), so the subtle artifacts of derived updates — dismantled NCs,
+burned null indices — revert exactly. Redo re-applies the recorded
+update against the restored state, which reproduces the original
+outcome bit for bit because null/NC index generation is deterministic
+from the restored counters.
+
+The journal covers updates only; schema changes reset it
+(:meth:`Journal.clear`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import UpdateError
+from repro.fdb import persistence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fdb.diff import StateDiff
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.nc import NCRegistry
+from repro.fdb.updates import (
+    Update,
+    UpdateSequence,
+    apply_sequence,
+    apply_update,
+)
+from repro.fdb.values import NullFactory
+
+__all__ = ["Journal"]
+
+
+def _snapshot(db: FunctionalDatabase) -> dict:
+    return persistence.to_dict(db)
+
+
+def _restore(db: FunctionalDatabase, snapshot: dict) -> None:
+    """Swap the instance state of ``db`` to ``snapshot`` in place.
+
+    The schema is assumed unchanged since the snapshot was taken — the
+    journal's contract.
+    """
+    fresh = persistence.from_dict(snapshot)
+    db._tables = {name: fresh.table(name) for name in fresh.base_names}
+    registry = NCRegistry(db.table, fresh.ncs.next_index)
+    registry._ncs = {nc.index: nc for nc in fresh.ncs}
+    db.ncs = registry
+    db.nulls = NullFactory(fresh.nulls.next_index)
+
+
+class Journal:
+    """Linear update history with undo/redo over one database."""
+
+    def __init__(self, db: FunctionalDatabase,
+                 max_depth: int = 1000) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.db = db
+        self.max_depth = max_depth
+        # Each entry: (update, snapshot-before-it).
+        self._done: list[tuple[Update, dict]] = []
+        self._undone: list[tuple[Update, dict]] = []
+
+    # -- executing ----------------------------------------------------------
+
+    def execute(self, update: Update | UpdateSequence) -> None:
+        """Apply ``update`` and record it; clears the redo stack.
+
+        An :class:`UpdateSequence` (a general update request) is
+        applied atomically and recorded as a *single* history entry, so
+        one undo reverts the whole request.
+        """
+        before = _snapshot(self.db)
+        if isinstance(update, UpdateSequence):
+            apply_sequence(self.db, update)
+        else:
+            apply_update(self.db, update)
+        self._done.append((update, before))
+        if len(self._done) > self.max_depth:
+            self._done.pop(0)
+        self._undone.clear()
+
+    def execute_all(self, updates: list[Update]) -> None:
+        for update in updates:
+            self.execute(update)
+
+    # -- navigating ------------------------------------------------------------
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._done)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._undone)
+
+    def undo(self) -> Update | UpdateSequence:
+        """Revert the most recent update (or whole sequence); returns
+        it."""
+        if not self._done:
+            raise UpdateError("nothing to undo")
+        update, before = self._done.pop()
+        self._undone.append((update, before))
+        _restore(self.db, before)
+        return update
+
+    def redo(self) -> Update | UpdateSequence:
+        """Re-apply the most recently undone update; returns it."""
+        if not self._undone:
+            raise UpdateError("nothing to redo")
+        update, before = self._undone.pop()
+        if isinstance(update, UpdateSequence):
+            apply_sequence(self.db, update)
+        else:
+            apply_update(self.db, update)
+        self._done.append((update, before))
+        return update
+
+    def undo_all(self) -> list[Update]:
+        """Revert to the state before the first recorded update."""
+        undone = []
+        while self.can_undo:
+            undone.append(self.undo())
+        return undone
+
+    # -- inspection -----------------------------------------------------------------
+
+    @property
+    def history(self) -> tuple[Update, ...]:
+        """The applied updates, oldest first."""
+        return tuple(update for update, _ in self._done)
+
+    @property
+    def redo_stack(self) -> tuple[Update, ...]:
+        """Undone updates eligible for redo, next-to-redo last."""
+        return tuple(update for update, _ in self._undone)
+
+    def clear(self) -> None:
+        """Forget all history (e.g. after a schema change)."""
+        self._done.clear()
+        self._undone.clear()
+
+    def describe(self) -> str:
+        lines = [f"{len(self._done)} applied, "
+                 f"{len(self._undone)} undone"]
+        for index, update in enumerate(self.history, start=1):
+            lines.append(f"  {index}. {update}")
+        return "\n".join(lines)
+
+    # -- change inspection ---------------------------------------------------------
+
+    def change_of(self, index: int) -> "StateDiff":
+        """The state delta the ``index``-th applied update produced
+        (1-based, as :meth:`describe` numbers them)."""
+        from repro.fdb.diff import diff_snapshots
+
+        if not 1 <= index <= len(self._done):
+            raise UpdateError(f"no applied update #{index}")
+        _, before = self._done[index - 1]
+        if index < len(self._done):
+            after = self._done[index][1]
+        else:
+            after = _snapshot(self.db)
+        return diff_snapshots(before, after)
+
+    def last_change(self) -> "StateDiff":
+        """The delta of the most recent applied update."""
+        if not self._done:
+            raise UpdateError("no updates applied yet")
+        return self.change_of(len(self._done))

@@ -1,0 +1,107 @@
+"""Three-valued logic.
+
+Section 3.2: "To capture such partial information we employ three-valued
+logic. In this logic a fact can be 'true', 'false', or 'ambiguous'."
+
+:class:`Truth` provides the three values with Kleene-style connectives
+(AMBIGUOUS plays the role of *unknown*) and the information ordering
+``FALSE < AMBIGUOUS < TRUE`` used when several chains derive the same
+fact and the strongest valuation wins.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+__all__ = ["Truth"]
+
+
+class Truth(enum.Enum):
+    """A three-valued truth value."""
+
+    TRUE = "true"
+    AMBIGUOUS = "ambiguous"
+    FALSE = "false"
+
+    # -- ordering (truth strength: FALSE < AMBIGUOUS < TRUE) ---------------
+
+    @property
+    def _rank(self) -> int:
+        return {"false": 0, "ambiguous": 1, "true": 2}[self.value]
+
+    def __lt__(self, other: "Truth") -> bool:
+        return self._rank < other._rank
+
+    def __le__(self, other: "Truth") -> bool:
+        return self._rank <= other._rank
+
+    def __gt__(self, other: "Truth") -> bool:
+        return self._rank > other._rank
+
+    def __ge__(self, other: "Truth") -> bool:
+        return self._rank >= other._rank
+
+    # -- Kleene connectives ---------------------------------------------------
+
+    def and_(self, other: "Truth") -> "Truth":
+        """Kleene conjunction: the weaker operand wins."""
+        return self if self._rank <= other._rank else other
+
+    def or_(self, other: "Truth") -> "Truth":
+        """Kleene disjunction: the stronger operand wins."""
+        return self if self._rank >= other._rank else other
+
+    def not_(self) -> "Truth":
+        if self is Truth.TRUE:
+            return Truth.FALSE
+        if self is Truth.FALSE:
+            return Truth.TRUE
+        return Truth.AMBIGUOUS
+
+    @staticmethod
+    def all_of(values: Iterable["Truth"]) -> "Truth":
+        """Kleene conjunction over a sequence (empty -> TRUE)."""
+        result = Truth.TRUE
+        for value in values:
+            result = result.and_(value)
+            if result is Truth.FALSE:
+                break
+        return result
+
+    @staticmethod
+    def any_of(values: Iterable["Truth"]) -> "Truth":
+        """Kleene disjunction over a sequence (empty -> FALSE)."""
+        result = Truth.FALSE
+        for value in values:
+            result = result.or_(value)
+            if result is Truth.TRUE:
+                break
+        return result
+
+    # -- the paper's truth flags -------------------------------------------------
+
+    @property
+    def flag(self) -> str:
+        """The stored truth flag: ``T`` for true, ``A`` for ambiguous.
+
+        Only facts present in the database carry a flag ("the truth
+        values of base facts existing in the database are indicated by
+        their logical state (true or ambiguous). Those not existing in
+        the database are false.").
+        """
+        if self is Truth.TRUE:
+            return "T"
+        if self is Truth.AMBIGUOUS:
+            return "A"
+        raise ValueError("false facts are not stored and have no flag")
+
+    @classmethod
+    def from_flag(cls, flag: str) -> "Truth":
+        try:
+            return {"T": cls.TRUE, "A": cls.AMBIGUOUS}[flag.upper()]
+        except KeyError:
+            raise ValueError(f"not a truth flag: {flag!r}") from None
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,252 @@
+"""JSON snapshots of a functional database.
+
+A snapshot captures everything needed to resume: the schema (object
+types including products, functionalities, base/derived split), the
+derivations of derived functions, every stored fact quadruple, the NC
+registry, and the null / NC index counters (so fresh indices stay
+unique across a save/load cycle).
+
+Supported data values are JSON atoms (str, int, float, bool, None),
+tuples of values (objects of product types), and
+:class:`repro.fdb.values.NullValue`. Values are encoded with explicit
+tags so e.g. the string ``"n1"`` never collides with the null ``n1``
+and tuples survive the round trip (JSON would otherwise turn them into
+lists).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import PersistenceError
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.facts import Fact, FactRef
+from repro.fdb.logic import Truth
+from repro.fdb.nc import NCRegistry, NegatedConjunction
+from repro.fdb.values import NullFactory, NullValue, Value
+
+__all__ = ["to_dict", "from_dict", "dumps", "loads", "save", "load"]
+
+_FORMAT = "repro-fdb-snapshot"
+_VERSION = 1
+
+
+# -- value encoding -------------------------------------------------------------
+
+
+def _encode_value(value: Value) -> Any:
+    if isinstance(value, NullValue):
+        return {"null": value.index}
+    if isinstance(value, tuple):
+        return {"tuple": [_encode_value(item) for item in value]}
+    if isinstance(value, bool) or value is None:
+        return {"atom": value}
+    if isinstance(value, (str, int, float)):
+        return {"atom": value}
+    raise PersistenceError(
+        f"value of type {type(value).__name__} cannot be persisted"
+    )
+
+
+def _decode_value(data: Any) -> Value:
+    if not isinstance(data, dict) or len(data) != 1:
+        raise PersistenceError(f"malformed value encoding: {data!r}")
+    if "null" in data:
+        return NullValue(data["null"])
+    if "tuple" in data:
+        return tuple(_decode_value(item) for item in data["tuple"])
+    if "atom" in data:
+        return data["atom"]
+    raise PersistenceError(f"malformed value encoding: {data!r}")
+
+
+# -- schema encoding ------------------------------------------------------------------
+
+
+def _encode_type(object_type: ObjectType) -> Any:
+    return {
+        "name": object_type.name,
+        "components": list(object_type.components),
+    }
+
+
+def _decode_type(data: Any) -> ObjectType:
+    return ObjectType(data["name"], tuple(data["components"]))
+
+
+def _encode_function(definition: FunctionDef) -> Any:
+    return {
+        "name": definition.name,
+        "domain": _encode_type(definition.domain),
+        "range": _encode_type(definition.range),
+        "functionality": str(definition.functionality),
+    }
+
+
+def _decode_function(data: Any) -> FunctionDef:
+    return FunctionDef(
+        data["name"],
+        _decode_type(data["domain"]),
+        _decode_type(data["range"]),
+        TypeFunctionality.parse(data["functionality"]),
+    )
+
+
+# -- snapshotting ------------------------------------------------------------------------
+
+
+def to_dict(db: FunctionalDatabase) -> dict:
+    """Snapshot a database into a JSON-serializable dict."""
+    base = []
+    for name in db.base_names:
+        table = db.table(name)
+        base.append({
+            "definition": _encode_function(db.schema[name]),
+            "facts": [
+                {
+                    "x": _encode_value(fact.x),
+                    "y": _encode_value(fact.y),
+                    "flag": fact.flag,
+                    "ncl": sorted(fact.ncl),
+                }
+                for fact in table.facts()
+            ],
+        })
+    derived = []
+    for function in db.derived_functions():
+        derived.append({
+            "definition": _encode_function(function.definition),
+            "derivations": [
+                [
+                    {"function": step.function.name, "op": step.op.value}
+                    for step in derivation
+                ]
+                for derivation in function.derivations
+            ],
+        })
+    ncs = [
+        {
+            "index": nc.index,
+            "members": [
+                {
+                    "function": ref.function,
+                    "x": _encode_value(ref.x),
+                    "y": _encode_value(ref.y),
+                }
+                for ref in nc.members
+            ],
+        }
+        for nc in db.ncs
+    ]
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "insert_mode": db.insert_mode,
+        "base": base,
+        "derived": derived,
+        "ncs": ncs,
+        "next_null_index": db.nulls.next_index,
+        "next_nc_index": db.ncs.next_index,
+    }
+
+
+def from_dict(data: dict) -> FunctionalDatabase:
+    """Rebuild a database from :func:`to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise PersistenceError("not a functional database snapshot")
+    if data.get("version") != _VERSION:
+        raise PersistenceError(
+            f"unsupported snapshot version {data.get('version')!r}"
+        )
+    db = FunctionalDatabase(insert_mode=data["insert_mode"])
+    for entry in data["base"]:
+        definition = _decode_function(entry["definition"])
+        table = db.declare_base(definition)
+        for fact_data in entry["facts"]:
+            table.add(Fact(
+                _decode_value(fact_data["x"]),
+                _decode_value(fact_data["y"]),
+                Truth.from_flag(fact_data["flag"]),
+                set(fact_data["ncl"]),
+            ))
+    for entry in data["derived"]:
+        definition = _decode_function(entry["definition"])
+        derivations = tuple(
+            Derivation(
+                Step(db.schema[step["function"]], Op(step["op"]))
+                for step in steps
+            )
+            for steps in entry["derivations"]
+        )
+        db.declare_derived(definition, derivations)
+    registry = NCRegistry(db.table, data["next_nc_index"])
+    for entry in data["ncs"]:
+        members = tuple(
+            FactRef(
+                m["function"], _decode_value(m["x"]), _decode_value(m["y"])
+            )
+            for m in entry["members"]
+        )
+        registry._ncs[entry["index"]] = NegatedConjunction(
+            entry["index"], members
+        )
+    db.ncs = registry
+    db.nulls = NullFactory(data["next_null_index"])
+    _check_consistency(db)
+    return db
+
+
+def _check_consistency(db: FunctionalDatabase) -> None:
+    """Verify the NC/NCL dual structure of a loaded snapshot."""
+    for nc in db.ncs:
+        for ref in nc.members:
+            fact = db.table(ref.function).get(ref.x, ref.y)
+            if fact is None:
+                raise PersistenceError(
+                    f"snapshot NC g{nc.index} references missing fact {ref}"
+                )
+            if nc.index not in fact.ncl:
+                raise PersistenceError(
+                    f"snapshot fact {ref} lacks NCL entry g{nc.index}"
+                )
+            if fact.truth is not Truth.AMBIGUOUS:
+                raise PersistenceError(
+                    f"snapshot NC member {ref} is not ambiguous"
+                )
+    for name in db.base_names:
+        for fact in db.table(name).facts():
+            for index in fact.ncl:
+                if index not in db.ncs:
+                    raise PersistenceError(
+                        f"snapshot fact <{name}, {fact.x}, {fact.y}> points "
+                        f"to missing NC g{index}"
+                    )
+
+
+def dumps(db: FunctionalDatabase, *, indent: int | None = 2) -> str:
+    return json.dumps(to_dict(db), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> FunctionalDatabase:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid snapshot JSON: {exc}") from exc
+    return from_dict(data)
+
+
+def save(db: FunctionalDatabase, path: str | Path) -> None:
+    Path(path).write_text(dumps(db), encoding="utf-8")
+
+
+def load(path: str | Path) -> FunctionalDatabase:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read snapshot: {exc}") from exc
+    return loads(text)

@@ -1,0 +1,160 @@
+"""Query facility over composition/inverse expressions.
+
+The philosophy of functional databases is "to provide a high level
+abstraction of the information content in the form of functions"
+(Section 1): querying means applying functions, their inverses and
+compositions. A :class:`Query` is such an expression tree:
+
+>>> pupil = fn("teach") * fn("class_list")        # doctest: +SKIP
+>>> pupil.image(db, "euclid")                      # doctest: +SKIP
+{'john': Truth.TRUE, 'bill': Truth.TRUE}
+>>> (~fn("teach")).pairs(db)                       # doctest: +SKIP
+
+``*`` composes (the paper's ``o``), ``~`` inverts. Expressions are
+*normalized* into derivations over base functions before evaluation —
+inverse distributes over composition and derived functions are expanded
+into their confirmed derivations — so query answers obey exactly the
+Section 3.2 truth valuation, negated conjunctions included.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.errors import DerivationError, SchemaError
+from repro.core.derivation import Derivation, Step
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.evaluate import _accumulate, iter_chains
+from repro.fdb.logic import Truth
+from repro.fdb.values import Value
+
+__all__ = ["Query", "fn"]
+
+_MAX_EXPANSIONS = 64
+
+
+class Query(abc.ABC):
+    """A functional query expression."""
+
+    # -- combinators ----------------------------------------------------------
+
+    def __mul__(self, other: "Query") -> "Query":
+        """Composition, the paper's ``o``: ``x:(f o g) = (x:f):g``."""
+        if not isinstance(other, Query):
+            return NotImplemented
+        return _Compose(self, other)
+
+    def __invert__(self) -> "Query":
+        """Inverse: ``~f`` is f^-1."""
+        return _Inverse(self)
+
+    def o(self, other: "Query") -> "Query":
+        """Alias for ``*`` matching the paper's notation."""
+        return self * other
+
+    def inverse(self) -> "Query":
+        return ~self
+
+    # -- normalization ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _expand(self, db: FunctionalDatabase) -> Iterator[Derivation]:
+        """Every base-function derivation denoted by this expression."""
+
+    def derivations(self, db: FunctionalDatabase) -> tuple[Derivation, ...]:
+        """Normalize against a database; raises :class:`SchemaError` when
+        the expression does not type-check (compositions whose interior
+        types do not chain)."""
+        expanded = tuple(self._expand(db))
+        if len(expanded) > _MAX_EXPANSIONS:
+            raise SchemaError(
+                "query expands to too many alternative derivations "
+                f"({len(expanded)} > {_MAX_EXPANSIONS})"
+            )
+        return expanded
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def pairs(self, db: FunctionalDatabase) -> dict[tuple[Value, Value], Truth]:
+        """The expression's extension: derivable pairs with truths
+        (false pairs absent)."""
+        result: dict[tuple[Value, Value], Truth] = {}
+        for derivation in self.derivations(db):
+            _accumulate(db, iter_chains(db, derivation), result)
+        return result
+
+    def image(self, db: FunctionalDatabase, x: Value) -> dict[Value, Truth]:
+        """Range values reached from ``x``, with truths."""
+        pairs: dict[tuple[Value, Value], Truth] = {}
+        for derivation in self.derivations(db):
+            _accumulate(db, iter_chains(db, derivation, x=x), pairs)
+        return {y: truth for (_, y), truth in pairs.items()}
+
+    def preimage(self, db: FunctionalDatabase, y: Value) -> dict[Value, Truth]:
+        """Domain values mapping to ``y``, with truths."""
+        return (~self).image(db, y)
+
+    def truth(self, db: FunctionalDatabase, x: Value, y: Value) -> Truth:
+        """Truth of ``expr(x) = y`` under the Section 3.2 valuation."""
+        ambiguous = False
+        for derivation in self.derivations(db):
+            for chain in iter_chains(db, derivation, x, y):
+                support = chain.supports(db)
+                if support is Truth.TRUE:
+                    return Truth.TRUE
+                if support is Truth.AMBIGUOUS:
+                    ambiguous = True
+        return Truth.AMBIGUOUS if ambiguous else Truth.FALSE
+
+
+class _Function(Query):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _expand(self, db: FunctionalDatabase) -> Iterator[Derivation]:
+        if db.is_base(self.name):
+            yield Derivation.of(Step(db.schema[self.name]))
+            return
+        yield from db.derived(self.name).derivations
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _Inverse(Query):
+    def __init__(self, inner: Query) -> None:
+        self.inner = inner
+
+    def _expand(self, db: FunctionalDatabase) -> Iterator[Derivation]:
+        for derivation in self.inner._expand(db):
+            yield derivation.inverted()
+
+    def __str__(self) -> str:
+        return f"({self.inner})^-1"
+
+
+class _Compose(Query):
+    def __init__(self, left: Query, right: Query) -> None:
+        self.left = left
+        self.right = right
+
+    def _expand(self, db: FunctionalDatabase) -> Iterator[Derivation]:
+        rights = tuple(self.right._expand(db))
+        for left in self.left._expand(db):
+            for right in rights:
+                try:
+                    yield left.then(right)
+                except DerivationError as exc:
+                    raise SchemaError(
+                        f"composition does not type-check: ({self.left}) o "
+                        f"({self.right}): {exc}"
+                    ) from exc
+
+    def __str__(self) -> str:
+        return f"{self.left} o {self.right}"
+
+
+def fn(name: str) -> Query:
+    """A query referencing one schema function by name."""
+    return _Function(name)

@@ -1,0 +1,172 @@
+"""Extensionally stored function tables.
+
+"Base functions are usually extensionally stored (i.e., stored
+internally as a table)" (Section 1). A :class:`FunctionTable` holds the
+fact quadruples of one base function, keyed by pair, with secondary
+indices by domain value and by range value (composition walks forward
+through the domain index and inverse steps walk the range index).
+
+Because chain matching needs to find not only the facts whose endpoint
+*equals* a value but also those that match it *ambiguously* (one side a
+null), the table additionally tracks which stored facts carry a null in
+each column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import UpdateError
+from repro.fdb.facts import Fact
+from repro.fdb.logic import Truth
+from repro.fdb.values import Value, is_null
+
+__all__ = ["FunctionTable"]
+
+
+class FunctionTable:
+    """The stored extension of one base function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._facts: dict[tuple[Value, Value], Fact] = {}
+        self._by_x: dict[Value, list[Fact]] = {}
+        self._by_y: dict[Value, list[Fact]] = {}
+        self._null_x: list[Fact] = []
+        self._null_y: list[Fact] = []
+
+    # -- row maintenance -----------------------------------------------------
+
+    def add(self, fact: Fact) -> Fact:
+        """Store a fact; the pair must not already be present."""
+        key = fact.pair
+        if key in self._facts:
+            raise UpdateError(
+                f"{self.name}: fact <{fact.x}, {fact.y}> already stored"
+            )
+        self._facts[key] = fact
+        self._by_x.setdefault(fact.x, []).append(fact)
+        self._by_y.setdefault(fact.y, []).append(fact)
+        if is_null(fact.x):
+            self._null_x.append(fact)
+        if is_null(fact.y):
+            self._null_y.append(fact)
+        return fact
+
+    def add_pair(self, x: Value, y: Value,
+                 truth: Truth = Truth.TRUE) -> Fact:
+        return self.add(Fact(x, y, truth))
+
+    def discard(self, x: Value, y: Value) -> Fact | None:
+        """Remove and return the fact for (x, y), or None if absent."""
+        fact = self._facts.pop((x, y), None)
+        if fact is None:
+            return None
+        self._by_x[x].remove(fact)
+        if not self._by_x[x]:
+            del self._by_x[x]
+        self._by_y[y].remove(fact)
+        if not self._by_y[y]:
+            del self._by_y[y]
+        if is_null(x):
+            self._null_x.remove(fact)
+        if is_null(y):
+            self._null_y.remove(fact)
+        return fact
+
+    # -- lookups -----------------------------------------------------------------
+
+    def get(self, x: Value, y: Value) -> Fact | None:
+        return self._facts.get((x, y))
+
+    def __contains__(self, pair: tuple[Value, Value]) -> bool:
+        return pair in self._facts
+
+    def facts(self) -> Iterator[Fact]:
+        """All stored facts, in insertion order."""
+        return iter(tuple(self._facts.values()))
+
+    def pairs(self) -> Iterator[tuple[Value, Value]]:
+        return iter(tuple(self._facts))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def facts_with_x(self, x: Value) -> tuple[Fact, ...]:
+        """Facts whose domain value equals ``x`` exactly."""
+        return tuple(self._by_x.get(x, ()))
+
+    def facts_with_y(self, y: Value) -> tuple[Fact, ...]:
+        """Facts whose range value equals ``y`` exactly."""
+        return tuple(self._by_y.get(y, ()))
+
+    def null_x_facts(self) -> tuple[Fact, ...]:
+        """Facts whose domain value is a null."""
+        return tuple(self._null_x)
+
+    def null_y_facts(self) -> tuple[Fact, ...]:
+        """Facts whose range value is a null."""
+        return tuple(self._null_y)
+
+    def image(self, x: Value) -> tuple[Value, ...]:
+        """Range values exactly paired with ``x``."""
+        return tuple(fact.y for fact in self._by_x.get(x, ()))
+
+    def preimage(self, y: Value) -> tuple[Value, ...]:
+        """Domain values exactly paired with ``y``."""
+        return tuple(fact.x for fact in self._by_y.get(y, ()))
+
+    def truth_of(self, x: Value, y: Value) -> Truth:
+        """Truth of the base fact (x, y): its flag if stored, else FALSE
+        ("those not existing in the database are false")."""
+        fact = self._facts.get((x, y))
+        return fact.truth if fact is not None else Truth.FALSE
+
+    # -- matching (Section 3.2) ---------------------------------------------------
+
+    def matching_x(self, value: Value) -> tuple[list[Fact], list[Fact]]:
+        """Facts whose domain value matches ``value``: a pair of lists,
+        (exact matches, ambiguous matches).
+
+        Ambiguous matches are facts with a null domain value different
+        from ``value``; when ``value`` itself is a null, every fact with
+        a different domain value matches ambiguously.
+        """
+        exact = list(self._by_x.get(value, ()))
+        if is_null(value):
+            ambiguous = [f for f in self._facts.values() if f.x != value]
+        else:
+            ambiguous = [f for f in self._null_x if f.x != value]
+        return exact, ambiguous
+
+    def matching_y(self, value: Value) -> tuple[list[Fact], list[Fact]]:
+        """Like :meth:`matching_x`, over the range column."""
+        exact = list(self._by_y.get(value, ()))
+        if is_null(value):
+            ambiguous = [f for f in self._facts.values() if f.y != value]
+        else:
+            ambiguous = [f for f in self._null_y if f.y != value]
+        return exact, ambiguous
+
+    # -- misc -----------------------------------------------------------------------
+
+    def copy(self) -> "FunctionTable":
+        clone = FunctionTable(self.name)
+        for fact in self._facts.values():
+            clone.add(Fact(fact.x, fact.y, fact.truth, set(fact.ncl)))
+        return clone
+
+    def rows(self) -> list[tuple[str, str, str, str]]:
+        """Printable rows (x, y, flag, ncl) in insertion order, as the
+        Section 4.2 tables show them."""
+        return [
+            (str(fact.x), str(fact.y), fact.flag, fact.ncl_text())
+            for fact in self._facts.values()
+        ]
+
+    def __str__(self) -> str:
+        header = f"{self.name}:"
+        body = "\n".join(
+            f"  {x} {y} {flag} {ncl}" for x, y, flag, ncl in self.rows()
+        )
+        return header + ("\n" + body if body else " (empty)")

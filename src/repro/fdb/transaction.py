@@ -1,0 +1,75 @@
+"""Atomic update sequences.
+
+The paper treats a general update request as "a sequence of such simple
+updates" (Section 3). :class:`Transaction` makes such a sequence atomic:
+it snapshots the instance state (tables, NC registry, null counter) on
+entry and restores it if the block raises — so a failed REP, or a
+multi-update request interrupted by a constraint violation, leaves no
+half-applied state behind.
+
+Snapshots copy the stored facts, which is O(instance); this favours
+simplicity and obvious correctness over write-ahead logging, and is
+plenty for the workloads the paper contemplates. Schema changes are not
+covered — transactions scope *updates*, not design actions.
+
+Note that rolling back swaps fresh table objects into the database:
+:class:`repro.fdb.table.FunctionTable` references obtained before the
+transaction are stale after a rollback; re-fetch through
+``db.table(name)``.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+
+from repro.errors import TransactionError
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.nc import NCRegistry
+from repro.fdb.values import NullFactory
+
+__all__ = ["Transaction"]
+
+
+class Transaction:
+    """Context manager restoring instance state on exception.
+
+    >>> with db.transaction():            # doctest: +SKIP
+    ...     db.delete("pupil", "euclid", "john")
+    ...     db.insert("pupil", "euclid", "bill")
+    """
+
+    def __init__(self, db: FunctionalDatabase) -> None:
+        self._db = db
+        self._snapshot: dict | None = None
+
+    def __enter__(self) -> "Transaction":
+        if self._snapshot is not None:
+            raise TransactionError("transaction already entered")
+        db = self._db
+        self._snapshot = {
+            "tables": {name: db.table(name).copy() for name in db.base_names},
+            "ncs": dict(db.ncs._ncs),
+            "nc_next": db.ncs.next_index,
+            "null_next": db.nulls.next_index,
+        }
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise TransactionError("transaction never entered")
+        self._snapshot = None
+        if exc_type is None:
+            return False
+        db = self._db
+        db._tables = snapshot["tables"]
+        registry = NCRegistry(db.table, snapshot["nc_next"])
+        registry._ncs = snapshot["ncs"]
+        db.ncs = registry
+        db.nulls = NullFactory(snapshot["null_next"])
+        return False  # re-raise

@@ -1,0 +1,205 @@
+"""Write-ahead logging and recovery.
+
+Base functions are "extensionally stored" (Section 1); a database that
+loses its extension on a crash is not stored at all. This module adds
+the classic durability pair on top of :mod:`repro.fdb.persistence`
+snapshots:
+
+* :class:`UpdateLog` — an append-only JSON-lines file of updates.
+  :class:`LoggedDatabase` wraps a database so every update is logged
+  *before* it is applied (write-ahead order); update application is
+  deterministic (null and NC indices come from persisted counters), so
+  replaying the log over the last snapshot reproduces the state
+  exactly — partial information included.
+
+* :func:`checkpoint` / :func:`recover` — write a snapshot and truncate
+  the log; rebuild a database from snapshot + log after a crash. A
+  torn final log line (the classic mid-write crash) is detected and
+  skipped, and recovery reports how many entries were applied and
+  whether a tear was found.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import PersistenceError
+from repro.fdb import persistence
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.persistence import _decode_value, _encode_value
+from repro.fdb.updates import (
+    Update,
+    UpdateSequence,
+    apply_sequence,
+    apply_update,
+)
+from repro.fdb.values import Value
+
+__all__ = ["UpdateLog", "LoggedDatabase", "checkpoint", "recover",
+           "RecoveryReport"]
+
+
+def _encode_update(update: Update) -> dict:
+    entry = {
+        "kind": update.kind,
+        "function": update.function,
+        "pair": [_encode_value(update.pair[0]),
+                 _encode_value(update.pair[1])],
+    }
+    if update.new_pair is not None:
+        entry["new_pair"] = [
+            _encode_value(update.new_pair[0]),
+            _encode_value(update.new_pair[1]),
+        ]
+    return entry
+
+
+def _decode_update(entry: dict) -> Update:
+    pair = tuple(_decode_value(item) for item in entry["pair"])
+    new_pair = None
+    if "new_pair" in entry:
+        new_pair = tuple(
+            _decode_value(item) for item in entry["new_pair"]
+        )
+    return Update(entry["kind"], entry["function"], pair, new_pair)
+
+
+def _encode_entry(update: Update | UpdateSequence) -> dict:
+    if isinstance(update, UpdateSequence):
+        return {
+            "kind": "SEQ",
+            "label": update.label,
+            "updates": [_encode_update(u) for u in update],
+        }
+    return _encode_update(update)
+
+
+def _decode_entry(entry: dict) -> Update | UpdateSequence:
+    if entry.get("kind") == "SEQ":
+        return UpdateSequence(
+            tuple(_decode_update(u) for u in entry["updates"]),
+            label=entry.get("label", ""),
+        )
+    return _decode_update(entry)
+
+
+class UpdateLog:
+    """Append-only JSON-lines log of updates."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, update: Update | UpdateSequence) -> None:
+        line = json.dumps(_encode_entry(update), sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def entries(self) -> Iterator[Update | UpdateSequence]:
+        """Logged entries in order; a torn final line is skipped (it
+        never committed). A torn line *before* valid entries means real
+        corruption and raises."""
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield _decode_entry(json.loads(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                if index == len(lines) - 1:
+                    return  # torn tail from a mid-write crash
+                raise PersistenceError(
+                    f"corrupt log entry at line {index + 1}: {exc}"
+                ) from exc
+
+    @property
+    def tail_is_torn(self) -> bool:
+        """Whether the last line fails to parse (crash signature)."""
+        if not self.path.exists():
+            return False
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines or not lines[-1].strip():
+            return False
+        try:
+            _decode_entry(json.loads(lines[-1]))
+            return False
+        except (json.JSONDecodeError, KeyError):
+            return True
+
+    def truncate(self) -> None:
+        self.path.write_text("", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+
+class LoggedDatabase:
+    """Write-ahead wrapper: log first, then apply.
+
+    Exposes the update front door of :class:`FunctionalDatabase`;
+    reads go straight to ``self.db``.
+    """
+
+    def __init__(self, db: FunctionalDatabase,
+                 log: UpdateLog | str | Path) -> None:
+        self.db = db
+        self.log = log if isinstance(log, UpdateLog) else UpdateLog(log)
+
+    def execute(self, update: Update | UpdateSequence) -> None:
+        self.log.append(update)
+        if isinstance(update, UpdateSequence):
+            apply_sequence(self.db, update)
+        else:
+            apply_update(self.db, update)
+
+    def insert(self, name: str, x: Value, y: Value) -> None:
+        self.execute(Update.ins(name, x, y))
+
+    def delete(self, name: str, x: Value, y: Value) -> None:
+        self.execute(Update.delete(name, x, y))
+
+    def replace(self, name: str, old: tuple[Value, Value],
+                new: tuple[Value, Value]) -> None:
+        self.execute(Update.rep(name, old, new))
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover` did."""
+
+    db: FunctionalDatabase
+    entries_applied: int
+    torn_tail: bool
+
+    def __str__(self) -> str:
+        tear = " (torn tail skipped)" if self.torn_tail else ""
+        return f"recovered: {self.entries_applied} log entries{tear}"
+
+
+def checkpoint(logged: LoggedDatabase,
+               snapshot_path: str | Path) -> None:
+    """Write a snapshot of the current state and truncate the log —
+    everything in the log is now folded into the snapshot."""
+    persistence.save(logged.db, snapshot_path)
+    logged.log.truncate()
+
+
+def recover(snapshot_path: str | Path,
+            log_path: str | Path) -> RecoveryReport:
+    """Rebuild a database: load the snapshot, replay the log over it."""
+    db = persistence.load(snapshot_path)
+    log = UpdateLog(log_path)
+    torn = log.tail_is_torn
+    applied = 0
+    for entry in log.entries():
+        if isinstance(entry, UpdateSequence):
+            apply_sequence(db, entry)
+        else:
+            apply_update(db, entry)
+        applied += 1
+    return RecoveryReport(db, applied, torn)

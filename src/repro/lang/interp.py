@@ -1,0 +1,605 @@
+"""Interpreter for the surface language.
+
+An :class:`Interpreter` owns a design session and (after ``commit``) a
+live :class:`repro.fdb.database.FunctionalDatabase`, and executes
+parsed statements against them, returning printable output lines.
+The REPL wraps it with an interactive designer; tests drive it with
+scripted or automatic designers.
+
+Lifecycle: ``add`` statements feed the design session; the first data
+statement after the last ``add`` triggers an implicit ``commit`` (with
+a notice), or ``commit`` may be issued explicitly. After a commit,
+further ``add`` statements start a *new* design round seeded with the
+existing catalog — committing again rebuilds the database schema and
+re-loads the surviving stored facts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConstraintViolation, DesignError, ReproError
+from repro.core.design_aid import AutoDesigner, Designer, DesignSession
+from repro.core.dot import design_to_dot
+from repro.fdb import persistence, worlds
+from repro.fdb.ambiguity import measure
+from repro.fdb.constraints import resolve_nulls
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.integrity import (
+    CardinalityConstraint,
+    ConstraintSet,
+    DomainConstraint,
+    InclusionDependency,
+)
+from repro.fdb.journal import Journal
+from repro.fdb.logic import Truth
+from repro.fdb.render import render_state
+from repro.fdb.updates import Update
+from repro.fdb.values import Value
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+__all__ = ["Interpreter", "HELP_TEXT"]
+
+HELP_TEXT = """\
+Design:
+  add <f>: <type> -> <type> [(one-one|one-many|many-one|many-many)]
+  design                 show base/derived split so far
+  retract <f>            withdraw a function from the design
+  minimal                AMS advisory: minimal schemas under the UFA
+  commit                 freeze the design into a live database
+Updates:
+  insert f(x, y)         INS(f, <x, y>)
+  delete f(x, y)         DEL(f, <x, y>)
+  replace f(x1, y1) with (x2, y2)
+  begin ... end | abort  atomic update sequence (one journal entry)
+  undo / redo / history  step through the update journal
+  changes                the state delta of the last update
+Queries:
+  show f | show all      paper-style tables (ambiguous facts flagged)
+  truth f(x, y)          three-valued truth of one fact
+  explain f(x, y)        the chains/flags/NCs behind the verdict
+  prob f(x, y)           probability under uniform possible worlds
+  default f(x, y)        truth under preferred-world defaults
+  query <expr>(x)        image of x;  expr uses 'o' and '^-1'
+  pairs <expr>           full extension of an expression
+  for each v in <type> [such that <expr>(v) = val and ...]
+      print <expr>, ...  Daplex-style entity loop
+Inspection:
+  ncs                    live negated conjunctions
+  metrics                degree-of-ambiguity report
+  worlds                 possible-worlds analysis (counts + marginals)
+Constraints:
+  constraint include f.domain in g.range
+  constraint range f.range 0 100
+  constraint card f per domain max 30
+  check                  audit the instance
+  guard on | off         auto-undo updates that violate constraints
+Maintenance:
+  resolve                FD-driven null resolution
+  save "path" / load "path"
+  source "path"          run a script file
+  schema "path"          add a paper-notation schema file
+  dot "path"             export the design as Graphviz DOT
+Values: names, numbers, "strings", and (a, b) tuples for product types."""
+
+
+class Interpreter:
+    """Executes surface-language statements.
+
+    Parameters
+    ----------
+    designer:
+        Drives Method 2.1 decisions for ``add`` statements and vets
+        derivations at ``commit``; defaults to :class:`AutoDesigner`.
+    on_notice:
+        Callback for incidental notices (implicit commits, cycle
+        reports); defaults to collecting them into the output.
+    """
+
+    def __init__(self, designer: Designer | None = None,
+                 on_notice: Callable[[str], None] | None = None) -> None:
+        self.designer = designer or AutoDesigner()
+        self.session = DesignSession(self.designer)
+        self.db: FunctionalDatabase | None = None
+        self.journal: Journal | None = None
+        self.constraints = ConstraintSet()
+        self.guard_enabled = False
+        self._pending: list[Update] | None = None  # open begin-block
+        self._design_dirty = False
+        self._notice = on_notice
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, text: str) -> list[str]:
+        """Parse and run a script; returns the output lines.
+
+        Errors abort the remainder of the script and are reported as an
+        ``error:`` line (the REPL keeps running; library callers who
+        want exceptions can use :meth:`run`).
+        """
+        output: list[str] = []
+        try:
+            for statement in parse_program(text):
+                output.extend(self.run(statement))
+        except ReproError as exc:
+            output.append(f"error: {exc}")
+        return output
+
+    def run(self, statement: ast.Statement) -> list[str]:
+        """Execute one parsed statement, raising on errors."""
+        handler = getattr(
+            self, f"_run_{type(statement).__name__.lower()}", None
+        )
+        if handler is None:
+            raise DesignError(
+                f"no handler for statement {type(statement).__name__}"
+            )
+        return handler(statement)
+
+    # -- design ------------------------------------------------------------------
+
+    def _run_addfunction(self, statement: ast.AddFunction) -> list[str]:
+        mark = len(self.session.log)
+        self.session.add(statement.function)
+        self._design_dirty = True
+        output = [f"added {statement.function}"]
+        for event in self.session.log[mark:]:
+            if event.kind == "cycle":
+                assert event.report is not None
+                output.append(event.report.describe())
+            elif event.kind == "removed":
+                output.append(
+                    f"  -> {event.function} classified as derived"
+                )
+            elif event.kind == "kept":
+                output.append("  -> cycle kept (no edge removed)")
+        return output
+
+    def _run_showdesign(self, statement: ast.ShowDesign) -> list[str]:
+        return self.session.finish().summary().splitlines()
+
+    def _run_source(self, statement: ast.Source) -> list[str]:
+        text = self._read_file(statement.path)
+        output = [f"sourcing {statement.path}"]
+        for parsed in parse_program(text):
+            output.extend(self.run(parsed))
+        return output
+
+    def _run_loadschema(self, statement: ast.LoadSchema) -> list[str]:
+        from repro.core.schema_text import parse_schema
+
+        text = self._read_file(statement.path)
+        output = [f"loading schema {statement.path}"]
+        for function in parse_schema(text):
+            output.extend(self.run(ast.AddFunction(function)))
+        return output
+
+    @staticmethod
+    def _read_file(path: str) -> str:
+        from pathlib import Path
+
+        from repro.errors import PersistenceError
+
+        try:
+            return Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise PersistenceError(f"cannot read {path}: {exc}") from exc
+
+    def _run_retract(self, statement: ast.Retract) -> list[str]:
+        function = self.session.retract(statement.function)
+        self._design_dirty = True
+        return [f"retracted {function}"]
+
+    def _run_minimal(self, statement: ast.Minimal) -> list[str]:
+        from repro.core.minimal_schema import all_minimal_schemas
+
+        catalog = self.session.catalog
+        if len(catalog) == 0:
+            return ["(no functions added yet)"]
+        schemas = all_minimal_schemas(catalog)
+        output = [
+            f"under the UFA, {len(catalog)} functions admit "
+            f"{len(schemas)} minimal schema(s):"
+        ]
+        for index, minimal in enumerate(schemas, start=1):
+            output.append(
+                f"  {index}. base = {{{', '.join(minimal.names)}}}"
+            )
+        output.append(
+            "(advisory only -- the UFA may not hold; your designer "
+            "decisions stand)"
+        )
+        return output
+
+    def _run_commit(self, statement: ast.Commit) -> list[str]:
+        return self._commit()
+
+    def _commit(self) -> list[str]:
+        outcome = self.session.finish()
+        new_db = FunctionalDatabase.from_design(outcome)
+        carried = 0
+        orphaned: list[str] = []
+        if self.db is not None:
+            # Carry forward surviving stored facts of unchanged base
+            # functions (a re-design keeps data where it can).
+            for name in self.db.base_names:
+                if name in new_db.base_names:
+                    for fact in self.db.table(name).facts():
+                        new_db.table(name).add_pair(
+                            fact.x, fact.y, fact.truth
+                        )
+                        carried += 1
+            # A function re-classified base -> derived keeps no table;
+            # report its stored facts that the new derivation cannot
+            # reproduce, so the designer can re-assert what matters.
+            for name in self.db.base_names:
+                if name in new_db.derived_names:
+                    for fact in self.db.table(name).facts():
+                        if new_db.truth_of(
+                            name, fact.x, fact.y
+                        ) is not Truth.TRUE:
+                            orphaned.append(
+                                f"<{name}, {fact.x}, {fact.y}>"
+                            )
+        self.db = new_db
+        self.journal = Journal(new_db)
+        self._design_dirty = False
+        lines = [
+            "committed: "
+            f"{len(outcome.base)} base, {len(outcome.derived)} derived"
+        ]
+        if carried:
+            lines.append(f"carried {carried} stored facts forward")
+        if orphaned:
+            lines.append(
+                f"warning: {len(orphaned)} stored facts of re-classified "
+                "functions are not derivable in the new design: "
+                + ", ".join(orphaned[:5])
+                + (" ..." if len(orphaned) > 5 else "")
+            )
+            lines.append(
+                "  (re-insert the ones that should hold; derived "
+                "inserts will materialize null-valued chains)"
+            )
+        return lines
+
+    def _require_db(self) -> tuple[FunctionalDatabase, list[str]]:
+        notices: list[str] = []
+        if self.db is None or self._design_dirty:
+            notices = ["(implicit commit)"] + self._commit()
+        assert self.db is not None
+        return self.db, notices
+
+    # -- updates --------------------------------------------------------------------
+
+    def _apply(self, update: Update) -> list[str]:
+        """Run one update through the journal, enforcing declared
+        constraints when the guard is on (violations undo the update).
+        Inside an open ``begin`` block the update is queued instead."""
+        if self._pending is not None:
+            self._pending.append(update)
+            return [f"queued: {update}"]
+        db, output = self._require_db()
+        assert self.journal is not None
+        self.journal.execute(update)
+        if self.guard_enabled:
+            violations = self.constraints.check(db)
+            if violations:
+                self.journal.undo()
+                raise ConstraintViolation(
+                    f"update {update} undone; it violates: "
+                    + "; ".join(str(v) for v in violations)
+                )
+        output.append(f"ok: {update}")
+        return output
+
+    def _run_insert(self, statement: ast.Insert) -> list[str]:
+        return self._apply(
+            Update.ins(statement.function, statement.x, statement.y)
+        )
+
+    def _run_delete(self, statement: ast.Delete) -> list[str]:
+        return self._apply(
+            Update.delete(statement.function, statement.x, statement.y)
+        )
+
+    def _run_replace(self, statement: ast.Replace) -> list[str]:
+        return self._apply(
+            Update.rep(statement.function, statement.old, statement.new)
+        )
+
+    def _run_undo(self, statement: ast.Undo) -> list[str]:
+        _, output = self._require_db()
+        assert self.journal is not None
+        undone = self.journal.undo()
+        output.append(f"undone: {undone}")
+        return output
+
+    def _run_redo(self, statement: ast.Redo) -> list[str]:
+        _, output = self._require_db()
+        assert self.journal is not None
+        redone = self.journal.redo()
+        output.append(f"redone: {redone}")
+        return output
+
+    def _run_begin(self, statement: ast.Begin) -> list[str]:
+        if self._pending is not None:
+            raise DesignError("a begin block is already open")
+        self._pending = []
+        return ["begin: collecting an atomic update sequence"]
+
+    def _run_end(self, statement: ast.End) -> list[str]:
+        if self._pending is None:
+            raise DesignError("no begin block is open")
+        pending, self._pending = self._pending, None
+        if not pending:
+            return ["end: empty sequence, nothing to do"]
+        from repro.fdb.updates import UpdateSequence
+
+        sequence = UpdateSequence(tuple(pending))
+        db, output = self._require_db()
+        assert self.journal is not None
+        self.journal.execute(sequence)
+        if self.guard_enabled:
+            violations = self.constraints.check(db)
+            if violations:
+                self.journal.undo()
+                raise ConstraintViolation(
+                    f"sequence undone; it violates: "
+                    + "; ".join(str(v) for v in violations)
+                )
+        output.append(f"ok: {sequence}")
+        return output
+
+    def _run_abort(self, statement: ast.Abort) -> list[str]:
+        if self._pending is None:
+            raise DesignError("no begin block is open")
+        count = len(self._pending)
+        self._pending = None
+        return [f"aborted: discarded {count} queued updates"]
+
+    def _run_history(self, statement: ast.History) -> list[str]:
+        _, output = self._require_db()
+        assert self.journal is not None
+        output.extend(self.journal.describe().splitlines())
+        return output
+
+    # -- queries --------------------------------------------------------------------------
+
+    def _run_truthquery(self, statement: ast.TruthQuery) -> list[str]:
+        db, output = self._require_db()
+        truth = db.truth_of(statement.function, statement.x, statement.y)
+        output.append(
+            f"{statement.function}({statement.x}) = {statement.y}: {truth}"
+        )
+        return output
+
+    def _run_imagequery(self, statement: ast.ImageQuery) -> list[str]:
+        db, output = self._require_db()
+        image = statement.query.image(db, statement.x)
+        if not image:
+            output.append("(empty)")
+            return output
+        for y, truth in image.items():
+            star = " *" if truth is Truth.AMBIGUOUS else ""
+            output.append(f"  {y}{star}")
+        return output
+
+    def _run_pairsquery(self, statement: ast.PairsQuery) -> list[str]:
+        db, output = self._require_db()
+        pairs = statement.query.pairs(db)
+        if not pairs:
+            output.append("(empty)")
+            return output
+        for (x, y), truth in pairs.items():
+            star = " *" if truth is Truth.AMBIGUOUS else ""
+            output.append(f"  <{x}, {y}>{star}")
+        return output
+
+    def _run_changes(self, statement: ast.Changes) -> list[str]:
+        _, output = self._require_db()
+        assert self.journal is not None
+        output.extend(self.journal.last_change().describe().splitlines())
+        return output
+
+    def _run_extent(self, statement: ast.Extent) -> list[str]:
+        db, output = self._require_db()
+        entities = db.extent(statement.type_name)
+        if not entities:
+            output.append(f"(no {statement.type_name} entities)")
+            return output
+        output.append(
+            f"{statement.type_name}: "
+            + ", ".join(str(e) for e in entities)
+        )
+        return output
+
+    def _run_explain(self, statement: ast.Explain) -> list[str]:
+        from repro.fdb.explain import explain
+
+        db, output = self._require_db()
+        explanation = explain(
+            db, statement.function, statement.x, statement.y
+        )
+        output.extend(explanation.describe().splitlines())
+        return output
+
+    def _run_foreach(self, statement: ast.ForEach) -> list[str]:
+        db, output = self._require_db()
+        entities = db.extent(statement.type_name)
+        if not entities:
+            output.append(
+                f"(no {statement.type_name} entities in the database)"
+            )
+            return output
+        shown = 0
+        for entity in entities:
+            if not all(
+                self._condition_holds(db, condition, entity)
+                for condition in statement.conditions
+            ):
+                continue
+            shown += 1
+            cells = []
+            for query in statement.prints:
+                image = query.image(db, entity)
+                rendered = ", ".join(
+                    f"{y}{'*' if truth is Truth.AMBIGUOUS else ''}"
+                    for y, truth in image.items()
+                ) or "-"
+                cells.append(f"{query} = {{{rendered}}}")
+            output.append(f"  {entity}: " + "; ".join(cells))
+        if shown == 0:
+            output.append("(no entities satisfy the conditions)")
+        return output
+
+    def _condition_holds(self, db, condition: ast.Condition,
+                         entity: Value) -> bool:
+        # '=' and 'contains' both ask: is value truly in the image?
+        return condition.query.truth(
+            db, entity, condition.value
+        ) is Truth.TRUE
+
+    def _run_show(self, statement: ast.Show) -> list[str]:
+        db, output = self._require_db()
+        if statement.function is None:
+            output.extend(render_state(db).splitlines())
+            return output
+        name = statement.function
+        if db.is_base(name):
+            output.extend(render_state(db, (name,), ()).splitlines())
+        else:
+            output.extend(render_state(db, (), (name,)).splitlines())
+        return output
+
+    def _run_showncs(self, statement: ast.ShowNCs) -> list[str]:
+        db, output = self._require_db()
+        output.extend(str(db.ncs).splitlines())
+        return output
+
+    def _run_metrics(self, statement: ast.Metrics) -> list[str]:
+        db, output = self._require_db()
+        output.extend(str(measure(db)).splitlines())
+        return output
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def _run_resolve(self, statement: ast.Resolve) -> list[str]:
+        db, output = self._require_db()
+        substitutions = resolve_nulls(db)
+        if not substitutions:
+            output.append("nothing to resolve")
+        for substitution in substitutions:
+            output.append(f"resolved: {substitution}")
+        return output
+
+    def _run_save(self, statement: ast.Save) -> list[str]:
+        db, output = self._require_db()
+        persistence.save(db, statement.path)
+        output.append(f"saved to {statement.path}")
+        return output
+
+    def _run_load(self, statement: ast.Load) -> list[str]:
+        self.db = persistence.load(statement.path)
+        self.journal = Journal(self.db)
+        self._design_dirty = False
+        # Rebuild the design session to mirror the loaded schema, so a
+        # later 'add' continues from it.
+        self.session = DesignSession(self.designer)
+        for name in self.db.base_names:
+            self.session.catalog.add(self.db.schema[name])
+            self.session.graph.add(self.db.schema[name])
+        for derived in self.db.derived_functions():
+            self.session.catalog.add(derived.definition)
+        return [f"loaded {statement.path}"]
+
+    def _run_help(self, statement: ast.Help) -> list[str]:
+        return HELP_TEXT.splitlines()
+
+    # -- possible worlds ----------------------------------------------------------
+
+    def _run_worlds(self, statement: ast.Worlds) -> list[str]:
+        db, output = self._require_db()
+        output.extend(str(worlds.analyze(db)).splitlines())
+        return output
+
+    def _run_defaultquery(self, statement: ast.DefaultQuery) -> list[str]:
+        db, output = self._require_db()
+        verdict = worlds.default_truth(
+            db, statement.function, statement.x, statement.y
+        )
+        output.append(
+            f"{statement.function}({statement.x}) = {statement.y} "
+            f"by default: {verdict}"
+        )
+        return output
+
+    def _run_probability(self, statement: ast.Probability) -> list[str]:
+        db, output = self._require_db()
+        probability = worlds.marginal(
+            db, statement.function, statement.x, statement.y
+        )
+        output.append(
+            f"P({statement.function}({statement.x}) = {statement.y}) "
+            f"= {probability:.3f}"
+        )
+        return output
+
+    # -- integrity constraints -------------------------------------------------------
+
+    def _run_declareinclusion(
+        self, statement: ast.DeclareInclusion
+    ) -> list[str]:
+        constraint = InclusionDependency(
+            statement.source_function, statement.source_column,
+            statement.target_function, statement.target_column,
+        )
+        self.constraints.add(constraint)
+        return [f"declared: {constraint.name}"]
+
+    def _run_declarerange(self, statement: ast.DeclareRange) -> list[str]:
+        low, high = statement.low, statement.high
+        constraint = DomainConstraint(
+            statement.function, statement.column,
+            lambda v: isinstance(v, (int, float)) and low <= v <= high,
+            description=f"in [{low}, {high}]",
+        )
+        self.constraints.add(constraint)
+        return [f"declared: {constraint.name}"]
+
+    def _run_declarecardinality(
+        self, statement: ast.DeclareCardinality
+    ) -> list[str]:
+        constraint = CardinalityConstraint(
+            statement.function, statement.per,
+            statement.minimum, statement.maximum,
+        )
+        self.constraints.add(constraint)
+        return [f"declared: {constraint.name}"]
+
+    def _run_check(self, statement: ast.Check) -> list[str]:
+        db, output = self._require_db()
+        violations = self.constraints.check(db)
+        if not violations:
+            output.append(
+                f"ok: all {len(self.constraints)} constraints hold"
+            )
+        for violation in violations:
+            output.append(f"violation: {violation}")
+        return output
+
+    def _run_guard(self, statement: ast.Guard) -> list[str]:
+        self.guard_enabled = statement.enabled
+        return [f"guard {'on' if statement.enabled else 'off'}"]
+
+    # -- export ----------------------------------------------------------------------
+
+    def _run_dotexport(self, statement: ast.DotExport) -> list[str]:
+        from pathlib import Path
+
+        outcome = self.session.finish()
+        Path(statement.path).write_text(
+            design_to_dot(outcome), encoding="utf-8"
+        )
+        return [f"wrote DOT design to {statement.path}"]

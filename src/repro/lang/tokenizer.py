@@ -1,0 +1,145 @@
+"""Tokenizer for the surface language.
+
+Hand-rolled single-pass scanner producing position-annotated tokens.
+Token kinds:
+
+====== =========================================================
+NAME    identifiers (``teach``, ``letter_grade``); keywords are
+        plain NAMEs resolved contextually by the parser
+NUMBER  integer or decimal literals (``42``, ``3.5``)
+STRING  double- or single-quoted, with backslash escapes
+PUNCT   one of ``: ; , ( ) [ ] - .``, plus the two-character
+        ``->`` and the three-character inverse marker ``^-1``
+====== =========================================================
+
+``#`` starts a comment running to end of line. Newlines are
+insignificant (statements are self-delimiting, semicolons optional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCT_MULTI = ("->", "^-1")
+_PUNCT_SINGLE = ":;,()[]-.="
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str  # "NAME" | "NUMBER" | "STRING" | "PUNCT" | "EOF"
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self) -> str | int | float:
+        """The Python value a literal token denotes."""
+        if self.kind == "NUMBER":
+            return float(self.text) if "." in self.text else int(self.text)
+        return self.text
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into tokens, ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if char == "#":
+            while index < length and text[index] != "\n":
+                advance()
+            continue
+        start_line, start_column = line, column
+        multi = next(
+            (p for p in _PUNCT_MULTI if text.startswith(p, index)), None
+        )
+        if multi is not None:
+            advance(len(multi))
+            yield Token("PUNCT", multi, start_line, start_column)
+            continue
+        if char in _PUNCT_SINGLE:
+            advance()
+            yield Token("PUNCT", char, start_line, start_column)
+            continue
+        if char in ('"', "'"):
+            yield _scan_string(text, index, start_line, start_column,
+                               advance)
+            continue
+        if char in _DIGITS:
+            begin = index
+            while index < length and text[index] in _DIGITS:
+                advance()
+            if index < length and text[index] == ".":
+                advance()
+                while index < length and text[index] in _DIGITS:
+                    advance()
+            yield Token("NUMBER", text[begin:index], start_line, start_column)
+            continue
+        if char in _NAME_START:
+            begin = index
+            while index < length and text[index] in _NAME_CONT:
+                advance()
+            yield Token("NAME", text[begin:index], start_line, start_column)
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, column)
+    yield Token("EOF", "", line, column)
+
+
+def _scan_string(text: str, start: int, line: int, column: int,
+                 advance) -> Token:
+    quote = text[start]
+    advance()  # opening quote
+    parts: list[str] = []
+    index = start + 1
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            escape = text[index + 1]
+            parts.append(
+                {"n": "\n", "t": "\t"}.get(escape, escape)
+            )
+            advance(2)
+            index += 2
+            continue
+        if char == quote:
+            advance()
+            return Token("STRING", "".join(parts), line, column)
+        if char == "\n":
+            break
+        parts.append(char)
+        advance()
+        index += 1
+    raise ParseError("unterminated string literal", line, column)

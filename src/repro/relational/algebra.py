@@ -1,0 +1,79 @@
+"""Relational algebra: selection, projection, natural join.
+
+Only what the Section 3.1 comparison needs — but implemented generally
+(natural join on any set of shared attributes, hash-join based), so the
+workload generators can build wider experiments than the paper's
+three-relation example.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+__all__ = ["select", "project", "natural_join", "join_all"]
+
+
+def select(relation: Relation, predicate: Callable[[dict], bool],
+           name: str | None = None) -> Relation:
+    """Tuples satisfying ``predicate``, which receives an
+    attribute -> value dict."""
+    result = Relation(name or relation.name, relation.attributes)
+    for row in relation:
+        if predicate(dict(zip(relation.attributes, row))):
+            result.add(row)
+    return result
+
+
+def project(relation: Relation, attributes: Iterable[str],
+            name: str | None = None) -> Relation:
+    """Projection onto ``attributes`` (duplicates collapse, as sets)."""
+    attributes = tuple(attributes)
+    positions = [relation.position(a) for a in attributes]
+    result = Relation(name or relation.name, attributes)
+    for row in relation:
+        result.add(tuple(row[i] for i in positions))
+    return result
+
+
+def natural_join(left: Relation, right: Relation,
+                 name: str | None = None) -> Relation:
+    """Natural join on all shared attributes (hash join).
+
+    With no shared attributes this degenerates to a cartesian product,
+    which is still occasionally useful; chain views never hit that case
+    because adjacent relations share exactly one attribute.
+    """
+    shared = [a for a in left.attributes if a in right.attributes]
+    left_pos = [left.position(a) for a in shared]
+    right_pos = [right.position(a) for a in shared]
+    extra = [
+        (a, right.position(a))
+        for a in right.attributes
+        if a not in shared
+    ]
+    out_attrs = left.attributes + tuple(a for a, _ in extra)
+    result = Relation(name or f"({left.name} join {right.name})", out_attrs)
+
+    index: dict[tuple, list[tuple]] = {}
+    for row in right:
+        key = tuple(row[i] for i in right_pos)
+        index.setdefault(key, []).append(row)
+    for row in left:
+        key = tuple(row[i] for i in left_pos)
+        for match in index.get(key, ()):
+            result.add(row + tuple(match[i] for _, i in extra))
+    return result
+
+
+def join_all(relations: Iterable[Relation], name: str = "join") -> Relation:
+    """Left-to-right natural join of a non-empty sequence."""
+    relations = list(relations)
+    if not relations:
+        raise SchemaError("join_all needs at least one relation")
+    result = relations[0]
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+    return Relation(name, result.attributes, result.tuples)

@@ -1,0 +1,131 @@
+"""Keller-style dialogue-chosen view-delete translations.
+
+Reference [8] of the paper (Keller's thesis, *Updating Relational
+Databases Through Views*) characterizes the space of candidate
+translations of a view update and resolves the ambiguity by asking —
+at view-definition or update time — which candidate is intended. The
+paper lumps it with [6]/[7]: the chosen translation still adds and
+removes base tuples, so "the same objection holds".
+
+:class:`KellerTranslator` reconstructs that shape for chain views: the
+candidate translations of ``DEL(view, t)`` are, per base relation of
+the chain, the deletion of every tuple of that relation participating
+in a chain of ``t`` (the same candidate space
+:class:`repro.relational.dayal_bernstein.DayalBernsteinTranslator`
+searches); a *chooser* — the stand-in for Keller's dialogue — picks
+one. Built-in choosers:
+
+* :func:`choose_fewest_deletions` — minimize base tuples removed;
+* :func:`choose_least_view_damage` — minimize collateral view loss
+  (ties broken by fewer deletions, then chain order);
+* any callable ``(db, view_name, candidates) -> index``.
+
+This gives the E9-style comparisons a third classical point: a
+*user-optimal* add/remove translation still deletes base facts, which
+is precisely what the paper's NC semantics avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.relational.relation import RelationalDatabase
+from repro.relational.translate import Deletion, Translation, ViewDeleteTranslator
+
+__all__ = [
+    "Candidate",
+    "KellerTranslator",
+    "choose_fewest_deletions",
+    "choose_least_view_damage",
+]
+
+
+class Candidate:
+    """One candidate translation with its measured consequences."""
+
+    def __init__(self, relation: str, translation: Translation,
+                 view_losses: int) -> None:
+        self.relation = relation
+        self.translation = translation
+        self.view_losses = view_losses
+
+    @property
+    def deletions(self) -> int:
+        return len(self.translation.deletions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Candidate({self.relation!r}, {self.deletions} deletions, "
+            f"{self.view_losses} view losses)"
+        )
+
+
+Chooser = Callable[[RelationalDatabase, str, list[Candidate]], int]
+
+
+def choose_fewest_deletions(db: RelationalDatabase, view_name: str,
+                            candidates: list[Candidate]) -> int:
+    """Pick the candidate deleting the fewest base tuples."""
+    return min(
+        range(len(candidates)),
+        key=lambda i: (candidates[i].deletions, i),
+    )
+
+
+def choose_least_view_damage(db: RelationalDatabase, view_name: str,
+                             candidates: list[Candidate]) -> int:
+    """Pick the candidate losing the fewest other view tuples."""
+    return min(
+        range(len(candidates)),
+        key=lambda i: (
+            candidates[i].view_losses, candidates[i].deletions, i
+        ),
+    )
+
+
+class KellerTranslator(ViewDeleteTranslator):
+    """Candidate enumeration plus a dialogue-style chooser."""
+
+    name = "keller"
+
+    def __init__(self, chooser: Chooser = choose_least_view_damage) -> None:
+        self.chooser = chooser
+
+    def candidates(self, db: RelationalDatabase, view_name: str,
+                   view_tuple: tuple) -> list[Candidate]:
+        """The per-relation candidate translations with their view
+        damage, in chain order."""
+        view = db.view(view_name)
+        chains = list(view.chains_for(db, view_tuple))
+        if not chains:
+            return []
+        before = set(view.evaluate(db).tuples)
+        result: list[Candidate] = []
+        for relation_name in view.relation_names:
+            rows = {
+                row
+                for chain in chains
+                for name, row in chain.facts
+                if name == relation_name
+            }
+            translation = Translation(tuple(
+                Deletion(relation_name, row) for row in sorted(rows)
+            ))
+            working = db.copy()
+            translation.apply(working)
+            after = set(view.evaluate(working).tuples)
+            losses = len((before - after) - {tuple(view_tuple)})
+            result.append(Candidate(relation_name, translation, losses))
+        return result
+
+    def translate(self, db: RelationalDatabase, view_name: str,
+                  view_tuple: tuple) -> Translation:
+        candidates = self.candidates(db, view_name, view_tuple)
+        if not candidates:
+            return Translation(())
+        index = self.chooser(db, view_name, candidates)
+        if not 0 <= index < len(candidates):
+            return Translation.rejected(
+                f"chooser returned invalid candidate index {index}"
+            )
+        return candidates[index].translation

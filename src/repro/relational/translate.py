@@ -1,0 +1,146 @@
+"""View-delete translation framework and side-effect measurement.
+
+Section 3.1: "An update on a view is translated into a sequence of
+addition and removal of tuples in base relations which reflects the
+desired effect of the update. The 'goodness' of the approximation is
+measured by quantifying the undesirable side effect."
+
+A :class:`ViewDeleteTranslator` maps ``DEL(view, t)`` to a
+:class:`Translation` (a sequence of base deletions, or a refusal).
+:func:`measure_side_effects` executes a translation on a copy of the
+database and quantifies exactly what the paper discusses:
+
+* base tuples deleted (each unjustified in the paper's analysis — the
+  view delete "does not imply the falsity of any base fact");
+* *view side effects*: view tuples lost beyond the requested one (the
+  symmetric-difference criterion of [6], computed across every view in
+  the database).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.relational.relation import RelationalDatabase
+
+__all__ = [
+    "Deletion",
+    "Translation",
+    "ViewDeleteTranslator",
+    "SideEffects",
+    "measure_side_effects",
+]
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """One base-relation tuple removal."""
+
+    relation: str
+    row: tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) for v in self.row)
+        return f"DEL({self.relation}, <{inner}>)"
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The outcome of translating one view delete."""
+
+    deletions: tuple[Deletion, ...]
+    accepted: bool = True
+    reason: str = ""
+
+    @classmethod
+    def rejected(cls, reason: str) -> "Translation":
+        return cls((), accepted=False, reason=reason)
+
+    def apply(self, db: RelationalDatabase) -> None:
+        for deletion in self.deletions:
+            db.relation(deletion.relation).discard(deletion.row)
+
+    def __str__(self) -> str:
+        if not self.accepted:
+            return f"(rejected: {self.reason})"
+        if not self.deletions:
+            return "(no-op)"
+        return "; ".join(str(d) for d in self.deletions)
+
+
+class ViewDeleteTranslator(abc.ABC):
+    """Strategy interface for translating DEL(view, t)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def translate(self, db: RelationalDatabase, view_name: str,
+                  view_tuple: tuple) -> Translation:
+        """Produce a translation; must not mutate ``db``."""
+
+
+@dataclass(frozen=True)
+class SideEffects:
+    """Quantified side effects of one executed translation."""
+
+    translator: str
+    accepted: bool
+    base_deletions: int
+    view_losses: int       # view tuples lost beyond the requested one
+    view_insertions: int   # view tuples gained (anomalies)
+    achieved: bool         # the requested tuple is gone from its view
+
+    @property
+    def total(self) -> int:
+        return self.base_deletions + self.view_losses + self.view_insertions
+
+    def __str__(self) -> str:
+        status = "ok" if self.accepted else "rejected"
+        return (
+            f"{self.translator}: {status}, achieved={self.achieved}, "
+            f"base deletions={self.base_deletions}, extra view losses="
+            f"{self.view_losses}, view gains={self.view_insertions}"
+        )
+
+
+def measure_side_effects(
+    db: RelationalDatabase,
+    translator: ViewDeleteTranslator,
+    view_name: str,
+    view_tuple: tuple,
+) -> SideEffects:
+    """Translate, execute on a copy, and quantify the damage."""
+    translation = translator.translate(db, view_name, view_tuple)
+    if not translation.accepted:
+        return SideEffects(
+            translator.name, False,
+            base_deletions=0, view_losses=0, view_insertions=0,
+            achieved=False,
+        )
+    before = {
+        name: set(db.view(name).evaluate(db).tuples)
+        for name in db.view_names
+    }
+    working = db.copy()
+    translation.apply(working)
+    after = {
+        name: set(working.view(name).evaluate(working).tuples)
+        for name in working.view_names
+    }
+    losses = 0
+    gains = 0
+    for name in before:
+        lost = before[name] - after[name]
+        if name == view_name:
+            lost -= {tuple(view_tuple)}
+        losses += len(lost)
+        gains += len(after[name] - before[name])
+    achieved = tuple(view_tuple) not in after.get(view_name, set())
+    return SideEffects(
+        translator.name, True,
+        base_deletions=len(translation.deletions),
+        view_losses=losses,
+        view_insertions=gains,
+        achieved=achieved,
+    )

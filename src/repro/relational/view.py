@@ -1,0 +1,133 @@
+"""Chain views — the relational image of functional composition.
+
+The Section 3.1 example defines ``v1(AD) = pi_AD(r1 join r2 join r3)``
+over ``r1(AB), r2(BC), r3(CD)``: a *chain view*, where consecutive
+relations share exactly one attribute and the view projects onto the
+first attribute of the first relation and the last attribute of the
+last. A :class:`DerivationChain` is one sequence of base tuples whose
+join produces a given view tuple — the relational counterpart of the
+functional :class:`repro.fdb.evaluate.Chain`, and the unit both
+baseline translators reason over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SchemaError
+from repro.relational.algebra import join_all, project
+from repro.relational.relation import Relation, RelationalDatabase
+
+__all__ = ["ChainView", "DerivationChain"]
+
+
+@dataclass(frozen=True)
+class DerivationChain:
+    """One join chain producing a view tuple.
+
+    ``facts`` pairs each relation name with the base tuple taken from
+    it, in chain order.
+    """
+
+    facts: tuple[tuple[str, tuple], ...]
+
+    @property
+    def fact_set(self) -> frozenset[tuple[str, tuple]]:
+        return frozenset(self.facts)
+
+    def __str__(self) -> str:
+        return " . ".join(
+            f"{name}<{', '.join(str(v) for v in row)}>"
+            for name, row in self.facts
+        )
+
+
+class ChainView:
+    """``name(first, last) = pi(r1 join r2 join ... join rk)``."""
+
+    def __init__(self, name: str, relation_names: tuple[str, ...]) -> None:
+        if not relation_names:
+            raise SchemaError("a chain view needs at least one relation")
+        self.name = name
+        self.relation_names = tuple(relation_names)
+
+    def _chain_relations(self, db: RelationalDatabase) -> list[Relation]:
+        relations = [db.relation(name) for name in self.relation_names]
+        for left, right in zip(relations, relations[1:]):
+            shared = set(left.attributes) & set(right.attributes)
+            if len(shared) != 1:
+                raise SchemaError(
+                    f"view {self.name!r}: {left.name} and {right.name} must "
+                    f"share exactly one attribute, share {sorted(shared)}"
+                )
+        distinct = {a for r in relations for a in r.attributes}
+        total = sum(len(r.attributes) for r in relations)
+        if len(distinct) != total - (len(relations) - 1):
+            raise SchemaError(
+                f"view {self.name!r}: attributes must be distinct except "
+                "for the shared attribute of each adjacent pair"
+            )
+        return relations
+
+    def output_attributes(self, db: RelationalDatabase) -> tuple[str, str]:
+        relations = self._chain_relations(db)
+        first = relations[0]
+        last = relations[-1]
+        if len(relations) == 1:
+            return (first.attributes[0], first.attributes[-1])
+        start = next(
+            a for a in first.attributes
+            if a not in relations[1].attributes
+        )
+        end = next(
+            a for a in reversed(last.attributes)
+            if a not in relations[-2].attributes
+        )
+        return (start, end)
+
+    def evaluate(self, db: RelationalDatabase) -> Relation:
+        """The view's current extension."""
+        relations = self._chain_relations(db)
+        joined = join_all(relations, name=self.name)
+        return project(joined, self.output_attributes(db), name=self.name)
+
+    def chains_for(self, db: RelationalDatabase,
+                   view_tuple: tuple) -> Iterator[DerivationChain]:
+        """All derivation chains producing ``view_tuple``.
+
+        Walks the chain left to right, matching on the single shared
+        attribute between consecutive relations.
+        """
+        relations = self._chain_relations(db)
+        first_attr, last_attr = self.output_attributes(db)
+        start_value, end_value = view_tuple
+
+        def extend(index: int, facts: tuple[tuple[str, tuple], ...],
+                   bound: dict[str, object]) -> Iterator[DerivationChain]:
+            if index == len(relations):
+                if bound.get(last_attr) == end_value:
+                    yield DerivationChain(facts)
+                return
+            relation = relations[index]
+            for row in relation:
+                values = dict(zip(relation.attributes, row))
+                if any(
+                    attribute in bound and bound[attribute] != value
+                    for attribute, value in values.items()
+                ):
+                    continue
+                yield from extend(
+                    index + 1,
+                    facts + ((relation.name, row),),
+                    {**bound, **values},
+                )
+
+        yield from extend(0, (), {first_attr: start_value})
+        # Note: the initial binding also filters the first relation's rows
+        # through the generic "consistent with bound" check above; rows
+        # whose first_attr differs from start_value are skipped.
+
+    def __str__(self) -> str:
+        chain = " join ".join(self.relation_names)
+        return f"{self.name} = pi({chain})"

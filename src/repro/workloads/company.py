@@ -1,0 +1,120 @@
+"""A second full workload: the company database.
+
+The university example never exercises one-one functionalities or a
+*false twin* — two syntactically and type-functionally identical
+functions with different semantics. This fixture adds both:
+
+* ``works_in: employee -> department`` (many-one),
+  ``manages: manager -> department`` (one-one),
+  ``badge: employee -> badge_id`` (one-one);
+* ``reports_to: employee -> manager`` (many-one) — a *base* function:
+  people report across department lines;
+* ``dept_head_of: employee -> manager`` (many-one) — *derived*:
+  ``works_in o manages^-1``.
+
+``reports_to`` and ``dept_head_of`` have identical signatures and
+functionalities, so the UFA would conflate them — the design session
+needs the paper's designer intervention twice: keep the
+works_in/manages/reports_to cycle (the system's candidate is wrong),
+then classify dept_head_of as derived when it arrives.
+
+The one-one functions make the FD machinery earn its keep: derived
+inserts on ``dept_head_of`` put nulls into *both* a single-valued and
+an injective position, and :func:`repro.fdb.constraints.resolve_nulls`
+must exploit both directions.
+"""
+
+from __future__ import annotations
+
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.design_aid import ScriptedDesigner
+from repro.core.schema import FunctionDef, Schema
+from repro.core.schema_text import parse_schema
+from repro.fdb.database import FunctionalDatabase
+
+__all__ = [
+    "company_schema",
+    "company_design_order",
+    "company_designer",
+    "company_database",
+]
+
+_SCHEMA_TEXT = """
+works_in: employee -> department; (many-one)
+manages: manager -> department; (one-one)
+reports_to: employee -> manager; (many-one)
+badge: employee -> badge_id; (one-one)
+dept_head_of: employee -> manager; (many-one)
+badge_owner: badge_id -> employee; (one-one)
+"""
+
+
+def company_schema() -> Schema:
+    """All eight functions, base and derived alike."""
+    return parse_schema(_SCHEMA_TEXT)
+
+
+def company_design_order() -> tuple[FunctionDef, ...]:
+    """The order a designer would naturally declare them."""
+    schema = company_schema()
+    return tuple(schema[name] for name in (
+        "works_in", "manages", "reports_to", "badge",
+        "dept_head_of", "badge_owner",
+    ))
+
+
+def company_designer() -> ScriptedDesigner:
+    """The informed designer decisions.
+
+    The works_in/manages/reports_to cycle offers wrong candidates
+    (reports_to crosses departments) — keep it. dept_head_of really is
+    works_in o manages^-1 — remove it, in whichever cycle it first
+    appears. badge_owner = badge^-1 — remove it.
+    """
+    return ScriptedDesigner(
+        removals={
+            frozenset({"works_in", "manages", "reports_to"}): None,
+            frozenset({"works_in", "manages", "dept_head_of"}):
+                "dept_head_of",
+            frozenset({"reports_to", "dept_head_of"}): "dept_head_of",
+            frozenset({"badge", "badge_owner"}): "badge_owner",
+        },
+        rejected_derivations=[
+            # reports_to's path is NOT a derivation of dept_head_of and
+            # vice versa; only the real one is confirmed.
+            ("dept_head_of", "reports_to"),
+        ],
+    )
+
+
+def company_database(*, insert_mode: str = "all") -> FunctionalDatabase:
+    """The designed database with a small consistent instance.
+
+    carol reports to erin, who heads her department — but alice reports
+    to erin *across* departments (dept head dave): the pair of facts
+    that makes reports_to and dept_head_of semantically different.
+    """
+    schema = company_schema()
+    db = FunctionalDatabase(insert_mode=insert_mode)
+    for name in ("works_in", "manages", "reports_to", "badge"):
+        db.declare_base(schema[name])
+    db.declare_derived(
+        schema["dept_head_of"],
+        Derivation([
+            Step(schema["works_in"]),
+            Step(schema["manages"], Op.INVERSE),
+        ]),
+    )
+    db.declare_derived(
+        schema["badge_owner"],
+        Derivation([Step(schema["badge"], Op.INVERSE)]),
+    )
+    db.load_instance({
+        "works_in": [("alice", "sales"), ("bob", "sales"),
+                     ("carol", "research")],
+        "manages": [("dave", "sales"), ("erin", "research")],
+        "reports_to": [("alice", "erin"), ("bob", "dave"),
+                       ("carol", "erin")],
+        "badge": [("alice", "b1"), ("bob", "b2"), ("carol", "b3")],
+    })
+    return db

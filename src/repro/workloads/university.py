@@ -1,0 +1,161 @@
+"""The paper's running university example, packaged as fixtures.
+
+Everything printed in the paper lives here, byte-comparable:
+
+* :func:`schema_s1` — Table 1;
+* :func:`schema_s2` — the Section 2.1 UFA counterexample
+  (teach / class_list / lecturer_of);
+* :func:`design_trace_functions` / :func:`design_trace_designer` — the
+  Section 2.3 trace: eleven functions in paper order plus the scripted
+  designer decisions, reproducing Figure 1;
+* :func:`pupil_database` — the Section 3 / 4.2 instance (teach,
+  class_list, derived pupil);
+* :func:`section_42_updates` — the update sequence u1..u5 of
+  Section 4.2;
+* :func:`section_31_relational` — the r1/r2/r3 chain-view instance of
+  Section 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.derivation import Derivation
+from repro.core.design_aid import ScriptedDesigner
+from repro.core.schema import FunctionDef, Schema
+from repro.core.schema_text import parse_schema
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.updates import Update
+from repro.relational.relation import Relation, RelationalDatabase
+from repro.relational.view import ChainView
+
+__all__ = [
+    "schema_s1",
+    "schema_s2",
+    "design_trace_functions",
+    "design_trace_designer",
+    "pupil_database",
+    "section_42_updates",
+    "section_31_relational",
+]
+
+_S1_TEXT = """
+1. grade: [student; course] -> letter_grade; (many-one)
+2. score: [student; course] -> marks; (many-one)
+3. cutoff: marks -> letter_grade; (many-one)
+4. teach: faculty -> course; (many-many)
+5. taught_by: course -> faculty; (many-many)
+"""
+
+_S2_TEXT = """
+teach: faculty -> course; (many-many)
+class_list: course -> student; (many-many)
+lecturer_of: student -> faculty; (many-many)
+"""
+
+_TRACE_TEXT = """
+teach: faculty -> course; (many-many)
+taught_by: course -> faculty; (many-many)
+class_list: course -> student; (many-many)
+lecturer_of: student -> faculty; (many-many)
+grade: [student; course] -> letter_grade; (many-one)
+attendance: [student; course] -> attn_percentage; (many-one)
+attendance_eval: attn_percentage -> letter_grade; (many-one)
+score: [student; course] -> marks; (many-one)
+cutoff: marks -> letter_grade; (many-one)
+"""
+
+
+def schema_s1() -> Schema:
+    """Table 1: conceptual schema S1."""
+    return parse_schema(_S1_TEXT)
+
+
+def schema_s2() -> Schema:
+    """The Section 2.1 schema S2 that the UFA cannot admit: under the
+    intended semantics only lecturer_of is derived, but each of the
+    three functions is syntactically and type-functionally equivalent
+    to the composition of the other two."""
+    return parse_schema(_S2_TEXT)
+
+
+def design_trace_functions() -> tuple[FunctionDef, ...]:
+    """The nine functions of the Section 2.3 trace, in addition order."""
+    return tuple(parse_schema(_TRACE_TEXT))
+
+
+def design_trace_designer() -> ScriptedDesigner:
+    """The designer decisions the paper records in Section 2.3.
+
+    Cycle decisions: classify taught_by then lecturer_of then grade as
+    derived; keep the grade-attendance-attendance_eval cycle ("the
+    designer does not agree with the system") and the
+    score-cutoff-attendance_eval-attendance cycle (no candidates).
+    Derivation vetting: ``grade = attendance o attendance_eval`` is
+    invalidated; everything else confirmed.
+    """
+    return ScriptedDesigner(
+        removals={
+            frozenset({"teach", "taught_by"}): "taught_by",
+            frozenset({"teach", "class_list", "lecturer_of"}): "lecturer_of",
+            frozenset({"grade", "attendance", "attendance_eval"}): None,
+            frozenset({"grade", "score", "cutoff"}): "grade",
+            frozenset(
+                {"score", "cutoff", "attendance_eval", "attendance"}
+            ): None,
+        },
+        rejected_derivations=[("grade", "attendance o attendance_eval")],
+    )
+
+
+def pupil_database(*, insert_mode: str = "all") -> FunctionalDatabase:
+    """The Section 3 / 4.2 instance.
+
+    teach = {<euclid, math>, <laplace, math>}, class_list =
+    {<math, john>, <math, bill>}; pupil = teach o class_list derived.
+    (Section 4.2 omits <laplace, physics>, which Section 3's copy of the
+    instance includes; this fixture matches Section 4.2, whose update
+    tables the E8 bench compares against. Add the pair back with one
+    insert to get the Section 3 variant.)
+    """
+    schema = parse_schema("""
+        teach: faculty -> course; (many-many)
+        class_list: course -> student; (many-many)
+        pupil: faculty -> student; (many-many)
+    """)
+    db = FunctionalDatabase(insert_mode=insert_mode)
+    db.declare_base(schema["teach"])
+    db.declare_base(schema["class_list"])
+    db.declare_derived(
+        schema["pupil"],
+        Derivation.of(schema["teach"], schema["class_list"]),
+    )
+    db.load_instance({
+        "teach": [("euclid", "math"), ("laplace", "math")],
+        "class_list": [("math", "john"), ("math", "bill")],
+    })
+    return db
+
+
+def section_42_updates() -> tuple[Update, ...]:
+    """The update sequence u1..u5 of Section 4.2."""
+    return (
+        Update.delete("pupil", "euclid", "john"),
+        Update.ins("pupil", "gauss", "bill"),
+        Update.delete("teach", "euclid", "math"),
+        Update.ins("class_list", "math", "john"),
+        Update.ins("teach", "gauss", "math"),
+    )
+
+
+def section_31_relational() -> tuple[RelationalDatabase, str, tuple]:
+    """The Section 3.1 instance: r1(AB), r2(BC), r3(CD), the chain view
+    v1(AD), and the update target <a1, d1>.
+
+    Returns (database, view name, view tuple to delete).
+    """
+    db = RelationalDatabase([
+        Relation("r1", ("A", "B"), [("a1", "b1"), ("a1", "b2")]),
+        Relation("r2", ("B", "C"), [("b1", "c1"), ("b2", "c1")]),
+        Relation("r3", ("C", "D"), [("c1", "d1")]),
+    ])
+    db.add_view(ChainView("v1", ("r1", "r2", "r3")))
+    return db, "v1", ("a1", "d1")

@@ -1,0 +1,62 @@
+"""Tests for the degree-of-ambiguity metrics (Section 5 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdb.ambiguity import measure
+from repro.fdb.logic import Truth
+
+
+class TestMeasureOnPupil:
+    def test_clean_database(self, pupil_db):
+        report = measure(pupil_db)
+        assert report.degree == 0.0
+        assert report.nc_count == 0
+        assert report.null_count == 0
+        assert report.total_facts == 8  # 4 base + 4 derived
+
+    def test_after_derived_delete(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        report = measure(pupil_db)
+        assert report.nc_count == 1
+        # 2 ambiguous base facts + 2 ambiguous pupil facts.
+        assert report.ambiguous_facts == 4
+        assert report.per_function("teach").ambiguous_facts == 1
+        assert report.per_function("pupil").ambiguous_facts == 2
+        assert 0 < report.degree < 1
+
+    def test_after_derived_insert(self, pupil_db):
+        pupil_db.insert("pupil", "gauss", "bill")
+        report = measure(pupil_db)
+        assert report.null_count == 1
+        assert report.nc_count == 0
+
+    def test_per_function_lookup(self, pupil_db):
+        report = measure(pupil_db)
+        entry = report.per_function("teach")
+        assert entry.kind == "base"
+        assert entry.total_facts == 2
+        with pytest.raises(KeyError):
+            report.per_function("nope")
+
+    def test_degree_of_empty_extension(self, pupil_db):
+        pupil_db.table("teach").discard("euclid", "math")
+        pupil_db.table("teach").discard("laplace", "math")
+        report = measure(pupil_db)
+        assert report.per_function("pupil").degree == 0.0
+
+    def test_str_report(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        text = str(measure(pupil_db))
+        assert "degree of ambiguity" in text
+        assert "teach (base)" in text
+        assert "pupil (derived)" in text
+
+    def test_resolution_shrinks_ambiguity(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        before = measure(pupil_db)
+        pupil_db.insert("class_list", "math", "john")  # resolves the NC
+        after = measure(pupil_db)
+        assert after.ambiguous_facts < before.ambiguous_facts
+        assert after.nc_count == 0

@@ -1,0 +1,83 @@
+"""Tests for runtime derivation auditing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivation import Derivation
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.fdb.audit import audit_derivations, audit_insert_coverage
+from repro.fdb.database import FunctionalDatabase
+
+A, B = ObjectType("A"), ObjectType("B")
+MM = TypeFunctionality.MANY_MANY
+
+
+def two_route_db(insert_mode: str = "all") -> FunctionalDatabase:
+    """v has two single-step derivations: via f and via g."""
+    db = FunctionalDatabase(insert_mode=insert_mode)
+    f = FunctionDef("f", A, B, MM)
+    g = FunctionDef("g", A, B, MM)
+    db.declare_base(f)
+    db.declare_base(g)
+    db.declare_derived(
+        FunctionDef("v", A, B, MM), [Derivation.of(f), Derivation.of(g)]
+    )
+    return db
+
+
+class TestDerivationAgreement:
+    def test_agreeing_instance_is_clean(self):
+        db = two_route_db()
+        db.insert("v", "a", "b")   # mode 'all': both routes materialize
+        assert audit_derivations(db) == []
+
+    def test_disagreement_detected(self):
+        db = two_route_db()
+        db.insert("f", "a", "b")   # only one route
+        findings = audit_derivations(db)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.function == "v"
+        assert finding.pair == ("a", "b")
+        assert finding.derives_it == "f"
+        assert finding.misses_it == "g"
+        assert "derivable via [f] but not via [g]" in str(finding)
+
+    def test_single_derivation_functions_skipped(self, pupil_db):
+        pupil_db.insert("teach", "solo", "course")  # lopsided data
+        assert audit_derivations(pupil_db) == []
+
+    def test_names_filter(self):
+        db = two_route_db()
+        db.insert("f", "a", "b")
+        assert audit_derivations(db, names=()) == []
+        assert len(audit_derivations(db, names=("v",))) == 1
+
+
+class TestInsertCoverage:
+    def test_mode_all_has_no_gaps(self):
+        db = two_route_db(insert_mode="all")
+        db.insert("v", "a", "b")
+        assert audit_insert_coverage(db) == []
+
+    def test_mode_primary_leaves_gap(self):
+        db = two_route_db(insert_mode="primary")
+        db.insert("v", "a", "b")
+        gaps = audit_insert_coverage(db)
+        assert len(gaps) == 1
+        assert gaps[0].missing_in == "g"
+        assert "no chain via [g]" in str(gaps[0])
+
+    def test_gap_closed_by_later_insert(self):
+        db = two_route_db(insert_mode="primary")
+        db.insert("v", "a", "b")
+        db.insert("g", "a", "b")
+        assert audit_insert_coverage(db) == []
+
+    def test_ambiguous_facts_not_required_to_be_covered(self):
+        db = two_route_db()
+        db.insert("v", "a", "b")
+        db.delete("v", "a", "b")   # both single-fact chains -> deleted
+        assert audit_insert_coverage(db) == []

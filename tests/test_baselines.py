@@ -1,0 +1,220 @@
+"""Tests for the view-update baselines against the Section 3.1 example,
+plus side-effect measurement and the functional-database comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivation import Derivation
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.logic import Truth
+from repro.relational.dayal_bernstein import DayalBernsteinTranslator
+from repro.relational.fuv import FUVTranslator
+from repro.relational.relation import Relation, RelationalDatabase
+from repro.relational.translate import (
+    Deletion,
+    Translation,
+    measure_side_effects,
+)
+from repro.relational.view import ChainView
+
+
+class TestDayalBernstein:
+    def test_section_31_translation(self, relational_31):
+        """The paper: 'A correct translation of this update under [6]
+        semantics is DEL(r1, <a1, b1>), and DEL(r1, <a1, b2>).'"""
+        db, view, target = relational_31
+        translation = DayalBernsteinTranslator().translate(db, view, target)
+        assert translation.accepted
+        assert translation.deletions == (
+            Deletion("r1", ("a1", "b1")),
+            Deletion("r1", ("a1", "b2")),
+        )
+
+    def test_absent_tuple_empty_translation(self, relational_31):
+        db, view, _ = relational_31
+        translation = DayalBernsteinTranslator().translate(
+            db, view, ("zz", "d1")
+        )
+        assert translation.accepted and translation.deletions == ()
+
+    def test_rejects_when_every_relation_causes_side_effects(self):
+        """Shared tuples everywhere: no single-relation deletion set is
+        side-effect free."""
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"),
+                     [("a1", "b"), ("a2", "b")]),
+            Relation("r2", ("B", "C"), [("b", "c")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2")))
+        # v = {<a1,c>, <a2,c>}. Deleting <a1,c>: from r1 remove
+        # <a1,b> -> ok actually... choose a harder instance:
+        db2 = RelationalDatabase([
+            Relation("r1", ("A", "B"), [("a", "b1"), ("a", "b2")]),
+            Relation("r2", ("B", "C"),
+                     [("b1", "c1"), ("b2", "c1"), ("b2", "c2")]),
+        ])
+        db2.add_view(ChainView("v", ("r1", "r2")))
+        # v = {<a,c1>, <a,c2>}. DEL(v, <a,c1>):
+        #  - r1-only: must remove <a,b1> and <a,b2> -> kills <a,c2>.
+        #  - r2-only: must remove <b1,c1> and <b2,c1> -> fine? <a,c2>
+        #    survives via <b2,c2>. So r2 works; force failure by also
+        #    routing c2 through b1... build the real rejection case:
+        db3 = RelationalDatabase([
+            Relation("r1", ("A", "B"), [("a", "b1"), ("a", "b2")]),
+            Relation("r2", ("B", "C"),
+                     [("b1", "c1"), ("b2", "c1"),
+                      ("b1", "c2"), ("b2", "c3")]),
+        ])
+        db3.add_view(ChainView("v", ("r1", "r2")))
+        # DEL(v, <a, c1>): r1-only kills c2/c3; r2-only removes
+        # <b1,c1>, <b2,c1> which is side-effect free... c2 and c3 kept.
+        translation = DayalBernsteinTranslator().translate(
+            db3, "v", ("a", "c1")
+        )
+        assert translation.accepted
+        assert all(d.relation == "r2" for d in translation.deletions)
+
+    def test_true_rejection(self):
+        """A view over one relation where the target shares its tuple
+        with another view tuple cannot arise (each view tuple is its own
+        base tuple); rejection needs shared participation on every
+        relation. Construct it with a two-hop chain whose every
+        single-relation fix breaks a sibling."""
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"), [("a", "b"), ("a2", "b")]),
+            Relation("r2", ("B", "C"), [("b", "c"), ("b", "c2")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2")))
+        # v = {<a,c>, <a,c2>, <a2,c>, <a2,c2>}. DEL(v, <a, c>):
+        #  r1-only: remove <a,b> -> also kills <a,c2>. Side effect.
+        #  r2-only: remove <b,c> -> also kills <a2,c>. Side effect.
+        translation = DayalBernsteinTranslator().translate(
+            db, "v", ("a", "c")
+        )
+        assert not translation.accepted
+        assert translation.deletions == ()
+
+
+class TestFUV:
+    def test_section_31_translation(self, relational_31):
+        """The paper: 'according to the semantics of [9] u4 is performed
+        by deleting DEL(r3, <c1, d1>)'."""
+        db, view, target = relational_31
+        translation = FUVTranslator().translate(db, view, target)
+        assert translation.accepted
+        assert translation.deletions == (Deletion("r3", ("c1", "d1")),)
+
+    def test_minimum_cardinality(self):
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"), [("a", "b1"), ("a", "b2")]),
+            Relation("r2", ("B", "C"), [("b1", "c"), ("b2", "c")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2")))
+        translation = FUVTranslator().translate(db, "v", ("a", "c"))
+        # One deletion cannot be beaten; any single r1 tuple leaves the
+        # other chain alive, so the minimum hits r2's shared... no —
+        # both r2 tuples differ. Minimum hitting set has size 2 here?
+        # chains: {r1<a,b1>, r2<b1,c>} and {r1<a,b2>, r2<b2,c>}; they
+        # are disjoint, so the minimum has exactly 2 deletions.
+        assert len(translation.deletions) == 2
+
+    def test_greedy_fallback_matches_exact_on_easy_case(self,
+                                                        relational_31):
+        db, view, target = relational_31
+        greedy = FUVTranslator(exact_limit=0).translate(db, view, target)
+        exact = FUVTranslator().translate(db, view, target)
+        assert set(greedy.deletions) == set(exact.deletions)
+
+    def test_absent_tuple(self, relational_31):
+        db, view, _ = relational_31
+        translation = FUVTranslator().translate(db, view, ("zz", "d1"))
+        assert translation.deletions == ()
+
+
+class TestSideEffectMeasurement:
+    def test_db_translation_side_effects(self, relational_31):
+        db, view, target = relational_31
+        effects = measure_side_effects(
+            db, DayalBernsteinTranslator(), view, target
+        )
+        assert effects.accepted and effects.achieved
+        assert effects.base_deletions == 2
+        assert effects.view_losses == 0
+
+    def test_fuv_translation_side_effects(self, relational_31):
+        db, view, target = relational_31
+        effects = measure_side_effects(db, FUVTranslator(), view, target)
+        assert effects.base_deletions == 1
+        assert effects.view_losses == 0
+
+    def test_fuv_can_cause_view_losses(self):
+        """Minimal change is not side-effect free: when the unique
+        minimum hitting set is the shared last-hop tuple (the paper's
+        r3 <c1, d1>, with a second source a2 added), deleting it kills
+        the sibling view tuple."""
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"),
+                     [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]),
+            Relation("r2", ("B", "C"), [("b1", "c1"), ("b2", "c1")]),
+            Relation("r3", ("C", "D"), [("c1", "d1")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2", "r3")))
+        effects = measure_side_effects(db, FUVTranslator(), "v", ("a1", "d1"))
+        assert effects.achieved
+        assert effects.base_deletions == 1       # DEL(r3, <c1, d1>)
+        assert effects.view_losses == 1          # <a2, d1> lost too
+
+    def test_rejected_translation_measured_as_not_achieved(self):
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"), [("a", "b"), ("a2", "b")]),
+            Relation("r2", ("B", "C"), [("b", "c"), ("b", "c2")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2")))
+        effects = measure_side_effects(
+            db, DayalBernsteinTranslator(), "v", ("a", "c")
+        )
+        assert not effects.accepted and not effects.achieved
+        assert effects.total == 0
+
+    def test_measure_does_not_mutate(self, relational_31):
+        db, view, target = relational_31
+        measure_side_effects(db, FUVTranslator(), view, target)
+        assert ("c1", "d1") in db.relation("r3")
+
+
+class TestFunctionalCounterpart:
+    """The paper's own answer on the same Section 3.1 instance."""
+
+    def _functional_31(self) -> FunctionalDatabase:
+        A, B, C, D = (ObjectType(n) for n in "ABCD")
+        MM = TypeFunctionality.MANY_MANY
+        db = FunctionalDatabase()
+        r1 = FunctionDef("r1", A, B, MM)
+        r2 = FunctionDef("r2", B, C, MM)
+        r3 = FunctionDef("r3", C, D, MM)
+        for f in (r1, r2, r3):
+            db.declare_base(f)
+        db.declare_derived(
+            FunctionDef("v1", A, D, MM), Derivation.of(r1, r2, r3)
+        )
+        db.load("r1", [("a1", "b1"), ("a1", "b2")])
+        db.load("r2", [("b1", "c1"), ("b2", "c1")])
+        db.load("r3", [("c1", "d1")])
+        return db
+
+    def test_no_base_deletions_and_exact_ncs(self):
+        db = self._functional_31()
+        assert derived_extension(db, "v1") == {("a1", "d1"): Truth.TRUE}
+        db.delete("v1", "a1", "d1")
+        # Both derivation chains negated; footnote 4 of the paper.
+        assert len(db.ncs) == 2
+        # Zero base deletions.
+        assert len(db.table("r1")) == 2
+        assert len(db.table("r2")) == 2
+        assert len(db.table("r3")) == 1
+        # The target is gone.
+        assert db.truth_of("v1", "a1", "d1") is Truth.FALSE

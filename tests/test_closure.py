@@ -1,0 +1,96 @@
+"""Tests for the closure computation (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closure import closure_signatures, derivable_functions
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+
+A, B, C = (ObjectType(n) for n in "ABC")
+MO = TypeFunctionality.MANY_ONE
+OM = TypeFunctionality.ONE_MANY
+MM = TypeFunctionality.MANY_MANY
+
+
+def chain_schema() -> Schema:
+    return Schema([
+        FunctionDef("f", A, B, MO),
+        FunctionDef("g", B, C, MO),
+    ])
+
+
+class TestClosureSignatures:
+    def test_contains_generators_and_inverses(self):
+        signatures = closure_signatures(chain_schema())
+        assert (A, B, MO) in signatures
+        assert (B, A, OM) in signatures
+        assert str(signatures[(B, A, OM)]) == "f^-1"
+
+    def test_contains_composites(self):
+        signatures = closure_signatures(chain_schema())
+        assert (A, C, MO) in signatures
+        assert str(signatures[(A, C, MO)]) == "f o g"
+        assert (C, A, OM) in signatures
+        assert str(signatures[(C, A, OM)]) == "g^-1 o f^-1"
+
+    def test_witnesses_are_shortest(self):
+        # Add a direct A->C function: the witness for (A, C, many-one)
+        # becomes the single step.
+        schema = chain_schema()
+        schema.add(FunctionDef("direct", A, C, MO))
+        signatures = closure_signatures(schema)
+        assert str(signatures[(A, C, MO)]) == "direct"
+
+    def test_self_roundtrips_present(self):
+        # f o f^-1 gives an A -> A signature (many-many).
+        signatures = closure_signatures(chain_schema())
+        assert (A, A, MM) in signatures
+
+    def test_max_length_caps(self):
+        signatures = closure_signatures(chain_schema(), max_length=1)
+        assert (A, B, MO) in signatures
+        assert (A, C, MO) not in signatures
+
+    def test_empty_set(self):
+        assert closure_signatures(Schema()) == {}
+
+    def test_finite_bound(self):
+        # At most |nodes|^2 * 4 signatures.
+        signatures = closure_signatures(chain_schema())
+        assert len(signatures) <= 9 * 4
+
+
+class TestDerivableFunctions:
+    def test_s1_partition(self, s1):
+        result = derivable_functions(
+            s1, ["score", "cutoff", "taught_by"]
+        )
+        assert str(result["grade"]) == "score o cutoff"
+        assert str(result["teach"]) == "taught_by^-1"
+
+    def test_underivable_reported_none(self, s1):
+        result = derivable_functions(s1, ["taught_by"])
+        assert result["grade"] is None
+        assert str(result["teach"]) == "taught_by^-1"
+
+    def test_base_functions_not_listed(self, s1):
+        result = derivable_functions(
+            s1, ["score", "cutoff", "taught_by"]
+        )
+        assert set(result) == {"grade", "teach"}
+
+    def test_agrees_with_has_equivalent_walk(self, s1):
+        from repro.core.graph import FunctionGraph
+
+        base_names = ["score", "cutoff", "taught_by"]
+        base = s1.restricted_to(base_names)
+        graph = FunctionGraph.of_schema(base)
+        result = derivable_functions(s1, base_names)
+        for name, witness in result.items():
+            assert (witness is not None) == graph.has_equivalent_walk(
+                s1[name]
+            )
+            if witness is not None:
+                assert witness.matches(s1[name])

@@ -1,0 +1,165 @@
+"""Tests for the company workload: false twins, one-one functions,
+and injective null resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import DesignSession
+from repro.core.minimal_schema import minimal_schema_ams
+from repro.fdb.constraints import resolve_nulls
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.logic import Truth
+from repro.fdb.values import is_null
+from repro.workloads.company import (
+    company_database,
+    company_design_order,
+    company_designer,
+    company_schema,
+)
+
+
+class TestDesign:
+    def test_session_lands_on_intended_split(self):
+        session = DesignSession(company_designer())
+        session.add_all(company_design_order())
+        assert set(session.base_schema.names) == {
+            "works_in", "manages", "reports_to", "badge",
+        }
+        assert set(session.derived_schema.names) == {
+            "dept_head_of", "badge_owner",
+        }
+
+    def test_false_twin_cycle_offered_and_kept(self):
+        """Adding reports_to closes a cycle whose candidate the
+        designer must refuse — the UFA-breaking moment."""
+        session = DesignSession(company_designer())
+        functions = company_design_order()
+        session.add(functions[0])  # works_in
+        session.add(functions[1])  # manages
+        reports = session.add(functions[2])  # reports_to -> cycle
+        assert len(reports) == 1
+        candidates = {f.name for f in reports[0].candidate_functions}
+        # reports_to and works_in both look derivable; neither is.
+        assert "reports_to" in candidates
+        assert "reports_to" in session.base_schema.names
+
+    def test_ams_would_misclassify(self):
+        """Under the UFA, AMS removes works_in (first eligible) — a
+        semantic error the session avoided."""
+        base_only = company_schema().restricted_to(
+            ["works_in", "manages", "reports_to"]
+        )
+        result = minimal_schema_ams(base_only)
+        assert len(result.derived) == 1  # something got removed
+        assert result.derived_names[0] in ("works_in", "reports_to")
+
+    def test_confirmed_derivations(self):
+        session = DesignSession(company_designer())
+        session.add_all(company_design_order())
+        outcome = session.finish()
+        assert [str(d) for d in outcome.derivations["dept_head_of"]] == [
+            "works_in o manages^-1",
+        ]
+        assert [str(d) for d in outcome.derivations["badge_owner"]] == [
+            "badge^-1",
+        ]
+
+    def test_twin_not_offered_as_derivation(self):
+        """reports_to is a syntactic twin of dept_head_of, so the system
+        offers it as a potential derivation — and the script rejects it."""
+        session = DesignSession(company_designer())
+        session.add_all(company_design_order())
+        potentials = {
+            str(d) for d in session.potential_derivations("dept_head_of")
+        }
+        assert "reports_to" in potentials
+        confirmed = {
+            str(d) for d in session.confirmed_derivations("dept_head_of")
+        }
+        assert confirmed == {"works_in o manages^-1"}
+
+
+class TestInstanceSemantics:
+    def test_twins_disagree_on_data(self):
+        """alice reports across departments: the two employee->manager
+        functions answer differently, proving they are not the same
+        function."""
+        db = company_database()
+        assert db.truth_of("reports_to", "alice", "erin") is Truth.TRUE
+        assert db.truth_of("dept_head_of", "alice", "erin") is Truth.FALSE
+        assert db.truth_of("dept_head_of", "alice", "dave") is Truth.TRUE
+
+    def test_dept_head_extension(self):
+        db = company_database()
+        assert derived_extension(db, "dept_head_of") == {
+            ("alice", "dave"): Truth.TRUE,
+            ("bob", "dave"): Truth.TRUE,
+            ("carol", "erin"): Truth.TRUE,
+        }
+
+    def test_single_step_inverse_derived(self):
+        db = company_database()
+        assert db.truth_of("badge_owner", "b2", "bob") is Truth.TRUE
+        db.insert("badge_owner", "b9", "frank")
+        assert db.table("badge").get("frank", "b9") is not None
+
+    def test_derived_delete_creates_nc(self):
+        db = company_database()
+        db.delete("dept_head_of", "alice", "dave")
+        assert len(db.ncs) == 1
+        assert db.truth_of("dept_head_of", "alice", "dave") is Truth.FALSE
+        # No base fact deleted; the two chain members are ambiguous.
+        assert db.table("works_in").get("alice", "sales").truth is (
+            Truth.AMBIGUOUS
+        )
+        assert db.table("manages").get("dave", "sales").truth is (
+            Truth.AMBIGUOUS
+        )
+
+
+class TestOneOneResolution:
+    def test_nvc_resolved_through_both_fd_directions(self):
+        """INS(dept_head_of, <frank, erin>) creates <frank, n1> in
+        works_in and <erin, n1> in manages. manages is one-one and
+        already maps erin to research, so n1 := research resolves both
+        rows."""
+        db = company_database()
+        db.insert("dept_head_of", "frank", "erin")
+        assert any(
+            is_null(fact.y) for fact in db.table("works_in").facts()
+        )
+        performed = resolve_nulls(db)
+        assert len(performed) == 1
+        assert str(performed[0].value) == "research"
+        assert db.table("works_in").get("frank", "research") is not None
+        # No null remains anywhere.
+        for name in db.base_names:
+            for fact in db.table(name).facts():
+                assert not is_null(fact.x) and not is_null(fact.y)
+        assert db.truth_of("dept_head_of", "frank", "erin") is Truth.TRUE
+
+    def test_injective_direction(self):
+        """badge is one-one: a null *domain* row unifies through the
+        injective (range -> domain) dependency."""
+        db = company_database()
+        n1 = db.nulls.fresh()
+        db.table("badge").add_pair(n1, "b1")  # someone's badge is b1
+        performed = resolve_nulls(db)
+        assert any(str(s.value) == "alice" for s in performed)
+        assert db.table("badge").null_x_facts() == ()
+
+
+class TestGuardedCompanyPolicy:
+    def test_one_badge_per_employee_enforced(self):
+        from repro.errors import ConstraintViolation
+        from repro.fdb.integrity import CardinalityConstraint, ConstraintSet
+        from repro.fdb.updates import Update
+
+        db = company_database()
+        policy = ConstraintSet([
+            CardinalityConstraint("badge", per="domain", maximum=1),
+        ])
+        with pytest.raises(ConstraintViolation):
+            policy.guarded(db, Update.ins("badge", "alice", "b99"))
+        assert db.truth_of("badge", "alice", "b99") is Truth.FALSE

@@ -1,0 +1,251 @@
+"""Tests for functionality constraints and FD-driven null resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivation import Derivation
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.errors import ConstraintViolation
+from repro.fdb.constraints import (
+    check_insert,
+    guarded_insert,
+    planned_unifications,
+    resolve_nulls,
+    substitute_null,
+    violations,
+)
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.logic import Truth
+from repro.fdb.values import NullValue
+
+A, B, C = (ObjectType(n) for n in "ABC")
+MO = TypeFunctionality.MANY_ONE
+OM = TypeFunctionality.ONE_MANY
+OO = TypeFunctionality.ONE_ONE
+MM = TypeFunctionality.MANY_MANY
+
+
+def single_valued_db() -> FunctionalDatabase:
+    db = FunctionalDatabase()
+    db.declare_base(FunctionDef("f", A, B, MO))
+    return db
+
+
+class TestViolations:
+    def test_single_valued_conflict_detected(self):
+        db = single_valued_db()
+        db.load("f", [("a", "b1"), ("a", "b2")])
+        found = violations(db)
+        assert len(found) == 1
+        assert found[0].kind == "single_valued"
+        assert "f" in str(found[0])
+
+    def test_injective_conflict_detected(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, OM))
+        db.load("f", [("a1", "b"), ("a2", "b")])
+        found = violations(db)
+        assert len(found) == 1
+        assert found[0].kind == "injective"
+
+    def test_one_one_checks_both(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, OO))
+        db.load("f", [("a", "b1"), ("a", "b2"), ("a2", "b1")])
+        kinds = {v.kind for v in violations(db)}
+        assert kinds == {"single_valued", "injective"}
+
+    def test_many_many_never_violates(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        db.load("f", [("a", "b1"), ("a", "b2"), ("a2", "b1")])
+        assert violations(db) == []
+
+    def test_null_conflicts_not_definite(self):
+        db = single_valued_db()
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", "b")
+        assert violations(db) == []
+
+
+class TestCheckInsert:
+    def test_rejects_single_valued_conflict(self):
+        db = single_valued_db()
+        db.load("f", [("a", "b1")])
+        with pytest.raises(ConstraintViolation):
+            check_insert(db, "f", "a", "b2")
+
+    def test_allows_reassertion(self):
+        db = single_valued_db()
+        db.load("f", [("a", "b1")])
+        check_insert(db, "f", "a", "b1")  # no raise
+
+    def test_allows_null_overlap(self):
+        db = single_valued_db()
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        check_insert(db, "f", "a", "b")  # unifiable, not a violation
+
+    def test_injective_check(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, OM))
+        db.load("f", [("a1", "b")])
+        with pytest.raises(ConstraintViolation):
+            check_insert(db, "f", "a2", "b")
+
+    def test_guarded_insert(self):
+        db = single_valued_db()
+        guarded_insert(db, "f", "a", "b")
+        with pytest.raises(ConstraintViolation):
+            guarded_insert(db, "f", "a", "b2")
+
+
+class TestPlannedUnifications:
+    def test_null_unifies_with_data(self):
+        db = single_valued_db()
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", "b")
+        planned = planned_unifications(db)
+        assert len(planned) == 1
+        assert planned[0].null == n1 and planned[0].value == "b"
+
+    def test_two_nulls_unify_to_lower_index(self):
+        db = single_valued_db()
+        n1, n2 = db.nulls.fresh(), db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", n2)
+        planned = planned_unifications(db)
+        assert len(planned) == 1
+        assert planned[0].null == n2 and planned[0].value == n1
+
+    def test_no_plan_for_many_many(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", "b")
+        assert planned_unifications(db) == []
+
+    def test_injective_plans_on_domain(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, OM))
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair(n1, "b")
+        db.table("f").add_pair("a", "b")
+        planned = planned_unifications(db)
+        assert len(planned) == 1
+        assert planned[0].null == n1 and planned[0].value == "a"
+
+    def test_each_null_claimed_once(self):
+        """A null appearing in two groups gets one substitution per
+        round (the fixpoint loop handles the rest)."""
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, OO))
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", "b")
+        db.table("f").add_pair("a2", n1)   # same null elsewhere
+        planned = planned_unifications(db)
+        assert len([s for s in planned if s.null == n1]) == 1
+
+
+class TestSubstitution:
+    def test_substitute_everywhere(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        db.declare_base(FunctionDef("g", B, C, MM))
+        n1 = db.nulls.fresh()
+        db.table("f").add_pair("a", n1)
+        db.table("g").add_pair(n1, "c")
+        substitute_null(db, n1, "b")
+        assert db.table("f").get("a", "b") is not None
+        assert db.table("g").get("b", "c") is not None
+        assert db.table("f").get("a", n1) is None
+
+    def test_merge_keeps_truth_and_dismantles(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        n1 = db.nulls.fresh()
+        nvc_fact = db.table("f").add_pair("a", n1)          # true (NVC)
+        real_fact = db.table("f").add_pair("a", "b")
+        db.ncs.create([("f", real_fact)])                    # ambiguous
+        substitute_null(db, n1, "b")
+        merged = db.table("f").get("a", "b")
+        assert merged.truth is Truth.TRUE
+        assert merged.ncl == set()
+        assert len(db.ncs) == 0
+
+    def test_nc_refs_rewritten(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        db.declare_base(FunctionDef("g", B, C, MM))
+        n1 = db.nulls.fresh()
+        f_fact = db.table("f").add_pair("a", n1)
+        g_fact = db.table("g").add_pair("x", "c")
+        nc = db.ncs.create([("f", f_fact), ("g", g_fact)])
+        substitute_null(db, n1, "b")
+        members = {str(m) for m in db.ncs.get(nc.index).members}
+        assert members == {"<f, a, b>", "<g, x, c>"}
+        # Dual structure intact after rewrite.
+        assert nc.index in db.table("f").get("a", "b").ncl
+
+
+class TestResolveFixpoint:
+    def test_resolves_nvc_against_real_fact(self):
+        """The motivating scenario: derived insert created <a, n1>,
+        <n1, c>; a later real insert <a, b> under a single-valued f1
+        forces n1 = b everywhere."""
+        db = FunctionalDatabase()
+        f1 = FunctionDef("f1", A, B, MO)
+        f2 = FunctionDef("f2", B, C, MO)
+        db.declare_base(f1)
+        db.declare_base(f2)
+        db.declare_derived(
+            FunctionDef("v", A, C, MO), Derivation.of(f1, f2)
+        )
+        db.insert("v", "a", "c")          # creates <a, n1>, <n1, c>
+        db.insert("f1", "a", "b")         # forces n1 = b
+        performed = resolve_nulls(db)
+        assert len(performed) == 1
+        assert db.table("f1").get("a", "b") is not None
+        assert db.table("f2").get("b", "c") is not None
+        assert db.table("f1").null_y_facts() == ()
+        assert db.truth_of("v", "a", "c") is Truth.TRUE
+
+    def test_chained_resolution(self):
+        """n2 := n1 then n1 := b requires two rounds."""
+        db = single_valued_db()
+        n1, n2 = db.nulls.fresh(), db.nulls.fresh()
+        db.table("f").add_pair("a", n2)
+        db.table("f").add_pair("a", n1)
+        db.table("f").add_pair("a", "b")
+        performed = resolve_nulls(db)
+        assert len(performed) >= 2
+        assert [f.pair for f in db.table("f").facts()] == [("a", "b")]
+
+    def test_noop_when_nothing_to_do(self):
+        db = single_valued_db()
+        db.load("f", [("a", "b")])
+        assert resolve_nulls(db) == []
+
+    def test_reduces_ambiguity_metric(self):
+        from repro.fdb.ambiguity import measure
+
+        db = FunctionalDatabase()
+        f1 = FunctionDef("f1", A, B, MO)
+        f2 = FunctionDef("f2", B, C, MO)
+        db.declare_base(f1)
+        db.declare_base(f2)
+        db.declare_derived(FunctionDef("v", A, C, MO),
+                           Derivation.of(f1, f2))
+        db.load("f2", [("b", "c2")])
+        db.insert("v", "a", "c")
+        db.insert("f1", "a", "b")
+        before = measure(db).null_count
+        resolve_nulls(db)
+        after = measure(db).null_count
+        assert after < before

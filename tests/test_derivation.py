@@ -1,0 +1,198 @@
+"""Tests for derivations (composition chains with inverses)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.schema import FunctionDef
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.errors import DerivationError
+
+A, B, C, D = (ObjectType(n) for n in "ABCD")
+f_ab = FunctionDef("f", A, B, TypeFunctionality.MANY_ONE)
+g_bc = FunctionDef("g", B, C, TypeFunctionality.MANY_ONE)
+h_cd = FunctionDef("h", C, D, TypeFunctionality.ONE_MANY)
+loop_aa = FunctionDef("w", A, A, TypeFunctionality.MANY_MANY)
+
+
+class TestStep:
+    def test_identity_step(self):
+        step = Step(f_ab)
+        assert step.domain == A and step.range == B
+        assert step.functionality == TypeFunctionality.MANY_ONE
+        assert str(step) == "f"
+
+    def test_inverse_step(self):
+        step = Step(f_ab, Op.INVERSE)
+        assert step.domain == B and step.range == A
+        assert step.functionality == TypeFunctionality.ONE_MANY
+        assert str(step) == "f^-1"
+
+    def test_inverted_flips(self):
+        step = Step(f_ab)
+        assert step.inverted().op is Op.INVERSE
+        assert step.inverted().inverted() == step
+
+
+class TestDerivationConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(DerivationError):
+            Derivation([])
+
+    def test_chaining_validated(self):
+        with pytest.raises(DerivationError):
+            Derivation.of(f_ab, h_cd)  # B != C
+
+    def test_of_wraps_functions(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        assert derivation.domain == A and derivation.range == C
+        assert str(derivation) == "f o g"
+
+    def test_of_mixes_steps_and_functions(self):
+        derivation = Derivation.of(Step(g_bc, Op.INVERSE), Step(f_ab, Op.INVERSE))
+        assert derivation.domain == C and derivation.range == A
+        assert str(derivation) == "g^-1 o f^-1"
+
+    def test_inverse_chaining(self):
+        # f: A->B then f^-1: B->A chains.
+        derivation = Derivation.of(Step(f_ab), Step(f_ab, Op.INVERSE))
+        assert derivation.domain == A and derivation.range == A
+
+    def test_self_loop(self):
+        derivation = Derivation.of(loop_aa, loop_aa)
+        assert derivation.domain == A and derivation.range == A
+
+
+class TestDerivationProperties:
+    def test_functionality_composes(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        assert derivation.functionality == TypeFunctionality.MANY_ONE
+        derivation2 = Derivation.of(f_ab, g_bc, h_cd)
+        assert derivation2.functionality == TypeFunctionality.MANY_MANY
+
+    def test_function_names_and_uses(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        assert derivation.function_names == ("f", "g")
+        assert derivation.uses("f") and not derivation.uses("h")
+
+    def test_container_protocol(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        assert len(derivation) == 2
+        assert derivation[0] == Step(f_ab)
+        assert [str(s) for s in derivation] == ["f", "g"]
+
+    def test_equality_and_hash(self):
+        assert Derivation.of(f_ab, g_bc) == Derivation.of(f_ab, g_bc)
+        assert Derivation.of(f_ab) != Derivation.of(g_bc)
+        assert len({Derivation.of(f_ab), Derivation.of(f_ab)}) == 1
+
+
+class TestEquivalence:
+    def test_matches_requires_both(self):
+        target_ok = FunctionDef("t", A, C, TypeFunctionality.MANY_ONE)
+        target_wrong_tf = FunctionDef("t", A, C, TypeFunctionality.ONE_ONE)
+        target_wrong_type = FunctionDef("t", A, D, TypeFunctionality.MANY_ONE)
+        derivation = Derivation.of(f_ab, g_bc)
+        assert derivation.matches(target_ok)
+        assert not derivation.matches(target_wrong_tf)
+        assert not derivation.matches(target_wrong_type)
+
+    def test_paper_taught_by(self):
+        teach = FunctionDef(
+            "teach", ObjectType("faculty"), ObjectType("course"),
+            TypeFunctionality.MANY_MANY,
+        )
+        taught_by = FunctionDef(
+            "taught_by", ObjectType("course"), ObjectType("faculty"),
+            TypeFunctionality.MANY_MANY,
+        )
+        assert Derivation.of(Step(teach, Op.INVERSE)).matches(taught_by)
+
+
+class TestAlgebra:
+    def test_inverted_reverses_and_flips(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        inverse = derivation.inverted()
+        assert str(inverse) == "g^-1 o f^-1"
+        assert inverse.domain == C and inverse.range == A
+
+    def test_inverted_functionality(self):
+        derivation = Derivation.of(f_ab, g_bc)
+        assert inverseness_check(derivation)
+
+    def test_then_concatenates(self):
+        left = Derivation.of(f_ab)
+        right = Derivation.of(g_bc)
+        assert str(left.then(right)) == "f o g"
+
+    def test_then_validates(self):
+        with pytest.raises(DerivationError):
+            Derivation.of(f_ab).then(Derivation.of(h_cd))
+
+
+def inverseness_check(derivation: Derivation) -> bool:
+    return (
+        derivation.inverted().functionality
+        == derivation.functionality.inverse()
+    )
+
+
+# -- property tests over random well-formed derivations ----------------------
+
+_functions = [f_ab, g_bc, h_cd, loop_aa]
+
+
+@st.composite
+def random_derivation(draw) -> Derivation:
+    """A random well-formed derivation built as a walk over {A,B,C,D}."""
+    by_domain: dict[ObjectType, list[Step]] = {}
+    for function in _functions:
+        for op in (Op.IDENTITY, Op.INVERSE):
+            step = Step(function, op)
+            by_domain.setdefault(step.domain, []).append(step)
+    start = draw(st.sampled_from([A, B, C, D]))
+    length = draw(st.integers(min_value=1, max_value=5))
+    steps = []
+    at = start
+    for _ in range(length):
+        options = by_domain.get(at)
+        if not options:
+            break
+        step = draw(st.sampled_from(options))
+        steps.append(step)
+        at = step.range
+    if not steps:
+        steps = [Step(f_ab)]
+    return Derivation(steps)
+
+
+@given(random_derivation())
+def test_double_inversion_is_identity(derivation):
+    assert derivation.inverted().inverted() == derivation
+
+
+@given(random_derivation())
+def test_inversion_swaps_endpoints(derivation):
+    inverse = derivation.inverted()
+    assert inverse.domain == derivation.range
+    assert inverse.range == derivation.domain
+
+
+@given(random_derivation())
+def test_inversion_inverts_functionality(derivation):
+    assert inverseness_check(derivation)
+
+
+@given(random_derivation(), random_derivation())
+def test_then_endpoints(left, right):
+    if left.range != right.domain:
+        with pytest.raises(DerivationError):
+            left.then(right)
+        return
+    combined = left.then(right)
+    assert combined.domain == left.domain
+    assert combined.range == right.range
+    assert len(combined) == len(left) + len(right)

@@ -1,0 +1,287 @@
+"""Tests for Method 2.1: the on-line interactive design aid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import (
+    AutoDesigner,
+    CallbackDesigner,
+    DesignSession,
+    ScriptedDesigner,
+    complement_in_cycle,
+)
+from repro.core.graph import FunctionGraph, Path, PathStep
+from repro.core.minimal_schema import minimal_schema_ams
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.errors import DesignError
+
+A, B, C = (ObjectType(n) for n in "ABC")
+MM = TypeFunctionality.MANY_MANY
+MO = TypeFunctionality.MANY_ONE
+
+
+def fd(name, dom, rng, tf=MM):
+    return FunctionDef(name, dom, rng, tf)
+
+
+class TestComplementInCycle:
+    def _triangle_cycle(self) -> Path:
+        graph = FunctionGraph([
+            fd("direct", A, C, MO), fd("f", A, B, MO), fd("g", B, C, MO),
+        ])
+        cycles = list(graph.cycles_through("direct"))
+        assert len(cycles) == 1
+        return cycles[0]
+
+    def test_complement_of_forward_edge(self):
+        cycle = self._triangle_cycle()
+        complement = complement_in_cycle(cycle, 0)
+        assert str(complement) == "f o g"
+        assert complement.start == A and complement.end == C
+
+    def test_complement_orientation_for_backward_edges(self):
+        cycle = self._triangle_cycle()
+        # Positions 1 and 2 hold f and g (traversed backward from C to A
+        # or forward, depending on enumeration) -- each complement must
+        # read from that function's own domain to its range.
+        for index, step in enumerate(cycle.steps):
+            complement = complement_in_cycle(cycle, index)
+            assert complement.start == step.edge.function.domain
+            assert complement.end == step.edge.function.range
+
+    def test_needs_a_cycle(self):
+        graph = FunctionGraph([fd("f", A, B)])
+        path = Path(A, [PathStep(graph.edge("f"), True)])
+        with pytest.raises(DesignError):
+            complement_in_cycle(path, 0)
+
+    def test_index_bounds(self):
+        cycle = self._triangle_cycle()
+        with pytest.raises(DesignError):
+            complement_in_cycle(cycle, 3)
+
+
+class TestCandidates:
+    def test_two_cycle_both_candidates(self):
+        """teach / taught_by: both are candidates (Section 2.3)."""
+        session = DesignSession(AutoDesigner())
+        session.add(fd("teach", ObjectType("faculty"), ObjectType("course")))
+        reports = session.add(
+            fd("taught_by", ObjectType("course"), ObjectType("faculty"))
+        )
+        assert len(reports) == 1
+        names = {f.name for f in reports[0].candidate_functions}
+        assert names == {"teach", "taught_by"}
+
+    def test_functionality_filters_candidates(self):
+        """grade - attendance - attendance_eval: only grade qualifies."""
+        student_course = ObjectType("[student; course]")
+        letter = ObjectType("letter_grade")
+        attn = ObjectType("attn_percentage")
+        designer = ScriptedDesigner(removals={
+            frozenset({"grade", "attendance", "attendance_eval"}): None,
+        })
+        session = DesignSession(designer)
+        session.add(fd("grade", student_course, letter, MO))
+        session.add(fd("attendance", student_course, attn, MO))
+        reports = session.add(fd("attendance_eval", attn, letter, MO))
+        assert len(reports) == 1
+        assert [f.name for f in reports[0].candidate_functions] == ["grade"]
+        # The derivation offered for grade is the other way around.
+        assert str(reports[0].derivation_for("grade")) == (
+            "attendance o attendance_eval"
+        )
+
+    def test_cycle_with_no_candidates(self):
+        designer = ScriptedDesigner(removals={
+            frozenset({"f", "g", "h"}): None,
+        })
+        session = DesignSession(designer)
+        session.add(fd("f", A, B, MO))
+        session.add(fd("g", B, C, MO))
+        reports = session.add(fd("h", C, A, MO))
+        # h's complement f^-1 o g^-1 ... all many-one edges; complements
+        # are many-many or mixed; none equal many-one.
+        assert len(reports) == 1
+        assert reports[0].candidates == ()
+
+    def test_report_describe(self):
+        session = DesignSession(AutoDesigner())
+        session.add(fd("teach", A, B))
+        reports = session.add(fd("taught_by", B, A))
+        # AutoDesigner removed taught_by; the report still describes it.
+        text = reports[0].describe()
+        assert "cycle:" in text and "candidate derived functions:" in text
+
+    def test_derivation_for_unknown_candidate(self):
+        session = DesignSession(AutoDesigner())
+        session.add(fd("teach", A, B))
+        reports = session.add(fd("taught_by", B, A))
+        with pytest.raises(DesignError):
+            reports[0].derivation_for("nope")
+
+
+class TestDesignerValidation:
+    def test_choice_must_be_in_cycle(self):
+        designer = CallbackDesigner(lambda report: "outsider")
+        session = DesignSession(designer)
+        session.add(fd("f", A, B))
+        session.add(fd("outsider", A, C))
+        with pytest.raises(DesignError):
+            session.add(fd("g", A, B))
+
+    def test_choice_must_be_candidate(self):
+        """Choosing an edge whose syntax/functionality disagrees with
+        the rest of the cycle is rejected."""
+        designer = CallbackDesigner(lambda report: "attendance")
+        student_course = ObjectType("SC")
+        letter = ObjectType("L")
+        attn = ObjectType("P")
+        session = DesignSession(designer)
+        session.add(fd("grade", student_course, letter, MO))
+        session.add(fd("attendance", student_course, attn, MO))
+        with pytest.raises(DesignError):
+            session.add(fd("attendance_eval", attn, letter, MO))
+
+    def test_scripted_designer_requires_entries(self):
+        designer = ScriptedDesigner(removals={})
+        session = DesignSession(designer)
+        session.add(fd("f", A, B))
+        with pytest.raises(DesignError):
+            session.add(fd("g", A, B))
+        assert designer.unmatched_cycles
+
+
+class TestSessionState:
+    def test_is_derived(self):
+        session = DesignSession(AutoDesigner())
+        session.add(fd("teach", A, B))
+        session.add(fd("taught_by", B, A))
+        assert session.is_derived("taught_by")
+        assert not session.is_derived("teach")
+
+    def test_is_derived_unknown(self):
+        session = DesignSession(AutoDesigner())
+        with pytest.raises(DesignError):
+            session.is_derived("f")
+
+    def test_kept_cycle_not_rereported(self):
+        """Once the designer keeps a cycle, the same cycle is not raised
+        again by later additions."""
+        removals = {frozenset({"f", "g", "h"}): None}
+        designer = ScriptedDesigner(removals=removals)
+        session = DesignSession(designer)
+        session.add(fd("f", A, B, MO))
+        session.add(fd("g", B, C, MO))
+        reports = session.add(fd("h", C, A, MO))
+        assert len(reports) == 1
+        # A later unrelated function raises no report for the old cycle.
+        more = session.add(fd("k", A, ObjectType("D"), MO))
+        assert more == []
+
+    def test_graph_stays_synchronized(self):
+        session = DesignSession(AutoDesigner())
+        session.add(fd("teach", A, B))
+        session.add(fd("taught_by", B, A))
+        assert set(session.base_schema.names) == {"teach"}
+        assert set(session.derived_schema.names) == {"taught_by"}
+
+    def test_duplicate_add_rejected(self):
+        session = DesignSession(AutoDesigner())
+        session.add(fd("f", A, B))
+        with pytest.raises(Exception):
+            session.add(fd("f", A, B))
+
+
+class TestPaperTrace(object):
+    """The full Section 2.3 walkthrough against Figure 1."""
+
+    def _run(self, trace_functions, trace_designer) -> DesignSession:
+        session = DesignSession(trace_designer)
+        session.add_all(trace_functions)
+        return session
+
+    def test_final_split_matches_figure_1(self, trace_functions,
+                                          trace_designer):
+        session = self._run(trace_functions, trace_designer)
+        assert set(session.base_schema.names) == {
+            "teach", "class_list", "score", "cutoff",
+            "attendance", "attendance_eval",
+        }
+        assert set(session.derived_schema.names) == {
+            "taught_by", "lecturer_of", "grade",
+        }
+
+    def test_confirmed_derivations(self, trace_functions, trace_designer):
+        session = self._run(trace_functions, trace_designer)
+        outcome = session.finish()
+        texts = {
+            name: [str(d) for d in derivations]
+            for name, derivations in outcome.derivations.items()
+        }
+        assert texts["taught_by"] == ["teach^-1"]
+        assert texts["lecturer_of"] == ["class_list^-1 o teach^-1"]
+        assert texts["grade"] == ["score o cutoff"]
+
+    def test_invalidated_derivation_filtered(self, trace_functions,
+                                             trace_designer):
+        session = self._run(trace_functions, trace_designer)
+        potentials = {str(d) for d in session.potential_derivations("grade")}
+        assert potentials == {
+            "score o cutoff", "attendance o attendance_eval",
+        }
+        confirmed = {str(d) for d in session.confirmed_derivations("grade")}
+        assert confirmed == {"score o cutoff"}
+
+    def test_cycle_sequence(self, trace_functions, trace_designer):
+        session = self._run(trace_functions, trace_designer)
+        cycles = [
+            frozenset(event.report.cycle.edge_names)
+            for event in session.log
+            if event.kind == "cycle"
+        ]
+        assert cycles == [
+            frozenset({"teach", "taught_by"}),
+            frozenset({"teach", "class_list", "lecturer_of"}),
+            frozenset({"grade", "attendance", "attendance_eval"}),
+            frozenset({"grade", "score", "cutoff"}),
+            frozenset({"score", "cutoff", "attendance_eval", "attendance"}),
+        ]
+
+    def test_final_graph_is_cyclic(self, trace_functions, trace_designer):
+        """Figure 1 keeps the score-cutoff-attendance_eval-attendance
+        cycle: the final dynamic graph is not acyclic."""
+        session = self._run(trace_functions, trace_designer)
+        assert not session.graph.is_acyclic()
+
+    def test_trace_text(self, trace_functions, trace_designer):
+        session = self._run(trace_functions, trace_designer)
+        text = session.trace()
+        assert "designer removed taught_by (derived)" in text
+        assert "designer kept the cycle (no edge removed)" in text
+
+
+class TestAutoDesignerAgainstAMS:
+    def test_auto_session_matches_ams_on_s1(self, s1):
+        """On a UFA-friendly schema the AutoDesigner (remove the newest
+        candidate) lands on a valid minimal schema of the same size as
+        AMS's."""
+        session = DesignSession(AutoDesigner())
+        session.add_all(s1)
+        ams = minimal_schema_ams(s1)
+        assert len(session.base_schema) == len(ams.minimal)
+        assert len(session.derived_schema) == len(ams.derived)
+        # AutoDesigner prefers removing the trigger: taught_by, grade.
+        assert set(session.derived_schema.names) == {"taught_by", "grade"}
+
+
+class TestDesignOutcome:
+    def test_summary(self, trace_functions, trace_designer):
+        session = DesignSession(trace_designer)
+        session.add_all(trace_functions)
+        summary = session.finish().summary()
+        assert "Base functions:" in summary
+        assert "grade = score o cutoff" in summary
+        assert "attendance o attendance_eval" not in summary

@@ -1,0 +1,127 @@
+"""Tests for state diffs and journal change inspection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import AutoDesigner
+from repro.errors import UpdateError
+from repro.fdb import persistence
+from repro.fdb.diff import diff_snapshots
+from repro.fdb.journal import Journal
+from repro.fdb.updates import Update
+from repro.lang.interp import Interpreter
+
+
+class TestDiffSnapshots:
+    def test_empty_diff(self, pupil_db):
+        snapshot = persistence.to_dict(pupil_db)
+        diff = diff_snapshots(snapshot, snapshot)
+        assert diff.is_empty
+        assert diff.describe() == "(no changes)"
+
+    def test_added_fact(self, pupil_db):
+        before = persistence.to_dict(pupil_db)
+        pupil_db.insert("teach", "gauss", "cs")
+        diff = diff_snapshots(before, persistence.to_dict(pupil_db))
+        assert diff.added == (("teach", ("gauss", "cs"), "T"),)
+        assert not diff.removed and not diff.flag_changes
+        assert "+ <teach, gauss, cs> [T]" in diff.describe()
+
+    def test_removed_fact(self, pupil_db):
+        before = persistence.to_dict(pupil_db)
+        pupil_db.delete("teach", "euclid", "math")
+        diff = diff_snapshots(before, persistence.to_dict(pupil_db))
+        assert diff.removed == (("teach", ("euclid", "math"), "T"),)
+
+    def test_derived_delete_shows_flags_and_nc(self, pupil_db):
+        before = persistence.to_dict(pupil_db)
+        pupil_db.delete("pupil", "euclid", "john")
+        diff = diff_snapshots(before, persistence.to_dict(pupil_db))
+        assert not diff.added and not diff.removed
+        assert set(diff.flag_changes) == {
+            ("teach", ("euclid", "math"), "T", "A"),
+            ("class_list", ("math", "john"), "T", "A"),
+        }
+        assert len(diff.ncs_created) == 1
+        assert diff.ncs_created[0].startswith("g1: NOT(")
+
+    def test_nc_dismantled(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        before = persistence.to_dict(pupil_db)
+        pupil_db.insert("teach", "euclid", "math")
+        diff = diff_snapshots(before, persistence.to_dict(pupil_db))
+        assert len(diff.ncs_dismantled) == 1
+        assert ("teach", ("euclid", "math"), "A", "T") in (
+            diff.flag_changes
+        )
+
+    def test_tuple_values(self, pupil_db):
+        from repro.core.schema import FunctionDef
+        from repro.core.types import ObjectType, TypeFunctionality
+        from repro.core.types import product_type
+
+        pupil_db.declare_base(FunctionDef(
+            "score", product_type("student", "course"),
+            ObjectType("marks"), TypeFunctionality.MANY_ONE,
+        ))
+        before = persistence.to_dict(pupil_db)
+        pupil_db.insert("score", ("john", "math"), 91)
+        diff = diff_snapshots(before, persistence.to_dict(pupil_db))
+        assert diff.added == (
+            ("score", (("john", "math"), 91), "T"),
+        )
+
+
+class TestJournalChanges:
+    def test_last_change(self, pupil_db):
+        journal = Journal(pupil_db)
+        journal.execute(Update.delete("pupil", "euclid", "john"))
+        diff = journal.last_change()
+        assert len(diff.ncs_created) == 1
+
+    def test_change_of_interior_entry(self, pupil_db):
+        journal = Journal(pupil_db)
+        journal.execute(Update.ins("teach", "gauss", "cs"))
+        journal.execute(Update.ins("teach", "noether", "algebra"))
+        first = journal.change_of(1)
+        assert first.added == (("teach", ("gauss", "cs"), "T"),)
+        second = journal.change_of(2)
+        assert second.added == (("teach", ("noether", "algebra"), "T"),)
+
+    def test_bounds(self, pupil_db):
+        journal = Journal(pupil_db)
+        with pytest.raises(UpdateError):
+            journal.last_change()
+        journal.execute(Update.ins("teach", "gauss", "cs"))
+        with pytest.raises(UpdateError):
+            journal.change_of(2)
+        with pytest.raises(UpdateError):
+            journal.change_of(0)
+
+
+class TestChangesStatement:
+    def test_via_language(self):
+        interp = Interpreter(AutoDesigner())
+        out = interp.execute("""
+            add teach: faculty -> course (many-many);
+            add class_list: course -> student (many-many);
+            add pupil: faculty -> student (many-many);
+            commit;
+            insert teach(euclid, math);
+            insert class_list(math, john);
+            delete pupil(euclid, john);
+            changes;
+        """)
+        joined = "\n".join(out)
+        assert "~ <teach, euclid, math> T -> A" in joined
+        assert "+ NC g1: NOT(" in joined
+
+    def test_changes_without_updates_reports_error(self):
+        interp = Interpreter(AutoDesigner())
+        out = interp.execute("""
+            add teach: faculty -> course (many-many);
+            commit;
+            changes;
+        """)
+        assert out[-1] == "error: no updates applied yet"

@@ -1,0 +1,73 @@
+"""Tests for DOT export of function graphs and designs."""
+
+from __future__ import annotations
+
+from repro.core.design_aid import DesignSession
+from repro.core.dot import design_to_dot, graph_to_dot
+from repro.core.graph import FunctionGraph
+from repro.workloads.university import (
+    design_trace_designer,
+    design_trace_functions,
+    schema_s1,
+)
+
+
+class TestGraphToDot:
+    def test_structure(self):
+        graph = FunctionGraph.of_schema(schema_s1())
+        dot = graph_to_dot(graph)
+        assert dot.startswith('graph "function_graph" {')
+        assert dot.endswith("}")
+        assert '"faculty" -- "course"' in dot
+        assert "teach (many-many)" in dot
+        assert '"[student; course]";' in dot
+
+    def test_deterministic(self):
+        graph = FunctionGraph.of_schema(schema_s1())
+        assert graph_to_dot(graph) == graph_to_dot(graph)
+
+    def test_custom_name_and_rankdir(self):
+        graph = FunctionGraph()
+        dot = graph_to_dot(graph, name="empty", rankdir="TB")
+        assert '"empty"' in dot and "rankdir=TB" in dot
+
+    def test_quoting(self):
+        from repro.core.schema import FunctionDef
+        from repro.core.types import ObjectType
+
+        graph = FunctionGraph([FunctionDef(
+            "f", ObjectType('we"ird'), ObjectType("ok")
+        )])
+        dot = graph_to_dot(graph)
+        assert '\\"' in dot
+
+
+class TestDesignToDot:
+    def test_figure1_rendering(self):
+        session = DesignSession(design_trace_designer())
+        session.add_all(design_trace_functions())
+        dot = design_to_dot(session.finish(), name="figure1")
+        # Base edges: solid with functionality labels.
+        assert "score (many-one)" in dot
+        # Derived edges: dashed with derivations.
+        assert "style=dashed" in dot
+        assert "grade = score o cutoff" in dot
+        assert "taught_by = teach^-1" in dot
+        # Every object type of Figure 1 appears as a node.
+        for node in ("faculty", "course", "student", "marks",
+                     "letter_grade", "attn_percentage"):
+            assert f'"{node}";' in dot
+
+    def test_unconfirmed_derivation_marked(self):
+        from repro.core.design_aid import DesignOutcome
+        from repro.core.schema import FunctionDef, Schema
+        from repro.core.types import ObjectType
+
+        A, B = ObjectType("A"), ObjectType("B")
+        outcome = DesignOutcome(
+            Schema([FunctionDef("f", A, B)]),
+            Schema([FunctionDef("v", A, B)]),
+            {"v": ()},
+        )
+        dot = design_to_dot(outcome)
+        assert "v = ?" in dot

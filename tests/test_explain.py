@@ -1,0 +1,119 @@
+"""Tests for truth-verdict explanations."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_aid import AutoDesigner
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.explain import explain
+from repro.fdb.logic import Truth
+from repro.lang.interp import Interpreter
+from repro.workloads.generator import (
+    WorkloadConfig,
+    chain_fdb,
+    random_instance,
+    random_updates,
+)
+
+
+class TestBaseExplanations:
+    def test_true_fact(self, pupil_db):
+        explanation = explain(pupil_db, "teach", "euclid", "math")
+        assert explanation.verdict is Truth.TRUE
+        assert explanation.kind == "base"
+        assert explanation.stored_flag == "T"
+        assert "asserted true" in explanation.describe()
+
+    def test_absent_fact(self, pupil_db):
+        explanation = explain(pupil_db, "teach", "gauss", "cs")
+        assert explanation.verdict is Truth.FALSE
+        assert explanation.stored_flag is None
+        assert "absence means false" in explanation.describe()
+
+    def test_ambiguous_fact(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        explanation = explain(pupil_db, "teach", "euclid", "math")
+        assert explanation.verdict is Truth.AMBIGUOUS
+        assert explanation.stored_flag == "A"
+
+
+class TestDerivedExplanations:
+    def test_true_chain_shown(self, pupil_db):
+        explanation = explain(pupil_db, "pupil", "euclid", "john")
+        assert explanation.verdict is Truth.TRUE
+        assert len(explanation.chains) == 1
+        text = explanation.describe()
+        assert "<teach, euclid, math>[T]" in text
+        assert "supports true" in text
+
+    def test_negated_chain_names_the_nc(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        explanation = explain(pupil_db, "pupil", "euclid", "john")
+        assert explanation.verdict is Truth.FALSE
+        assert explanation.chains[0].supports is Truth.FALSE
+        assert explanation.chains[0].negated_by == (1,)
+        assert "negated by g1" in explanation.describe()
+
+    def test_ambiguous_member_flags_shown(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        explanation = explain(pupil_db, "pupil", "euclid", "bill")
+        assert explanation.verdict is Truth.AMBIGUOUS
+        text = explanation.describe()
+        assert "<teach, euclid, math>[A]" in text
+        assert "supports ambiguous" in text
+
+    def test_no_chain(self, pupil_db):
+        explanation = explain(pupil_db, "pupil", "nobody", "nothing")
+        assert "no chain derives it" in explanation.describe()
+
+    def test_ambiguous_match_quality_reported(self, pupil_db):
+        pupil_db.insert("pupil", "gauss", "bill")
+        explanation = explain(pupil_db, "pupil", "gauss", "john")
+        assert explanation.verdict is Truth.AMBIGUOUS
+        assert "ambiguous match" in explanation.describe()
+
+
+class TestAgreementWithEvaluate:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_updates=st.integers(0, 12))
+    def test_explanation_never_disagrees(self, seed, n_updates):
+        from repro.fdb.updates import apply_update
+
+        db = chain_fdb(2)
+        random_instance(db, 6, seed=seed, value_pool=5)
+        for update in random_updates(
+            db, n_updates, WorkloadConfig(seed=seed + 1, value_pool=5)
+        ):
+            apply_update(db, update)
+        for (x, y), truth in list(derived_extension(db, "v").items())[:5]:
+            explanation = explain(db, "v", x, y)
+            assert explanation.verdict is truth
+            # The verdict is the strongest chain support.
+            strongest = max(
+                (e.supports for e in explanation.chains),
+                default=Truth.FALSE,
+            )
+            assert strongest is truth
+
+
+class TestLanguageStatement:
+    def test_explain_via_language(self):
+        interp = Interpreter(AutoDesigner())
+        out = interp.execute("""
+            add teach: faculty -> course (many-many);
+            add class_list: course -> student (many-many);
+            add pupil: faculty -> student (many-many);
+            commit;
+            insert teach(euclid, math);
+            insert class_list(math, john);
+            delete pupil(euclid, john);
+            explain pupil(euclid, john);
+            explain teach(euclid, math);
+        """)
+        joined = "\n".join(out)
+        assert "pupil(euclid) = john: false" in joined
+        assert "negated by g1" in joined
+        assert "teach(euclid) = math: ambiguous" in joined
+        assert "stored with flag A" in joined

@@ -1,0 +1,301 @@
+"""Tests for the function graph: paths, cycles, equivalence search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import FunctionGraph, Path, PathStep
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.errors import GraphError
+
+A, B, C, D = (ObjectType(n) for n in "ABCD")
+MM = TypeFunctionality.MANY_MANY
+MO = TypeFunctionality.MANY_ONE
+OM = TypeFunctionality.ONE_MANY
+
+
+def fd(name, dom, rng, tf=MM):
+    return FunctionDef(name, dom, rng, tf)
+
+
+@pytest.fixture
+def triangle() -> FunctionGraph:
+    """f: A->B, g: B->C, direct: A->C."""
+    return FunctionGraph([
+        fd("f", A, B, MO), fd("g", B, C, MO), fd("direct", A, C, MO),
+    ])
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, triangle):
+        assert set(triangle.edge_names) == {"f", "g", "direct"}
+        assert set(triangle.nodes) == {A, B, C}
+        assert len(triangle) == 3
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add(fd("f", A, B))
+
+    def test_remove_keeps_nodes(self, triangle):
+        triangle.remove("direct")
+        assert "direct" not in triangle
+        assert set(triangle.nodes) == {A, B, C}
+
+    def test_remove_unknown(self):
+        with pytest.raises(GraphError):
+            FunctionGraph().remove("nope")
+
+    def test_edge_lookup(self, triangle):
+        edge = triangle.edge("f")
+        assert edge.u == A and edge.v == B
+        assert edge.other_end(A) == B
+        assert edge.other_end(B) == A
+        with pytest.raises(GraphError):
+            edge.other_end(C)
+
+    def test_of_schema_and_back(self, triangle):
+        schema = triangle.to_schema()
+        assert set(schema.names) == {"f", "g", "direct"}
+        again = FunctionGraph.of_schema(schema)
+        assert set(again.edge_names) == set(triangle.edge_names)
+
+    def test_degree_counts_self_loop_twice(self):
+        graph = FunctionGraph([fd("w", A, A), fd("f", A, B)])
+        assert graph.degree(A) == 3
+        assert graph.degree(B) == 1
+        assert graph.degree(C) == 0
+
+    def test_copy_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove("f")
+        assert "f" in triangle
+
+
+class TestPathObject:
+    def test_empty_path(self):
+        path = Path(A)
+        assert path.start == path.end == A
+        assert path.functionality == TypeFunctionality.ONE_ONE
+        assert len(path) == 0
+        with pytest.raises(GraphError):
+            path.to_derivation()
+
+    def test_nonchaining_rejected(self, triangle):
+        g_edge = triangle.edge("g")
+        with pytest.raises(GraphError):
+            Path(A, [PathStep(g_edge, True)])  # g starts at B
+
+    def test_syntax_and_functionality(self, triangle):
+        path = Path(A, [
+            PathStep(triangle.edge("f"), True),
+            PathStep(triangle.edge("g"), True),
+        ])
+        assert path.syntax == (A, C)
+        assert path.functionality == MO
+        assert path.nodes == (A, B, C)
+        assert path.edge_names == ("f", "g")
+
+    def test_reversed(self, triangle):
+        path = Path(A, [
+            PathStep(triangle.edge("f"), True),
+            PathStep(triangle.edge("g"), True),
+        ])
+        back = path.reversed()
+        assert back.start == C and back.end == A
+        assert str(back) == "g^-1 o f^-1"
+        assert back.functionality == OM
+
+    def test_to_derivation(self, triangle):
+        path = Path(A, [PathStep(triangle.edge("f"), True)])
+        derivation = path.to_derivation()
+        assert str(derivation) == "f"
+
+    def test_equivalent_to(self, triangle):
+        path = Path(A, [
+            PathStep(triangle.edge("f"), True),
+            PathStep(triangle.edge("g"), True),
+        ])
+        assert path.equivalent_to(fd("direct", A, C, MO))
+        assert not path.equivalent_to(fd("direct", A, C, MM))
+        assert not path.equivalent_to(fd("other", A, B, MO))
+
+
+class TestPathEnumeration:
+    def test_simple_paths_triangle(self, triangle):
+        paths = list(triangle.iter_paths(A, C))
+        texts = {str(p) for p in paths}
+        assert texts == {"direct", "f o g"}
+
+    def test_avoiding(self, triangle):
+        paths = list(triangle.iter_paths(A, C, avoiding=["direct"]))
+        assert [str(p) for p in paths] == ["f o g"]
+
+    def test_max_length(self, triangle):
+        paths = list(triangle.iter_paths(A, C, max_length=1))
+        assert [str(p) for p in paths] == ["direct"]
+
+    def test_backward_traversal_uses_inverse(self, triangle):
+        paths = {str(p) for p in triangle.iter_paths(C, A)}
+        assert paths == {"direct^-1", "g^-1 o f^-1"}
+
+    def test_no_node_revisits(self):
+        # Diamond: two routes A->D; no path may bounce through B twice.
+        graph = FunctionGraph([
+            fd("ab", A, B), fd("bd", B, D), fd("ac", A, C), fd("cd", C, D),
+            fd("bc", B, C),
+        ])
+        paths = list(graph.iter_paths(A, D))
+        for path in paths:
+            interior = path.nodes[:-1]
+            assert len(set(interior)) == len(interior)
+        assert {str(p) for p in paths} == {
+            "ab o bd", "ac o cd", "ab o bc o cd", "ac o bc^-1 o bd",
+        }
+
+    def test_unknown_source_yields_nothing(self, triangle):
+        assert list(triangle.iter_paths(D, A)) == []
+
+    def test_parallel_edges_both_enumerated(self):
+        graph = FunctionGraph([fd("e1", A, B), fd("e2", A, B)])
+        assert {str(p) for p in graph.iter_paths(A, B)} == {"e1", "e2"}
+
+    def test_self_loop_cycle(self):
+        graph = FunctionGraph([fd("w", A, A)])
+        cycles = {str(p) for p in graph.iter_paths(A, A)}
+        assert cycles == {"w", "w^-1"}
+
+
+class TestEquivalentPaths:
+    def test_finds_derivation(self, triangle):
+        paths = list(triangle.iter_equivalent_paths(
+            triangle.edge("direct").function
+        ))
+        assert [str(p) for p in paths] == ["f o g"]
+
+    def test_respects_functionality(self):
+        graph = FunctionGraph([
+            fd("f", A, B, MO), fd("g", B, C, OM), fd("direct", A, C, MO),
+        ])
+        # f o g is many-many, direct is many-one: no equivalent path.
+        assert list(graph.iter_equivalent_paths(
+            graph.edge("direct").function
+        )) == []
+
+    def test_excludes_self_by_default(self, triangle):
+        # Looking for paths equivalent to f itself: only f, excluded.
+        assert list(triangle.iter_equivalent_paths(
+            triangle.edge("f").function
+        )) == []
+
+
+class TestEquivalentWalk:
+    def test_matches_simple_path_search(self, triangle):
+        direct = triangle.edge("direct").function
+        assert triangle.has_equivalent_walk(direct)
+
+    def test_respects_avoiding(self, triangle):
+        direct = triangle.edge("direct").function
+        assert not triangle.has_equivalent_walk(direct, avoiding=["g"])
+
+    def test_no_walk_when_tf_wrong(self):
+        graph = FunctionGraph([
+            fd("f", A, B, MO), fd("g", B, C, OM), fd("direct", A, C, MO),
+        ])
+        assert not graph.has_equivalent_walk(graph.edge("direct").function)
+
+    def test_walk_can_exceed_simple_paths(self):
+        # direct: A->A many-many; w: A->A many-one. The walk w o w^-1 is
+        # many-many and equivalent to direct even though simple cycles
+        # through w alone are not.
+        graph = FunctionGraph([
+            fd("w", A, B, MO), fd("direct", A, A, MM),
+        ])
+        assert graph.has_equivalent_walk(graph.edge("direct").function)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 30))
+    def test_agrees_with_enumeration_on_random_graphs(self, seed):
+        """On small random graphs: walk-search finds a witness iff
+        exhaustive simple-path enumeration finds one, OR the walk needs
+        a repeat (walk-positive, path-negative is legal; the converse
+        is a bug)."""
+        import random
+
+        rng = random.Random(seed)
+        nodes = [A, B, C, D]
+        functions = []
+        for i in range(rng.randint(2, 6)):
+            dom, rng_t = rng.choice(nodes), rng.choice(nodes)
+            tf = rng.choice(TypeFunctionality.all())
+            functions.append(fd(f"e{i}", dom, rng_t, tf))
+        graph = FunctionGraph(functions)
+        for function in functions:
+            path_exists = any(
+                True for _ in graph.iter_equivalent_paths(function)
+            )
+            walk_exists = graph.has_equivalent_walk(function)
+            if path_exists:
+                assert walk_exists
+
+
+class TestCycles:
+    def test_cycles_through_triangle(self, triangle):
+        cycles = list(triangle.cycles_through("direct"))
+        assert len(cycles) == 1
+        cycle = cycles[0]
+        assert cycle.is_cycle
+        assert cycle.edge_names[0] == "direct"
+        assert set(cycle.edge_names) == {"direct", "f", "g"}
+
+    def test_cycles_through_parallel_pair(self):
+        graph = FunctionGraph([fd("e1", A, B), fd("e2", A, B)])
+        cycles = list(graph.cycles_through("e1"))
+        assert len(cycles) == 1
+        assert set(cycles[0].edge_names) == {"e1", "e2"}
+
+    def test_self_loop_cycle(self):
+        graph = FunctionGraph([fd("w", A, A)])
+        cycles = list(graph.cycles_through("w"))
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 1
+
+    def test_acyclic_edge_has_no_cycles(self, triangle):
+        triangle.remove("direct")
+        assert list(triangle.cycles_through("f")) == []
+
+    def test_multiple_cycles(self):
+        # Two midpoints give two cycles through the closer.
+        graph = FunctionGraph([
+            fd("p0", A, B), fd("q0", B, C),
+            fd("p1", A, D), fd("q1", D, C),
+            fd("closer", A, C),
+        ])
+        cycles = list(graph.cycles_through("closer"))
+        assert len(cycles) == 2
+
+
+class TestAcyclicity:
+    def test_tree_is_acyclic(self):
+        graph = FunctionGraph([fd("ab", A, B), fd("ac", A, C), fd("bd", B, D)])
+        assert graph.is_acyclic()
+
+    def test_triangle_is_cyclic(self, triangle):
+        assert not triangle.is_acyclic()
+
+    def test_parallel_edges_cyclic(self):
+        graph = FunctionGraph([fd("e1", A, B), fd("e2", A, B)])
+        assert not graph.is_acyclic()
+
+    def test_self_loop_cyclic(self):
+        graph = FunctionGraph([fd("w", A, A)])
+        assert not graph.is_acyclic()
+
+    def test_empty_acyclic(self):
+        assert FunctionGraph().is_acyclic()
+
+    def test_disconnected_components(self):
+        graph = FunctionGraph([fd("ab", A, B), fd("cd", C, D)])
+        assert graph.is_acyclic()

@@ -1,0 +1,160 @@
+"""End-to-end integration: design session -> database -> updates ->
+queries -> persistence, plus cross-checks between the API layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AutoDesigner,
+    DesignSession,
+    FunctionalDatabase,
+    Truth,
+    fn,
+    parse_schema,
+)
+from repro.core.design_aid import DesignSession as CoreSession
+from repro.fdb import persistence
+from repro.fdb.ambiguity import measure
+from repro.fdb.constraints import resolve_nulls
+from repro.fdb.evaluate import derived_extension
+from repro.lang.interp import Interpreter
+from repro.workloads.university import (
+    design_trace_designer,
+    design_trace_functions,
+    section_42_updates,
+)
+
+
+class TestDesignToDatabasePipeline:
+    def test_paper_design_drives_paper_updates(self):
+        """Full pipeline: Section 2.3 design produces the schema; the
+        Section 4.2 updates then run against the designed database
+        through the derived function taught_by and friends."""
+        session = DesignSession(design_trace_designer())
+        session.add_all(design_trace_functions())
+        db = FunctionalDatabase.from_design(session.finish())
+
+        db.insert("teach", "euclid", "math")
+        db.insert("class_list", "math", "john")
+        # taught_by = teach^-1 answers through the derivation.
+        assert db.truth_of("taught_by", "math", "euclid") is Truth.TRUE
+        # lecturer_of = class_list^-1 o teach^-1.
+        assert db.truth_of("lecturer_of", "john", "euclid") is Truth.TRUE
+        # grade = score o cutoff accepts derived inserts with nulls.
+        db.insert("grade", ("john", "math"), "A")
+        assert db.truth_of("grade", ("john", "math"), "A") is Truth.TRUE
+        assert db.counts()["next_null_index"] == 2  # one NVC null
+
+    def test_grade_null_resolution_via_fd(self):
+        """score is many-one: a real score for (john, math) forces the
+        NVC null, and cutoff inherits the real mark."""
+        session = DesignSession(design_trace_designer())
+        session.add_all(design_trace_functions())
+        db = FunctionalDatabase.from_design(session.finish())
+        db.insert("grade", ("john", "math"), "A")
+        db.insert("score", ("john", "math"), 91)
+        substitutions = resolve_nulls(db)
+        assert len(substitutions) == 1
+        assert db.table("cutoff").get(91, "A") is not None
+        assert measure(db).null_count == 0
+
+    def test_interpreter_agrees_with_api(self, pupil_db, u_sequence):
+        """The same scenario through the surface language and through
+        the Python API lands on identical stored state."""
+        from repro.fdb.updates import apply_update
+
+        for update in u_sequence:
+            apply_update(pupil_db, update)
+
+        interp = Interpreter(AutoDesigner())
+        interp.execute("""
+            add teach: faculty -> course (many-many);
+            add class_list: course -> student (many-many);
+            add pupil: faculty -> student (many-many);
+            commit;
+            insert teach(euclid, math);
+            insert teach(laplace, math);
+            insert class_list(math, john);
+            insert class_list(math, bill);
+            delete pupil(euclid, john);
+            insert pupil(gauss, bill);
+            delete teach(euclid, math);
+            insert class_list(math, john);
+            insert teach(gauss, math);
+        """)
+        assert interp.db is not None
+        for name in pupil_db.base_names:
+            assert (
+                pupil_db.table(name).rows()
+                == interp.db.table(name).rows()
+            )
+        assert derived_extension(pupil_db, "pupil") == (
+            derived_extension(interp.db, "pupil")
+        )
+
+
+class TestPersistenceAcrossLayers:
+    def test_mid_trace_snapshot_resumes(self, pupil_db, u_sequence,
+                                        tmp_path):
+        from repro.fdb.updates import apply_update
+
+        for update in u_sequence[:2]:
+            apply_update(pupil_db, update)
+        persistence.save(pupil_db, tmp_path / "mid.json")
+        resumed = persistence.load(tmp_path / "mid.json")
+        for update in u_sequence[2:]:
+            apply_update(resumed, update)
+        # Compare with an uninterrupted run.
+        from repro.workloads.university import pupil_database
+
+        straight = pupil_database()
+        for update in u_sequence:
+            apply_update(straight, update)
+        assert derived_extension(resumed, "pupil") == (
+            derived_extension(straight, "pupil")
+        )
+
+
+class TestQueriesOverDesignedDatabase:
+    def test_adhoc_equals_registered(self):
+        session = CoreSession(AutoDesigner())
+        session.add_all(parse_schema("""
+            teach: faculty -> course; (many-many)
+            class_list: course -> student; (many-many)
+            pupil: faculty -> student; (many-many)
+        """))
+        db = FunctionalDatabase.from_design(session.finish())
+        db.insert("teach", "euclid", "math")
+        db.insert("class_list", "math", "john")
+        db.delete("pupil", "euclid", "john")
+        adhoc = (fn("teach") * fn("class_list")).pairs(db)
+        registered = fn("pupil").pairs(db)
+        assert adhoc == registered
+
+
+class TestSchemaEvolution:
+    def test_new_derived_function_over_existing_data(self, pupil_db):
+        """Declaring an extra derived function later immediately sees
+        existing facts and partial information."""
+        from repro.core.derivation import Derivation, Op, Step
+
+        pupil_db.delete("pupil", "euclid", "john")
+        teach = pupil_db.schema["teach"]
+        class_list = pupil_db.schema["class_list"]
+        from repro.core.schema import FunctionDef
+        from repro.core.types import ObjectType
+
+        pupil_db.declare_derived(
+            FunctionDef(
+                "classmates_teacher",
+                ObjectType("student"), ObjectType("faculty"),
+            ),
+            Derivation([
+                Step(class_list, Op.INVERSE), Step(teach, Op.INVERSE),
+            ]),
+        )
+        extension = derived_extension(pupil_db, "classmates_teacher")
+        assert extension[("bill", "euclid")] is Truth.AMBIGUOUS
+        assert extension[("bill", "laplace")] is Truth.TRUE
+        assert ("john", "euclid") not in extension  # NC'd chain

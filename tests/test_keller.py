@@ -1,0 +1,101 @@
+"""Tests for the Keller-style dialogue-chosen translator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.keller import (
+    KellerTranslator,
+    choose_fewest_deletions,
+    choose_least_view_damage,
+)
+from repro.relational.relation import Relation, RelationalDatabase
+from repro.relational.translate import Deletion, measure_side_effects
+from repro.relational.view import ChainView
+
+
+class TestCandidates:
+    def test_one_candidate_per_relation(self, relational_31):
+        db, view, target = relational_31
+        candidates = KellerTranslator().candidates(db, view, target)
+        assert [c.relation for c in candidates] == ["r1", "r2", "r3"]
+        assert [c.deletions for c in candidates] == [2, 2, 1]
+        # On this instance no candidate damages the view further.
+        assert [c.view_losses for c in candidates] == [0, 0, 0]
+
+    def test_absent_tuple_no_candidates(self, relational_31):
+        db, view, target = relational_31
+        assert KellerTranslator().candidates(db, view, ("zz", "d1")) == []
+        translation = KellerTranslator().translate(db, view, ("zz", "d1"))
+        assert translation.accepted and translation.deletions == ()
+
+
+class TestChoosers:
+    def test_fewest_deletions_picks_r3(self, relational_31):
+        db, view, target = relational_31
+        translator = KellerTranslator(choose_fewest_deletions)
+        translation = translator.translate(db, view, target)
+        assert translation.deletions == (Deletion("r3", ("c1", "d1")),)
+
+    def test_least_view_damage_breaks_ties_by_deletions(self,
+                                                        relational_31):
+        db, view, target = relational_31
+        translator = KellerTranslator(choose_least_view_damage)
+        translation = translator.translate(db, view, target)
+        # All candidates are damage-free here; fewest deletions wins.
+        assert translation.deletions == (Deletion("r3", ("c1", "d1")),)
+
+    def test_least_view_damage_avoids_shared_hub(self):
+        """With a second source through the shared r3 tuple, deleting
+        from r3 damages the view; the chooser prefers r1."""
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"),
+                     [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]),
+            Relation("r2", ("B", "C"), [("b1", "c1"), ("b2", "c1")]),
+            Relation("r3", ("C", "D"), [("c1", "d1")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2", "r3")))
+        translator = KellerTranslator(choose_least_view_damage)
+        translation = translator.translate(db, "v", ("a1", "d1"))
+        assert all(d.relation == "r1" for d in translation.deletions)
+        effects = measure_side_effects(db, translator, "v", ("a1", "d1"))
+        assert effects.view_losses == 0
+        assert effects.base_deletions == 2
+
+    def test_fewest_deletions_accepts_the_damage(self):
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B"),
+                     [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]),
+            Relation("r2", ("B", "C"), [("b1", "c1"), ("b2", "c1")]),
+            Relation("r3", ("C", "D"), [("c1", "d1")]),
+        ])
+        db.add_view(ChainView("v", ("r1", "r2", "r3")))
+        translator = KellerTranslator(choose_fewest_deletions)
+        effects = measure_side_effects(db, translator, "v", ("a1", "d1"))
+        assert effects.base_deletions == 1   # DEL(r3, <c1, d1>)
+        assert effects.view_losses == 1      # <a2, d1> lost
+
+    def test_custom_chooser(self, relational_31):
+        db, view, target = relational_31
+        translator = KellerTranslator(lambda db_, v_, cands: 0)
+        translation = translator.translate(db, view, target)
+        assert all(d.relation == "r1" for d in translation.deletions)
+
+    def test_invalid_chooser_index_rejected(self, relational_31):
+        db, view, target = relational_31
+        translator = KellerTranslator(lambda db_, v_, cands: 99)
+        translation = translator.translate(db, view, target)
+        assert not translation.accepted
+
+
+class TestStillDeletesBaseFacts:
+    def test_the_papers_objection_holds(self, relational_31):
+        """Even the best dialogue choice removes base tuples whose
+        falsity the view delete never implied — the paper's point."""
+        db, view, target = relational_31
+        for chooser in (choose_fewest_deletions,
+                        choose_least_view_damage):
+            effects = measure_side_effects(
+                db, KellerTranslator(chooser), view, target
+            )
+            assert effects.base_deletions >= 1

@@ -1,0 +1,98 @@
+"""Tests for script sourcing, schema-file loading, and the cycle cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import AutoDesigner, CallbackDesigner, DesignSession
+from repro.lang.interp import Interpreter
+from repro.workloads.generator import cyclic_design_schema
+from repro.workloads.university import schema_s1
+from repro.core.schema_text import format_schema
+
+
+def interp() -> Interpreter:
+    return Interpreter(AutoDesigner())
+
+
+class TestSource:
+    def test_runs_nested_script(self, tmp_path):
+        script = tmp_path / "setup.fdb"
+        script.write_text(
+            "add teach: faculty -> course (many-many);\n"
+            "commit;\n"
+            "insert teach(euclid, math);\n",
+            encoding="utf-8",
+        )
+        engine = interp()
+        out = engine.execute(
+            f'source "{script}"; truth teach(euclid, math);'
+        )
+        assert f"sourcing {script}" in out[0]
+        assert out[-1] == "teach(euclid) = math: true"
+
+    def test_missing_file_reports_error(self):
+        engine = interp()
+        out = engine.execute('source "/nonexistent/path.fdb";')
+        assert out[0].startswith("error:") or "error" in out[-1]
+
+
+class TestLoadSchema:
+    def test_adds_paper_notation_file(self, tmp_path):
+        schema_file = tmp_path / "s1.schema"
+        schema_file.write_text(
+            format_schema(schema_s1(), numbered=True), encoding="utf-8"
+        )
+        engine = interp()
+        out = engine.execute(f'schema "{schema_file}"; design;')
+        joined = "\n".join(out)
+        assert "loading schema" in joined
+        # AutoDesigner classifies grade and taught_by as derived.
+        assert "Derived functions: grade, taught_by" in joined
+
+    def test_cycles_still_go_through_designer(self, tmp_path):
+        schema_file = tmp_path / "s1.schema"
+        schema_file.write_text(
+            format_schema(schema_s1()), encoding="utf-8"
+        )
+        engine = interp()
+        out = engine.execute(f'schema "{schema_file}";')
+        assert any("cycle:" in line for line in out)
+
+
+class TestCycleCap:
+    def test_uncapped_session_reports_long_cycles(self):
+        schema = cyclic_design_schema(3, path_length=3)
+        keeper = CallbackDesigner(lambda report: None)
+        session = DesignSession(keeper)
+        session.add_all(schema)
+        lengths = {
+            len(event.report.cycle)
+            for event in session.log if event.kind == "cycle"
+        }
+        assert max(lengths) >= 6
+
+    def test_capped_session_skips_long_cycles(self):
+        schema = cyclic_design_schema(3, path_length=3)
+        keeper = CallbackDesigner(lambda report: None)
+        session = DesignSession(keeper, max_cycle_length=4)
+        session.add_all(schema)
+        lengths = [
+            len(event.report.cycle)
+            for event in session.log if event.kind == "cycle"
+        ]
+        assert all(length <= 4 for length in lengths)
+
+    def test_cap_does_not_affect_paper_trace(self):
+        from repro.workloads.university import (
+            design_trace_designer,
+            design_trace_functions,
+        )
+
+        session = DesignSession(
+            design_trace_designer(), max_cycle_length=4
+        )
+        session.add_all(design_trace_functions())
+        assert set(session.derived_schema.names) == {
+            "taught_by", "lecturer_of", "grade",
+        }

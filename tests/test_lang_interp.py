@@ -1,0 +1,189 @@
+"""Tests for the interpreter (design + update + query lifecycle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import AutoDesigner
+from repro.lang.interp import Interpreter
+from repro.workloads.university import design_trace_designer
+
+
+def run(script: str, designer=None) -> tuple[Interpreter, list[str]]:
+    interp = Interpreter(designer or AutoDesigner())
+    return interp, interp.execute(script)
+
+
+DESIGN = """
+add teach: faculty -> course (many-many);
+add class_list: course -> student (many-many);
+add pupil: faculty -> student (many-many);
+"""
+
+
+class TestDesignPhase:
+    def test_add_reports(self):
+        interp, out = run(DESIGN)
+        joined = "\n".join(out)
+        assert "added teach" in joined
+        assert "cycle:" in joined
+        assert "pupil classified as derived" in joined
+
+    def test_show_design(self):
+        interp, out = run(DESIGN + "design;")
+        joined = "\n".join(out)
+        assert "Derived functions: pupil" in joined
+        assert "pupil = teach o class_list" in joined
+
+    def test_explicit_commit(self):
+        interp, out = run(DESIGN + "commit;")
+        assert any("committed: 2 base, 1 derived" in l for l in out)
+        assert interp.db is not None
+
+    def test_implicit_commit_on_data_statement(self):
+        interp, out = run(DESIGN + "insert teach(euclid, math);")
+        joined = "\n".join(out)
+        assert "(implicit commit)" in joined
+        assert "ok: INS(teach, <euclid, math>)" in joined
+
+    def test_redesign_carries_facts(self):
+        interp, out = run(DESIGN + """
+            commit;
+            insert teach(euclid, math);
+            add score: [student; course] -> marks (many-one);
+            commit;
+            truth teach(euclid, math);
+        """)
+        joined = "\n".join(out)
+        assert "carried 1 stored facts forward" in joined
+        assert "teach(euclid) = math: true" in joined
+
+
+class TestUpdatesAndQueries:
+    FULL = DESIGN + """
+        commit;
+        insert teach(euclid, math);
+        insert teach(laplace, math);
+        insert class_list(math, john);
+        insert class_list(math, bill);
+    """
+
+    def test_truth_query(self):
+        interp, out = run(self.FULL + "truth pupil(euclid, john);")
+        assert out[-1] == "pupil(euclid) = john: true"
+
+    def test_derived_delete_and_ncs(self):
+        interp, out = run(self.FULL + """
+            delete pupil(euclid, john);
+            ncs;
+            truth pupil(euclid, bill);
+        """)
+        joined = "\n".join(out)
+        assert "g1: NOT(<teach, euclid, math> AND "in joined
+        assert out[-1] == "pupil(euclid) = bill: ambiguous"
+
+    def test_replace(self):
+        interp, out = run(self.FULL + """
+            replace teach(euclid, math) with (euclid, physics);
+            truth teach(euclid, physics);
+        """)
+        assert out[-1] == "teach(euclid) = physics: true"
+
+    def test_image_query(self):
+        interp, out = run(self.FULL + "query pupil(euclid);")
+        assert set(out[-2:]) == {"  john", "  bill"}
+
+    def test_image_query_with_expression(self):
+        interp, out = run(
+            self.FULL + "query (class_list^-1 o teach^-1)(john);"
+        )
+        assert set(out[-2:]) == {"  euclid", "  laplace"}
+
+    def test_pairs_query(self):
+        interp, out = run(self.FULL + "pairs teach^-1;")
+        assert "  <math, euclid>" in out
+        assert "  <math, laplace>" in out
+
+    def test_empty_result(self):
+        interp, out = run(self.FULL + "query teach(nobody);")
+        assert out[-1] == "(empty)"
+
+    def test_show_named(self):
+        interp, out = run(self.FULL + "show teach;")
+        assert any("euclid" in line and "math" in line for line in out)
+
+    def test_show_derived_stars_ambiguity(self):
+        interp, out = run(self.FULL + """
+            delete pupil(euclid, john);
+            show pupil;
+        """)
+        assert any(line.rstrip().endswith("*") for line in out)
+
+    def test_metrics(self):
+        interp, out = run(self.FULL + "metrics;")
+        assert any("degree of ambiguity" in line for line in out)
+
+    def test_resolve_reports(self):
+        interp, out = run(DESIGN + """
+            commit;
+            insert pupil(gauss, bill);
+            resolve;
+        """)
+        # pupil's functions are many-many: nothing is forced.
+        assert out[-1] == "nothing to resolve"
+
+
+class TestPersistenceStatements:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "uni.json").replace("\\", "/")
+        interp, out = run(
+            self_full() + f'save "{path}"; delete teach(euclid, math); '
+            f'load "{path}"; truth teach(euclid, math);'
+        )
+        assert out[-1] == "teach(euclid) = math: true"
+
+    def test_add_after_load_continues_design(self, tmp_path):
+        path = str(tmp_path / "uni.json").replace("\\", "/")
+        interp, out = run(
+            self_full()
+            + f'save "{path}"; load "{path}"; '
+            + "add taught_by: course -> faculty (many-many); design;"
+        )
+        joined = "\n".join(out)
+        assert "taught_by" in joined and "cycle:" in joined
+
+
+def self_full() -> str:
+    return TestUpdatesAndQueries.FULL
+
+
+class TestErrors:
+    def test_parse_error_reported_not_raised(self):
+        interp, out = run("insert f(a b);")
+        assert out and out[0].startswith("error:")
+
+    def test_runtime_error_reported(self):
+        interp, out = run(DESIGN + "commit; insert nope(a, b);")
+        assert out[-1].startswith("error: unknown function")
+
+    def test_error_aborts_rest_of_script(self):
+        interp, out = run(
+            DESIGN + "commit; insert nope(a, b); insert teach(x, y);"
+        )
+        assert not any("INS(teach, <x, y>)" in line for line in out)
+
+    def test_help(self):
+        interp, out = run("help")
+        assert any("insert f(x, y)" in line for line in out)
+
+
+class TestWithPaperDesigner:
+    def test_full_paper_design_via_language(self, trace_functions):
+        script = "\n".join(
+            f"add {f};" for f in trace_functions
+        ).replace("; (", " (")
+        interp = Interpreter(design_trace_designer())
+        out = interp.execute(script + "\ndesign;")
+        joined = "\n".join(out)
+        assert "grade = score o cutoff" in joined
+        assert "lecturer_of = class_list^-1 o teach^-1" in joined

@@ -1,0 +1,175 @@
+"""Tests for the surface-language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import TypeFunctionality, product_type
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_program, parse_statement
+
+
+class TestFuncDefs:
+    def test_add_basic(self):
+        statement = parse_statement("add teach: faculty -> course")
+        assert isinstance(statement, ast.AddFunction)
+        assert statement.function.name == "teach"
+        assert statement.function.functionality == (
+            TypeFunctionality.MANY_MANY
+        )
+
+    def test_add_with_functionality(self):
+        statement = parse_statement(
+            "add cutoff: marks -> letter_grade (many-one);"
+        )
+        assert statement.function.functionality == (
+            TypeFunctionality.MANY_ONE
+        )
+
+    def test_add_with_product_domain(self):
+        statement = parse_statement(
+            "add grade: [student; course] -> letter_grade (many-one)"
+        )
+        assert statement.function.domain == product_type(
+            "student", "course"
+        )
+
+    def test_bad_functionality(self):
+        with pytest.raises(ParseError):
+            parse_statement("add f: a -> b (some-one)")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_statement("add f: a b")
+
+
+class TestUpdates:
+    def test_insert(self):
+        statement = parse_statement("insert teach(euclid, math)")
+        assert statement == ast.Insert("teach", "euclid", "math")
+
+    def test_delete(self):
+        statement = parse_statement("delete pupil(euclid, john);")
+        assert statement == ast.Delete("pupil", "euclid", "john")
+
+    def test_replace(self):
+        statement = parse_statement(
+            "replace cutoff(90, A) with (85, A)"
+        )
+        assert statement == ast.Replace("cutoff", (90, "A"), (85, "A"))
+
+    def test_replace_requires_with(self):
+        with pytest.raises(ParseError):
+            parse_statement("replace f(a, b) (c, d)")
+
+    def test_tuple_values(self):
+        statement = parse_statement("insert grade((john, math), B)")
+        assert statement == ast.Insert("grade", ("john", "math"), "B")
+
+    def test_nested_tuple_values(self):
+        statement = parse_statement("insert f(((a, b), c), d)")
+        assert statement.x == (("a", "b"), "c")
+
+    def test_parenthesized_single_value_unwraps(self):
+        statement = parse_statement("insert f((a), b)")
+        assert statement.x == "a"
+
+    def test_string_values(self):
+        statement = parse_statement('insert f("hello world", b)')
+        assert statement.x == "hello world"
+
+    def test_number_values(self):
+        statement = parse_statement("insert f(1, 2.5)")
+        assert statement.x == 1 and statement.y == 2.5
+
+
+class TestQueries:
+    def test_truth(self):
+        statement = parse_statement("truth pupil(euclid, john)")
+        assert statement == ast.TruthQuery("pupil", "euclid", "john")
+
+    def test_image_query_simple(self):
+        statement = parse_statement("query teach(euclid)")
+        assert isinstance(statement, ast.ImageQuery)
+        assert str(statement.query) == "teach"
+        assert statement.x == "euclid"
+
+    def test_image_query_composition(self):
+        statement = parse_statement(
+            "query (teach o class_list)(euclid)"
+        )
+        assert str(statement.query) == "teach o class_list"
+
+    def test_image_query_inverse(self):
+        statement = parse_statement("query teach^-1(math)")
+        assert str(statement.query) == "(teach)^-1"
+
+    def test_pairs_query(self):
+        statement = parse_statement(
+            "pairs class_list^-1 o teach^-1"
+        )
+        assert isinstance(statement, ast.PairsQuery)
+        assert str(statement.query) == "(class_list)^-1 o (teach)^-1"
+
+    def test_double_inverse(self):
+        statement = parse_statement("pairs teach^-1^-1")
+        assert str(statement.query) == "((teach)^-1)^-1"
+
+    def test_grouping(self):
+        statement = parse_statement("pairs (teach o class_list)^-1")
+        assert str(statement.query) == "(teach o class_list)^-1"
+
+
+class TestMisc:
+    def test_show(self):
+        assert parse_statement("show teach") == ast.Show("teach")
+        assert parse_statement("show all") == ast.Show(None)
+
+    def test_nullaries(self):
+        assert isinstance(parse_statement("commit"), ast.Commit)
+        assert isinstance(parse_statement("design"), ast.ShowDesign)
+        assert isinstance(parse_statement("ncs"), ast.ShowNCs)
+        assert isinstance(parse_statement("metrics"), ast.Metrics)
+        assert isinstance(parse_statement("resolve"), ast.Resolve)
+        assert isinstance(parse_statement("help"), ast.Help)
+
+    def test_save_load(self):
+        assert parse_statement('save "db.json"') == ast.Save("db.json")
+        assert parse_statement("load 'db.json'") == ast.Load("db.json")
+
+    def test_save_requires_string(self):
+        with pytest.raises(ParseError):
+            parse_statement("save db.json")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("frobnicate x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("commit commit")
+
+
+class TestProgram:
+    def test_multiple_statements(self):
+        program = parse_program("""
+            add teach: faculty -> course;
+            insert teach(euclid, math)
+            show all
+        """)
+        assert [type(s).__name__ for s in program] == [
+            "AddFunction", "Insert", "Show",
+        ]
+
+    def test_semicolons_optional_and_stackable(self):
+        program = parse_program(";;commit;;;ncs;;")
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert parse_program("   \n # nothing\n") == []
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("commit\ninsert f(a b)")
+        assert "line 2" in str(info.value)

@@ -1,0 +1,92 @@
+"""Tests for the surface-language tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.tokenizer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "EOF"
+
+    def test_names_and_punct(self):
+        assert texts("teach: faculty -> course") == [
+            "teach", ":", "faculty", "->", "course",
+        ]
+
+    def test_inverse_marker(self):
+        assert texts("teach^-1") == ["teach", "^-1"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("a -> b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].kind == "NUMBER" and tokens[0].value == 42
+        assert tokens[1].kind == "NUMBER" and tokens[1].value == 3.5
+
+    def test_product_brackets(self):
+        assert texts("[student; course]") == [
+            "[", "student", ";", "course", "]",
+        ]
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert texts("a\n\t b") == ["a", "b"]
+
+    def test_comments(self):
+        assert texts("a # comment\nb") == ["a", "b"]
+
+    def test_underscore_names(self):
+        assert texts("class_list attn_percentage") == [
+            "class_list", "attn_percentage",
+        ]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == "STRING" and token.value == "hello world"
+
+    def test_single_quoted(self):
+        assert tokenize("'db.json'")[0].value == "db.json"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b\n"')[0].value == 'a"b\n'
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unterminated_at_newline(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops\nmore"')
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("abc\n  @")
+        assert info.value.line == 2 and info.value.column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a & b")

@@ -1,0 +1,107 @@
+"""Tests for the three-valued logic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fdb.logic import Truth
+
+T, A, F = Truth.TRUE, Truth.AMBIGUOUS, Truth.FALSE
+truth_strategy = st.sampled_from([T, A, F])
+
+
+class TestOrdering:
+    def test_strength_order(self):
+        assert F < A < T
+        assert T > A > F
+        assert T >= T and F <= F
+
+    def test_max_picks_strongest(self):
+        assert max([F, A, T]) is T
+        assert max([F, A]) is A
+
+
+class TestKleeneTables:
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, A, A), (T, F, F),
+        (A, T, A), (A, A, A), (A, F, F),
+        (F, T, F), (F, A, F), (F, F, F),
+    ])
+    def test_and(self, a, b, expected):
+        assert a.and_(b) is expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, A, T), (T, F, T),
+        (A, T, T), (A, A, A), (A, F, A),
+        (F, T, T), (F, A, A), (F, F, F),
+    ])
+    def test_or(self, a, b, expected):
+        assert a.or_(b) is expected
+
+    def test_not(self):
+        assert T.not_() is F
+        assert F.not_() is T
+        assert A.not_() is A
+
+    @given(truth_strategy, truth_strategy)
+    def test_de_morgan(self, a, b):
+        assert a.and_(b).not_() == a.not_().or_(b.not_())
+
+    @given(truth_strategy)
+    def test_double_negation(self, a):
+        assert a.not_().not_() is a
+
+    @given(truth_strategy, truth_strategy, truth_strategy)
+    def test_and_associative(self, a, b, c):
+        assert a.and_(b).and_(c) == a.and_(b.and_(c))
+
+
+class TestAggregates:
+    def test_all_of(self):
+        assert Truth.all_of([T, T]) is T
+        assert Truth.all_of([T, A]) is A
+        assert Truth.all_of([A, F, T]) is F
+        assert Truth.all_of([]) is T
+
+    def test_any_of(self):
+        assert Truth.any_of([F, A]) is A
+        assert Truth.any_of([F, T]) is T
+        assert Truth.any_of([]) is F
+
+    def test_all_of_short_circuits(self):
+        def generator():
+            yield F
+            raise AssertionError("should have short-circuited")
+
+        assert Truth.all_of(generator()) is F
+
+    def test_any_of_short_circuits(self):
+        def generator():
+            yield T
+            raise AssertionError("should have short-circuited")
+
+        assert Truth.any_of(generator()) is T
+
+
+class TestFlags:
+    def test_flags(self):
+        assert T.flag == "T"
+        assert A.flag == "A"
+
+    def test_false_has_no_flag(self):
+        with pytest.raises(ValueError):
+            _ = F.flag
+
+    def test_from_flag(self):
+        assert Truth.from_flag("T") is T
+        assert Truth.from_flag("a") is A
+
+    def test_from_flag_rejects(self):
+        with pytest.raises(ValueError):
+            Truth.from_flag("X")
+
+    def test_str(self):
+        assert str(T) == "true"
+        assert str(A) == "ambiguous"

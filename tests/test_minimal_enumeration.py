@@ -1,0 +1,151 @@
+"""Tests for all-minimal-schemas enumeration and design retraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import AutoDesigner, DesignSession
+from repro.core.graph import FunctionGraph
+from repro.core.minimal_schema import all_minimal_schemas, minimal_schema_ams
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.errors import DesignError, UnknownFunctionError
+
+A, B, C = (ObjectType(n) for n in "ABC")
+MM = TypeFunctionality.MANY_MANY
+
+
+class TestAllMinimalSchemas:
+    def test_table1_has_exactly_two(self, s1):
+        schemas = all_minimal_schemas(s1)
+        kept = {frozenset(schema.names) for schema in schemas}
+        assert kept == {
+            frozenset({"score", "cutoff", "teach"}),
+            frozenset({"score", "cutoff", "taught_by"}),
+        }
+
+    def test_ams_result_is_among_them(self, s1):
+        schemas = all_minimal_schemas(s1)
+        ams_kept = frozenset(minimal_schema_ams(s1).minimal.names)
+        assert ams_kept in {frozenset(s.names) for s in schemas}
+
+    def test_each_result_is_minimal(self, s1):
+        for minimal in all_minimal_schemas(s1):
+            graph = FunctionGraph.of_schema(minimal)
+            for function in minimal:
+                assert not graph.has_equivalent_walk(function)
+            # And it carries the full schema.
+            full_graph = FunctionGraph.of_schema(minimal)
+            for function in s1:
+                if function.name not in minimal:
+                    assert full_graph.has_equivalent_walk(function)
+
+    def test_irredundant_schema_is_its_own_unique_minimal(self):
+        schema = Schema([
+            FunctionDef("f", A, B, MM), FunctionDef("g", B, C,
+                                                    TypeFunctionality.MANY_ONE),
+        ])
+        schemas = all_minimal_schemas(schema)
+        assert len(schemas) == 1
+        assert schemas[0] == schema
+
+    def test_s2_has_three(self, s2):
+        """Every pair of S2's three mutually-derivable functions is a
+        minimal schema — the formal face of the UFA ambiguity."""
+        schemas = all_minimal_schemas(s2)
+        assert len(schemas) == 3
+        assert all(len(schema) == 2 for schema in schemas)
+
+    def test_limit_enforced(self):
+        # n parallel identical functions: minimal schemas = each single
+        # one -> n results; limit below that raises.
+        schema = Schema([
+            FunctionDef(f"p{i}", A, B, MM) for i in range(6)
+        ])
+        with pytest.raises(ValueError):
+            all_minimal_schemas(schema, limit=3)
+        assert len(all_minimal_schemas(schema, limit=10)) == 6
+
+    def test_empty_schema(self):
+        schemas = all_minimal_schemas(Schema())
+        assert len(schemas) == 1
+        assert len(schemas[0]) == 0
+
+
+class TestRetract:
+    def test_retract_base_function(self):
+        session = DesignSession(AutoDesigner())
+        session.add(FunctionDef("f", A, B, MM))
+        retracted = session.retract("f")
+        assert retracted.name == "f"
+        assert "f" not in session.catalog
+        assert "f" not in session.graph
+
+    def test_retract_derived_function(self):
+        session = DesignSession(AutoDesigner())
+        session.add(FunctionDef("teach", A, B, MM))
+        session.add(FunctionDef("taught_by", B, A, MM))  # -> derived
+        session.retract("taught_by")
+        assert "taught_by" not in session.catalog
+        assert session.base_schema.names == ("teach",)
+
+    def test_retract_unknown(self):
+        session = DesignSession(AutoDesigner())
+        with pytest.raises(UnknownFunctionError):
+            session.retract("nope")
+
+    def test_retract_clears_kept_cycles(self):
+        from repro.core.design_aid import CallbackDesigner
+
+        keeper = CallbackDesigner(lambda report: None)
+        session = DesignSession(keeper)
+        session.add(FunctionDef("f", A, B, MM))
+        session.add(FunctionDef("g", A, B, MM))  # cycle kept
+        session.retract("g")
+        # Re-adding g re-raises the equivalent cycle.
+        reports = session.add(FunctionDef("g", A, B, MM))
+        assert len(reports) == 1
+
+    def test_retract_logged(self):
+        session = DesignSession(AutoDesigner())
+        session.add(FunctionDef("f", A, B, MM))
+        session.retract("f")
+        assert "retracted f from the design" in session.trace()
+
+
+class TestLanguageStatements:
+    def _interp(self):
+        from repro.lang.interp import Interpreter
+
+        return Interpreter(AutoDesigner())
+
+    def test_minimal_statement(self):
+        interp = self._interp()
+        out = interp.execute("""
+            add grade: [student; course] -> letter_grade (many-one);
+            add score: [student; course] -> marks (many-one);
+            add cutoff: marks -> letter_grade (many-one);
+            add teach: faculty -> course (many-many);
+            add taught_by: course -> faculty (many-many);
+            minimal;
+        """)
+        joined = "\n".join(out)
+        assert "2 minimal schema(s)" in joined
+        assert "advisory only" in joined
+
+    def test_minimal_on_empty_catalog(self):
+        interp = self._interp()
+        assert interp.execute("minimal;") == ["(no functions added yet)"]
+
+    def test_retract_statement(self):
+        interp = self._interp()
+        out = interp.execute("""
+            add teach: faculty -> course (many-many);
+            retract teach;
+            design;
+        """)
+        joined = "\n".join(out)
+        assert "retracted teach" in joined
+        # The design is empty again.
+        assert "Base functions:" in joined
+        assert "teach" not in joined.split("retracted teach")[1]

@@ -1,0 +1,183 @@
+"""Tests for the Minimal Schema Problem and Algorithm AMS (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import FunctionGraph
+from repro.core.minimal_schema import (
+    minimal_schema,
+    minimal_schema_ams,
+    minimal_schema_without_ufa,
+)
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.workloads.generator import tree_schema_with_derived
+
+A, B, C = (ObjectType(n) for n in "ABC")
+MM = TypeFunctionality.MANY_MANY
+MO = TypeFunctionality.MANY_ONE
+
+
+class TestS1(object):
+    """Table 1 under the UFA: grade and teach are derivable."""
+
+    def test_separation(self, s1):
+        result = minimal_schema_ams(s1)
+        assert set(result.derived_names) == {"grade", "teach"}
+        assert set(result.base_names) == {"score", "cutoff", "taught_by"}
+
+    def test_grade_derivation(self, s1):
+        result = minimal_schema_ams(s1)
+        texts = [str(d) for d in result.derivations["grade"]]
+        assert texts == ["score o cutoff"]
+
+    def test_teach_derivation(self, s1):
+        result = minimal_schema_ams(s1)
+        texts = [str(d) for d in result.derivations["teach"]]
+        assert texts == ["taught_by^-1"]
+
+    def test_order_determines_tie_breaks(self, s1):
+        # Reversing declaration order keeps teach instead of taught_by.
+        reordered = Schema(reversed(list(s1)))
+        result = minimal_schema_ams(reordered)
+        assert "taught_by" in result.derived_names
+        assert "teach" in result.base_names
+
+    def test_summary_mentions_everything(self, s1):
+        text = minimal_schema_ams(s1).summary()
+        assert "Base functions:" in text
+        assert "grade = score o cutoff" in text
+
+
+class TestLemma1:
+    def test_without_ufa_everything_is_base(self, s1):
+        result = minimal_schema_without_ufa(s1)
+        assert result.minimal == s1
+        assert len(result.derived) == 0
+        assert result.derivations == {}
+
+    def test_dispatcher(self, s1):
+        assert minimal_schema(s1, ufa=False).minimal == s1
+        assert set(minimal_schema(s1, ufa=True).derived_names) == {
+            "grade", "teach"
+        }
+
+
+class TestS2UFAFailure(object):
+    """Section 2.1: S2 cannot be admitted under the UFA — AMS removes a
+    function even though, under the intended semantics, two of the three
+    removals would be wrong. This *documents* the misclassification that
+    motivates the on-line methodology."""
+
+    def test_ams_removes_exactly_one(self, s2):
+        result = minimal_schema_ams(s2)
+        assert len(result.derived) == 1
+        assert len(result.minimal) == 2
+
+    def test_ams_removes_first_eligible(self, s2):
+        # Declaration order: teach, class_list, lecturer_of. Each is
+        # equivalent to the composition of the other two, so AMS removes
+        # the first it examines.
+        result = minimal_schema_ams(s2)
+        assert result.derived_names == ("teach",)
+
+
+class TestIdempotenceAndMinimality:
+    def test_ams_on_minimal_removes_nothing(self, s1):
+        first = minimal_schema_ams(s1)
+        second = minimal_schema_ams(first.minimal)
+        assert second.minimal == first.minimal
+        assert len(second.derived) == 0
+
+    def test_every_derived_function_has_a_derivation(self, s1):
+        result = minimal_schema_ams(s1)
+        for name in result.derived_names:
+            assert result.derivations[name], name
+
+    def _assert_is_minimal_schema(self, schema: Schema) -> None:
+        result = minimal_schema_ams(schema)
+        minimal_graph = FunctionGraph.of_schema(result.minimal)
+        # (1) Every removed function is derivable from the kept ones.
+        for function in result.derived:
+            assert minimal_graph.has_equivalent_walk(function), function
+        # (2) No kept function is derivable from the other kept ones.
+        for function in result.minimal:
+            assert not minimal_graph.has_equivalent_walk(function), function
+
+    def test_minimality_on_s1(self, s1):
+        self._assert_is_minimal_schema(s1)
+
+    def test_minimality_on_s2(self, s2):
+        self._assert_is_minimal_schema(s2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 30))
+    def test_minimality_on_random_schemas(self, seed):
+        """AMS output is a minimal schema on random graphs (Lemma 2's
+        two halves, checked operationally)."""
+        import random
+
+        rng = random.Random(seed)
+        nodes = [ObjectType(f"N{i}") for i in range(rng.randint(2, 6))]
+        functions = []
+        for i in range(rng.randint(1, 8)):
+            dom, rng_t = rng.choice(nodes), rng.choice(nodes)
+            functions.append(FunctionDef(
+                f"e{i}", dom, rng_t, rng.choice(TypeFunctionality.all())
+            ))
+        self._assert_is_minimal_schema(Schema(functions))
+
+
+class TestGeneratedFamilies:
+    @pytest.mark.parametrize("n_types,n_derived,seed", [
+        (10, 3, 0), (20, 6, 1), (40, 10, 2),
+    ])
+    def test_tree_schema_recovery_derived_first(self, n_types, n_derived,
+                                                seed):
+        """With the chord (derived) functions declared *first*, AMS
+        removes exactly them: each chord has its tree path as witness,
+        and once the chords are gone every tree edge is a bridge."""
+        schema = tree_schema_with_derived(n_types, n_derived, seed)
+        chords = [f for f in schema if f.name.startswith("d")]
+        tree = [f for f in schema if f.name.startswith("f")]
+        result = minimal_schema_ams(Schema(chords + tree))
+        assert set(result.derived_names) == {
+            f"d{i}" for i in range(n_derived)
+        }
+
+    @pytest.mark.parametrize("n_types,n_derived,seed", [
+        (10, 3, 0), (20, 6, 1),
+    ])
+    def test_tree_schema_any_order_is_minimal(self, n_types, n_derived,
+                                              seed):
+        """With tree edges declared first AMS may legally trade a tree
+        edge for a chord (minimal schemas are not unique); the outcome
+        must still be a minimal schema."""
+        schema = tree_schema_with_derived(n_types, n_derived, seed)
+        result = minimal_schema_ams(schema)
+        minimal_graph = FunctionGraph.of_schema(result.minimal)
+        for function in result.derived:
+            assert minimal_graph.has_equivalent_walk(function)
+        for function in result.minimal:
+            assert not minimal_graph.has_equivalent_walk(function)
+
+    def test_empty_schema(self):
+        result = minimal_schema_ams(Schema())
+        assert len(result.minimal) == 0
+        assert len(result.derived) == 0
+
+    def test_single_function(self):
+        schema = Schema([FunctionDef("f", A, B, MM)])
+        result = minimal_schema_ams(schema)
+        assert result.base_names == ("f",)
+
+    def test_parallel_identical_functions(self):
+        schema = Schema([
+            FunctionDef("f1", A, B, MM), FunctionDef("f2", A, B, MM),
+        ])
+        result = minimal_schema_ams(schema)
+        assert result.derived_names == ("f1",)
+        assert [str(d) for d in result.derivations["f1"]] == ["f2"]

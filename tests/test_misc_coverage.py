@@ -1,0 +1,115 @@
+"""Edge-case tests for corners the mainline suites pass by."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_aid import CallbackDesigner, DesignSession
+from repro.core.graph import FunctionGraph, Path
+from repro.core.minimal_schema import minimal_schema_without_ufa
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality
+from repro.fdb.ambiguity import measure
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.render import render_base_table
+
+A, B = ObjectType("A"), ObjectType("B")
+MM = TypeFunctionality.MANY_MANY
+
+
+class TestPathEdgeCases:
+    def test_empty_path_reversed(self):
+        path = Path(A)
+        back = path.reversed()
+        assert back.start == back.end == A
+        assert len(back) == 0
+
+    def test_empty_path_str(self):
+        assert "empty path" in str(Path(A))
+
+    def test_path_repr(self):
+        assert "Path(" in repr(Path(A))
+
+
+class TestGraphEdgeCases:
+    def test_degree_of_absent_node(self):
+        graph = FunctionGraph()
+        assert graph.degree(A) == 0
+
+    def test_edges_at_absent_node(self):
+        assert FunctionGraph().edges_at(A) == ()
+
+    def test_str(self):
+        graph = FunctionGraph([FunctionDef("f", A, B, MM)])
+        text = str(graph)
+        assert "1 nodes" in text or "2 nodes" in text
+        assert "f(A -- B)" in text
+
+    def test_max_length_zero_paths(self):
+        graph = FunctionGraph([FunctionDef("f", A, B, MM)])
+        assert list(graph.iter_paths(A, B, max_length=0)) == []
+
+
+class TestDesignerDefaults:
+    def test_callback_designer_confirms_by_default(self):
+        designer = CallbackDesigner(lambda report: None)
+        session = DesignSession(designer)
+        session.add(FunctionDef("f", A, B, MM))
+        session.add(FunctionDef("g", A, B, MM))  # kept cycle
+        # Confirmation path: potential derivations of nothing -- use a
+        # function directly.
+        function = FunctionDef("h", A, B, MM)
+        from repro.core.derivation import Derivation
+
+        assert designer.confirm_derivation(
+            function, Derivation.of(function)
+        )
+
+
+class TestMinimalSchemaEdges:
+    def test_lemma1_result_repr(self, s1):
+        result = minimal_schema_without_ufa(s1)
+        text = result.summary()
+        assert "Derived functions:" in text
+        assert result.base_names == s1.names
+
+
+class TestRenderEdges:
+    def test_empty_base_table(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        lines = render_base_table(db, "f")
+        assert lines == ["F"]
+
+
+class TestAmbiguityEdges:
+    def test_measure_empty_database(self):
+        report = measure(FunctionalDatabase())
+        assert report.degree == 0.0
+        assert report.total_facts == 0
+        assert "0 NCs" in str(report)
+
+
+class TestSchemaEdges:
+    def test_str_of_empty_schema(self):
+        assert str(Schema()) == ""
+
+    def test_repr(self):
+        schema = Schema([FunctionDef("f", A, B, MM)])
+        assert "Schema(" in repr(schema)
+
+
+class TestDatabaseEdges:
+    def test_tables_iterator_snapshot(self):
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef("f", A, B, MM))
+        tables = db.tables()
+        db.declare_base(FunctionDef("g", B, A, MM))
+        # Iterator was snapshotted at call time.
+        assert [t.name for t in tables] == ["f"]
+
+    def test_extension_of_base(self, pupil_db):
+        from repro.fdb.logic import Truth
+
+        extension = pupil_db.extension("teach")
+        assert extension[("euclid", "math")] is Truth.TRUE

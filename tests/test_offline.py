@@ -1,0 +1,112 @@
+"""Tests for off-line design verification (reference [13])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivation import Derivation, Op, Step
+from repro.core.offline import verify_offline_design
+from repro.errors import SchemaError
+
+
+class TestAcceptedDesigns:
+    def test_paper_partition_of_s1(self, s1):
+        report = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"]
+        )
+        assert report.ok
+        assert set(report.derived.names) == {"grade", "teach"}
+        grade = [str(d) for d in report.candidate_derivations["grade"]]
+        assert grade == ["score o cutoff"]
+        teach = [str(d) for d in report.candidate_derivations["teach"]]
+        assert teach == ["taught_by^-1"]
+
+    def test_claimed_derivations_verified(self, s1):
+        claimed = {
+            "grade": Derivation.of(s1["score"], s1["cutoff"]),
+            "teach": Derivation([Step(s1["taught_by"], Op.INVERSE)]),
+        }
+        report = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"], claimed
+        )
+        assert report.ok
+
+    def test_everything_base_is_fine_but_warns(self, s1):
+        report = verify_offline_design(s1, list(s1.names))
+        assert report.ok
+        # grade, teach (and their counterparts) are derivable from the
+        # other base functions: redundancy warnings.
+        assert report.warnings
+        assert any("grade" in w for w in report.warnings)
+
+
+class TestRejectedDesigns:
+    def test_underivable_derived_function(self, s1):
+        # Declare cutoff derived: nothing derives marks -> letter_grade
+        # from the remaining base functions once grade is also derived.
+        report = verify_offline_design(s1, ["score", "taught_by"])
+        assert not report.ok
+        assert any("cutoff" in p for p in report.problems)
+
+    def test_claimed_derivation_with_nonbase_step(self, s1):
+        claimed = {
+            "grade": Derivation.of(s1["score"], s1["cutoff"]),
+        }
+        # cutoff is NOT base in this partition.
+        report = verify_offline_design(
+            s1, ["score", "taught_by"], claimed
+        )
+        assert not report.ok
+        assert any("non-base" in p for p in report.problems)
+
+    def test_claimed_derivation_wrong_functionality(self, s1):
+        # taught_by^-1 has teach's syntax but claim it for grade.
+        bad = Derivation([Step(s1["taught_by"], Op.INVERSE)])
+        report = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"], {"grade": bad}
+        )
+        assert not report.ok
+
+    def test_claim_for_base_function(self, s1):
+        claimed = {"score": Derivation.of(s1["score"])}
+        report = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"], claimed
+        )
+        assert not report.ok
+        assert any("declared base" in p for p in report.problems)
+
+    def test_claim_for_unknown_function(self, s1):
+        claimed = {"nothing": Derivation.of(s1["score"])}
+        report = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"], claimed
+        )
+        assert not report.ok
+
+    def test_unknown_base_name(self, s1):
+        with pytest.raises(SchemaError):
+            verify_offline_design(s1, ["score", "zzz"])
+
+
+class TestReportText:
+    def test_summary_ok(self, s1):
+        text = verify_offline_design(
+            s1, ["score", "cutoff", "taught_by"]
+        ).summary()
+        assert text.startswith("off-line design check: OK")
+        assert "grade = score o cutoff" in text
+
+    def test_summary_rejected(self, s1):
+        text = verify_offline_design(s1, ["score", "taught_by"]).summary()
+        assert "REJECTED" in text
+        assert "problem:" in text
+
+
+class TestInflexibility:
+    def test_s2_offline_needs_exact_knowledge(self, s2):
+        """The paper's point about off-line approaches: on S2 the right
+        partition verifies, but so does the wrong one — the off-line
+        check cannot tell them apart without the designer."""
+        right = verify_offline_design(s2, ["teach", "class_list"])
+        wrong = verify_offline_design(s2, ["teach", "lecturer_of"])
+        assert right.ok
+        assert wrong.ok  # formally consistent, semantically wrong

@@ -1,0 +1,187 @@
+"""Tests for the relational substrate (relations, algebra, chain views)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UpdateError
+from repro.relational.algebra import join_all, natural_join, project, select
+from repro.relational.relation import Relation, RelationalDatabase
+from repro.relational.view import ChainView
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        r = Relation("r", ("A", "B"))
+        r.add(("a", "b"))
+        assert ("a", "b") in r
+        assert len(r) == 1
+
+    def test_arity_checked(self):
+        r = Relation("r", ("A", "B"))
+        with pytest.raises(UpdateError):
+            r.add(("a",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("A", "A"))
+
+    def test_needs_attributes(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ())
+
+    def test_discard(self):
+        r = Relation("r", ("A",), [("a",)])
+        assert r.discard(("a",))
+        assert not r.discard(("a",))
+
+    def test_set_semantics(self):
+        r = Relation("r", ("A",), [("a",), ("a",)])
+        assert len(r) == 1
+
+    def test_column_and_position(self):
+        r = Relation("r", ("A", "B"), [("a1", "b1"), ("a2", "b2")])
+        assert r.column("B") == ("b1", "b2")
+        assert r.position("A") == 0
+        with pytest.raises(SchemaError):
+            r.position("Z")
+
+    def test_copy_independent(self):
+        r = Relation("r", ("A",), [("a",)])
+        clone = r.copy()
+        clone.add(("b",))
+        assert len(r) == 1
+
+    def test_equality(self):
+        a = Relation("r", ("A",), [("x",), ("y",)])
+        b = Relation("r", ("A",), [("y",), ("x",)])
+        assert a == b
+
+    def test_str(self):
+        r = Relation("r1", ("A", "B"), [("a1", "b1")])
+        assert str(r) == "r1(A, B) = {<a1, b1>}"
+
+
+class TestAlgebra:
+    def test_select(self):
+        r = Relation("r", ("A", "B"), [("a1", "b1"), ("a2", "b2")])
+        out = select(r, lambda row: row["A"] == "a1")
+        assert out.tuples == (("a1", "b1"),)
+
+    def test_project(self):
+        r = Relation("r", ("A", "B"), [("a1", "b1"), ("a2", "b1")])
+        out = project(r, ["B"])
+        assert set(out.tuples) == {("b1",)}
+
+    def test_project_reorders(self):
+        r = Relation("r", ("A", "B"), [("a", "b")])
+        out = project(r, ["B", "A"])
+        assert out.tuples == (("b", "a"),)
+
+    def test_natural_join(self):
+        r1 = Relation("r1", ("A", "B"), [("a1", "b1"), ("a2", "b2")])
+        r2 = Relation("r2", ("B", "C"), [("b1", "c1"), ("b1", "c2")])
+        joined = natural_join(r1, r2)
+        assert joined.attributes == ("A", "B", "C")
+        assert set(joined.tuples) == {
+            ("a1", "b1", "c1"), ("a1", "b1", "c2"),
+        }
+
+    def test_join_no_shared_is_product(self):
+        r1 = Relation("r1", ("A",), [("a",)])
+        r2 = Relation("r2", ("B",), [("b1",), ("b2",)])
+        assert len(natural_join(r1, r2)) == 2
+
+    def test_join_all(self):
+        r1 = Relation("r1", ("A", "B"), [("a", "b")])
+        r2 = Relation("r2", ("B", "C"), [("b", "c")])
+        r3 = Relation("r3", ("C", "D"), [("c", "d")])
+        joined = join_all([r1, r2, r3])
+        assert joined.tuples == (("a", "b", "c", "d"),)
+
+    def test_join_all_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            join_all([])
+
+
+class TestRelationalDatabase:
+    def test_lookup(self, relational_31):
+        db, _, _ = relational_31
+        assert db.relation("r1").attributes == ("A", "B")
+        with pytest.raises(SchemaError):
+            db.relation("zzz")
+
+    def test_duplicate_names_rejected(self, relational_31):
+        db, _, _ = relational_31
+        with pytest.raises(SchemaError):
+            db.add_relation(Relation("r1", ("X",)))
+        with pytest.raises(SchemaError):
+            db.add_view(ChainView("v1", ("r1",)))
+
+    def test_view_requires_relations(self):
+        db = RelationalDatabase()
+        with pytest.raises(SchemaError):
+            db.add_view(ChainView("v", ("missing",)))
+
+    def test_copy_independent(self, relational_31):
+        db, _, _ = relational_31
+        clone = db.copy()
+        clone.relation("r1").discard(("a1", "b1"))
+        assert ("a1", "b1") in db.relation("r1")
+        assert clone.view_names == ("v1",)
+
+
+class TestChainView:
+    def test_evaluate_section_31(self, relational_31):
+        db, view_name, _ = relational_31
+        extension = db.view(view_name).evaluate(db)
+        assert extension.tuples == (("a1", "d1"),)
+        assert extension.attributes == ("A", "D")
+
+    def test_chains_for(self, relational_31):
+        db, view_name, target = relational_31
+        chains = list(db.view(view_name).chains_for(db, target))
+        texts = {str(c) for c in chains}
+        assert texts == {
+            "r1<a1, b1> . r2<b1, c1> . r3<c1, d1>",
+            "r1<a1, b2> . r2<b2, c1> . r3<c1, d1>",
+        }
+
+    def test_chains_for_absent_tuple(self, relational_31):
+        db, view_name, _ = relational_31
+        assert list(db.view(view_name).chains_for(db, ("zz", "d1"))) == []
+
+    def test_single_relation_view(self):
+        db = RelationalDatabase([
+            Relation("r", ("A", "B"), [("a", "b")]),
+        ])
+        view = db.add_view(ChainView("v", ("r",)))
+        assert view.evaluate(db).tuples == (("a", "b"),)
+        assert len(list(view.chains_for(db, ("a", "b")))) == 1
+
+    def test_adjacent_must_share_one_attribute(self):
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B")),
+            Relation("r2", ("C", "D")),
+        ])
+        view = db.add_view(ChainView("v", ("r1", "r2")))
+        with pytest.raises(SchemaError):
+            view.evaluate(db)
+
+    def test_nonadjacent_shared_attribute_rejected(self):
+        db = RelationalDatabase([
+            Relation("r1", ("A", "B")),
+            Relation("r2", ("B", "C")),
+            Relation("r3", ("C", "A")),   # shares A with r1
+        ])
+        view = db.add_view(ChainView("v", ("r1", "r2", "r3")))
+        with pytest.raises(SchemaError):
+            view.evaluate(db)
+
+    def test_needs_relations(self):
+        with pytest.raises(SchemaError):
+            ChainView("v", ())
+
+    def test_str(self, relational_31):
+        db, view_name, _ = relational_31
+        assert str(db.view(view_name)) == "v1 = pi(r1 join r2 join r3)"

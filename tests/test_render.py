@@ -1,0 +1,70 @@
+"""Tests for the paper-style state renderer."""
+
+from __future__ import annotations
+
+from repro.fdb.render import (
+    render_base_table,
+    render_derived_table,
+    render_state,
+)
+from repro.fdb.updates import apply_update
+
+
+class TestBaseTable:
+    def test_title_and_rows(self, pupil_db):
+        lines = render_base_table(pupil_db, "teach")
+        assert lines[0] == "Teach"
+        assert lines[1].split() == ["euclid", "math", "T", "{}"]
+
+    def test_custom_title(self, pupil_db):
+        lines = render_base_table(pupil_db, "teach", title="TEACHERS")
+        assert lines[0] == "TEACHERS"
+
+    def test_columns_aligned(self, pupil_db):
+        lines = render_base_table(pupil_db, "teach")
+        # 'euclid' and 'laplace' differ in width; the second column
+        # must start at the same offset on both rows.
+        assert lines[1].index("math") == lines[2].index("math")
+
+
+class TestDerivedTable:
+    def test_ambiguous_starred(self, pupil_db, u_sequence):
+        apply_update(pupil_db, u_sequence[0])
+        lines = render_derived_table(pupil_db, "pupil")
+        starred = [l for l in lines[1:] if l.rstrip().endswith("*")]
+        plain = [l for l in lines[1:] if not l.rstrip().endswith("*")]
+        assert len(starred) == 2   # euclid bill, laplace john
+        assert len(plain) == 1     # laplace bill
+
+    def test_false_facts_absent(self, pupil_db, u_sequence):
+        apply_update(pupil_db, u_sequence[0])
+        lines = render_derived_table(pupil_db, "pupil")
+        assert not any("euclid" in l and "john" in l for l in lines)
+
+
+class TestState:
+    def test_side_by_side_layout(self, pupil_db):
+        text = render_state(pupil_db)
+        lines = text.splitlines()
+        assert "Teach" in lines[0]
+        assert "Class_list" in lines[0]
+        assert "Pupil" in lines[0]
+        assert set(lines[1]) <= {"-", "|", " "}
+
+    def test_selected_columns(self, pupil_db):
+        text = render_state(pupil_db, ("teach",), ())
+        assert "Class_list" not in text
+        assert "Pupil" not in text
+
+    def test_empty_database(self):
+        from repro.fdb.database import FunctionalDatabase
+
+        assert render_state(FunctionalDatabase()) == "(empty database)"
+
+    def test_matches_paper_u1_table(self, pupil_db, u_sequence):
+        """Spot-check the rendered u1 state against Section 4.2."""
+        apply_update(pupil_db, u_sequence[0])
+        text = render_state(pupil_db)
+        assert "euclid  math A {g1}" in text
+        assert "math john A {g1}" in text
+        assert "laplace math T {}" in text

@@ -1,0 +1,191 @@
+"""Tests for function definitions and schema containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema import FunctionDef, Schema
+from repro.core.types import ObjectType, TypeFunctionality, product_type
+from repro.errors import (
+    DuplicateFunctionError,
+    SchemaError,
+    UnknownFunctionError,
+)
+
+A = ObjectType("A")
+B = ObjectType("B")
+C = ObjectType("C")
+
+
+def fd(name: str, dom=A, rng=B,
+       tf=TypeFunctionality.MANY_MANY) -> FunctionDef:
+    return FunctionDef(name, dom, rng, tf)
+
+
+class TestFunctionDef:
+    def test_str_matches_paper_notation(self):
+        f = FunctionDef(
+            "cutoff", ObjectType("marks"), ObjectType("letter_grade"),
+            TypeFunctionality.MANY_ONE,
+        )
+        assert str(f) == "cutoff: marks -> letter_grade; (many-one)"
+
+    def test_str_with_product_domain(self):
+        f = FunctionDef(
+            "grade", product_type("student", "course"),
+            ObjectType("letter_grade"), TypeFunctionality.MANY_ONE,
+        )
+        assert str(f) == (
+            "grade: [student; course] -> letter_grade; (many-one)"
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            FunctionDef("", A, B)
+
+    def test_default_functionality_is_many_many(self):
+        assert fd("f").functionality == TypeFunctionality.MANY_MANY
+
+    def test_syntactic_equivalence(self):
+        assert fd("f").syntactically_equivalent(fd("g"))
+        assert not fd("f").syntactically_equivalent(fd("g", rng=C))
+        assert not fd("f").syntactically_equivalent(fd("g", dom=C))
+
+    def test_type_functional_equivalence(self):
+        assert fd("f").type_functionally_equivalent(fd("g"))
+        assert not fd("f").type_functionally_equivalent(
+            fd("g", tf=TypeFunctionality.ONE_ONE)
+        )
+
+    def test_endpoints(self):
+        assert fd("f").endpoints == (A, B)
+
+    def test_identity_by_all_components(self):
+        assert fd("f") == fd("f")
+        assert fd("f") != fd("f", tf=TypeFunctionality.ONE_ONE)
+        assert fd("f") != fd("g")
+
+
+class TestSchemaConstruction:
+    def test_preserves_order(self):
+        schema = Schema([fd("f"), fd("g"), fd("h")])
+        assert schema.names == ("f", "g", "h")
+
+    def test_duplicate_name_rejected(self):
+        schema = Schema([fd("f")])
+        with pytest.raises(DuplicateFunctionError):
+            schema.add(fd("f", rng=C))
+
+    def test_remove(self):
+        schema = Schema([fd("f"), fd("g")])
+        removed = schema.remove("f")
+        assert removed.name == "f"
+        assert schema.names == ("g",)
+
+    def test_remove_unknown(self):
+        with pytest.raises(UnknownFunctionError):
+            Schema().remove("nope")
+
+
+class TestSchemaLookup:
+    def test_getitem(self):
+        f = fd("f")
+        assert Schema([f])["f"] is f
+
+    def test_getitem_unknown(self):
+        with pytest.raises(UnknownFunctionError):
+            Schema()["f"]
+
+    def test_get_default(self):
+        assert Schema().get("f") is None
+
+    def test_contains_name_and_def(self):
+        f = fd("f")
+        schema = Schema([f])
+        assert "f" in schema
+        assert f in schema
+        assert fd("f", rng=C) not in schema  # same name, different def
+        assert "g" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema([fd("f"), fd("g")])
+        assert len(schema) == 2
+        assert [f.name for f in schema] == ["f", "g"]
+
+    def test_object_types_first_use_order(self):
+        schema = Schema([fd("f", A, B), fd("g", B, C), fd("h", C, A)])
+        assert schema.object_types == (A, B, C)
+
+
+class TestSchemaArithmetic:
+    def test_subtraction(self):
+        schema = Schema([fd("f"), fd("g"), fd("h")])
+        result = schema - Schema([fd("g")])
+        assert result.names == ("f", "h")
+
+    def test_subtraction_leaves_original(self):
+        schema = Schema([fd("f"), fd("g")])
+        _ = schema - Schema([fd("f")])
+        assert len(schema) == 2
+
+    def test_union(self):
+        merged = Schema([fd("f")]) | Schema([fd("g")])
+        assert merged.names == ("f", "g")
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(SchemaError):
+            _ = Schema([fd("f")]) | Schema([fd("f", rng=C)])
+
+    def test_union_idempotent_on_same_def(self):
+        merged = Schema([fd("f")]) | Schema([fd("f")])
+        assert merged.names == ("f",)
+
+    def test_restricted_to(self):
+        schema = Schema([fd("f"), fd("g"), fd("h")])
+        assert schema.restricted_to(["h", "f"]).names == ("f", "h")
+
+    def test_restricted_to_unknown(self):
+        with pytest.raises(UnknownFunctionError):
+            Schema([fd("f")]).restricted_to(["g"])
+
+    def test_is_subschema_of(self):
+        big = Schema([fd("f"), fd("g")])
+        assert Schema([fd("f")]).is_subschema_of(big)
+        assert not Schema([fd("h")]).is_subschema_of(big)
+
+    def test_equality_ignores_order(self):
+        assert Schema([fd("f"), fd("g")]) == Schema([fd("g"), fd("f")])
+        assert Schema([fd("f")]) != Schema([fd("g")])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Schema())
+
+    def test_copy_is_independent(self):
+        schema = Schema([fd("f")])
+        clone = schema.copy()
+        clone.add(fd("g"))
+        assert len(schema) == 1
+
+
+class TestTable1(object):
+    """Table 1 of the paper as a structured schema (fixture `s1`)."""
+
+    def test_names(self, s1):
+        assert s1.names == ("grade", "score", "cutoff", "teach", "taught_by")
+
+    def test_grade_signature(self, s1):
+        grade = s1["grade"]
+        assert grade.domain == product_type("student", "course")
+        assert grade.range == ObjectType("letter_grade")
+        assert grade.functionality == TypeFunctionality.MANY_ONE
+
+    def test_teach_taught_by_symmetry(self, s1):
+        assert s1["teach"].domain == s1["taught_by"].range
+        assert s1["teach"].range == s1["taught_by"].domain
+
+    def test_object_types(self, s1):
+        names = {t.name for t in s1.object_types}
+        assert names == {
+            "[student; course]", "letter_grade", "marks", "faculty", "course"
+        }

@@ -1,0 +1,113 @@
+"""Tests for the schema text format (parser and printer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schema_text import (
+    format_schema,
+    parse_function_def,
+    parse_schema,
+)
+from repro.core.types import ObjectType, TypeFunctionality, product_type
+from repro.errors import ParseError
+
+
+class TestParseFunctionDef:
+    def test_basic(self):
+        f = parse_function_def("teach: faculty -> course")
+        assert f.name == "teach"
+        assert f.domain == ObjectType("faculty")
+        assert f.range == ObjectType("course")
+        assert f.functionality == TypeFunctionality.MANY_MANY
+
+    def test_with_functionality(self):
+        f = parse_function_def("cutoff: marks -> letter_grade; (many-one)")
+        assert f.functionality == TypeFunctionality.MANY_ONE
+
+    def test_functionality_spacing_variants(self):
+        for text in [
+            "f: a -> b; (many - one)",
+            "f: a -> b (many-one)",
+            "f: a -> b;(many-one);",
+            "f: a -> b; (Many-One)",
+        ]:
+            assert parse_function_def(text).functionality == (
+                TypeFunctionality.MANY_ONE
+            )
+
+    def test_product_domain(self):
+        f = parse_function_def(
+            "grade: [student; course] -> letter_grade; (many-one)"
+        )
+        assert f.domain == product_type("student", "course")
+
+    def test_unicode_arrow(self):
+        f = parse_function_def("teach: faculty → course")
+        assert f.range == ObjectType("course")
+
+    def test_trailing_semicolon(self):
+        assert parse_function_def("f: a -> b;").name == "f"
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "no colon here",
+        "f a -> b",
+        "f: a b",
+        "f: a -> b -> c",
+        "123: a -> b",
+        "f f: a -> b",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_function_def(bad)
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_function_def("f: a b", line=7)
+        assert "line 7" in str(info.value)
+
+
+class TestParseSchema:
+    def test_numbered_lines(self):
+        schema = parse_schema("""
+            1. grade: [student; course] -> letter_grade; (many-one)
+            2. score: [student; course] -> marks; (many-one)
+        """)
+        assert schema.names == ("grade", "score")
+
+    def test_comments_and_blanks(self):
+        schema = parse_schema("""
+            # the paper's pupil example
+            teach: faculty -> course   # base
+
+            class_list: course -> student
+        """)
+        assert schema.names == ("teach", "class_list")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(Exception):
+            parse_schema("f: a -> b\nf: a -> c")
+
+    def test_empty_text(self):
+        assert len(parse_schema("")) == 0
+
+
+class TestFormat:
+    def test_roundtrip(self, s1):
+        again = parse_schema(format_schema(s1))
+        assert again == s1
+        assert again.names == s1.names
+
+    def test_numbered_matches_table1(self, s1):
+        text = format_schema(s1, numbered=True)
+        lines = text.splitlines()
+        assert lines[0] == (
+            "1. grade: [student; course] -> letter_grade; (many-one)"
+        )
+        assert lines[4] == (
+            "5. taught_by: course -> faculty; (many-many)"
+        )
+
+    def test_roundtrip_of_formatted_numbered(self, s1):
+        assert parse_schema(format_schema(s1, numbered=True)) == s1

@@ -1,0 +1,84 @@
+"""Tests for atomic update scopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.fdb.logic import Truth
+from repro.fdb.transaction import Transaction
+
+
+class TestCommit:
+    def test_successful_block_keeps_changes(self, pupil_db):
+        with pupil_db.transaction():
+            pupil_db.insert("teach", "gauss", "cs")
+            pupil_db.delete("teach", "euclid", "math")
+        assert pupil_db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+        assert pupil_db.truth_of("teach", "euclid", "math") is Truth.FALSE
+
+
+class TestRollback:
+    def test_exception_restores_tables(self, pupil_db):
+        with pytest.raises(RuntimeError):
+            with pupil_db.transaction():
+                pupil_db.insert("teach", "gauss", "cs")
+                raise RuntimeError("boom")
+        assert pupil_db.truth_of("teach", "gauss", "cs") is Truth.FALSE
+        assert pupil_db.truth_of("teach", "euclid", "math") is Truth.TRUE
+
+    def test_rollback_restores_ncs_and_flags(self, pupil_db):
+        with pytest.raises(RuntimeError):
+            with pupil_db.transaction():
+                pupil_db.delete("pupil", "euclid", "john")
+                assert len(pupil_db.ncs) == 1
+                raise RuntimeError("boom")
+        assert len(pupil_db.ncs) == 0
+        fact = pupil_db.table("teach").get("euclid", "math")
+        assert fact.truth is Truth.TRUE and fact.ncl == set()
+
+    def test_rollback_restores_null_counter(self, pupil_db):
+        with pytest.raises(RuntimeError):
+            with pupil_db.transaction():
+                pupil_db.insert("pupil", "gauss", "bill")  # burns n1
+                raise RuntimeError("boom")
+        assert pupil_db.nulls.next_index == 1
+
+    def test_replace_atomicity_with_failing_insert(self, pupil_db,
+                                                   monkeypatch):
+        from repro.fdb import updates
+
+        original_insert = updates.insert
+
+        def failing_insert(db, name, x, y):
+            raise RuntimeError("insert failed")
+
+        monkeypatch.setattr(updates, "insert", failing_insert)
+        with pytest.raises(RuntimeError):
+            updates.replace(
+                pupil_db, "teach", ("euclid", "math"), ("euclid", "cs")
+            )
+        monkeypatch.setattr(updates, "insert", original_insert)
+        # The delete was rolled back.
+        assert pupil_db.truth_of("teach", "euclid", "math") is Truth.TRUE
+
+
+class TestMisuse:
+    def test_double_enter_rejected(self, pupil_db):
+        transaction = Transaction(pupil_db)
+        with transaction:
+            with pytest.raises(TransactionError):
+                transaction.__enter__()
+
+    def test_exit_without_enter(self, pupil_db):
+        transaction = Transaction(pupil_db)
+        with pytest.raises(TransactionError):
+            transaction.__exit__(None, None, None)
+
+    def test_sequential_reuse_allowed(self, pupil_db):
+        transaction = Transaction(pupil_db)
+        with transaction:
+            pupil_db.insert("teach", "gauss", "cs")
+        with transaction:
+            pupil_db.insert("teach", "noether", "algebra")
+        assert len(pupil_db.table("teach")) == 4

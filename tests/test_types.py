@@ -1,0 +1,197 @@
+"""Unit and property tests for the type-functionality algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    Multiplicity,
+    ObjectType,
+    TypeFunctionality,
+    compose_functionalities,
+    product_type,
+)
+
+TF = TypeFunctionality
+ALL_TFS = TF.all()
+tf_strategy = st.sampled_from(ALL_TFS)
+
+
+class TestMultiplicity:
+    def test_join_many_absorbs(self):
+        assert Multiplicity.ONE.join(Multiplicity.MANY) is Multiplicity.MANY
+        assert Multiplicity.MANY.join(Multiplicity.ONE) is Multiplicity.MANY
+        assert Multiplicity.MANY.join(Multiplicity.MANY) is Multiplicity.MANY
+
+    def test_join_one_identity(self):
+        assert Multiplicity.ONE.join(Multiplicity.ONE) is Multiplicity.ONE
+
+    def test_str(self):
+        assert str(Multiplicity.ONE) == "one"
+        assert str(Multiplicity.MANY) == "many"
+
+
+class TestTypeFunctionalityBasics:
+    def test_four_canonical_instances(self):
+        assert len(set(ALL_TFS)) == 4
+
+    @pytest.mark.parametrize("text, expected", [
+        ("one-one", TF.ONE_ONE),
+        ("one-many", TF.ONE_MANY),
+        ("many-one", TF.MANY_ONE),
+        ("many-many", TF.MANY_MANY),
+        ("Many - One", TF.MANY_ONE),
+        ("MANY-MANY", TF.MANY_MANY),
+        ("many -  one", TF.MANY_ONE),
+    ])
+    def test_parse(self, text, expected):
+        assert TF.parse(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "many", "many-", "-one",
+                                     "some-one", "many-one-many"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            TF.parse(bad)
+
+    def test_str_roundtrip(self):
+        for tf in ALL_TFS:
+            assert TF.parse(str(tf)) == tf
+
+    def test_repr(self):
+        assert repr(TF.MANY_ONE) == "TypeFunctionality.MANY_ONE"
+
+    def test_single_valued(self):
+        assert TF.MANY_ONE.is_single_valued
+        assert TF.ONE_ONE.is_single_valued
+        assert not TF.MANY_MANY.is_single_valued
+        assert not TF.ONE_MANY.is_single_valued
+
+    def test_injective(self):
+        assert TF.ONE_MANY.is_injective
+        assert TF.ONE_ONE.is_injective
+        assert not TF.MANY_ONE.is_injective
+        assert not TF.MANY_MANY.is_injective
+
+
+class TestCompositionTable:
+    """The full 4x4 composition table, checked against the worst-case
+    rule (a composite component is ONE only when both factors' are)."""
+
+    def test_identity_element(self):
+        for tf in ALL_TFS:
+            assert TF.ONE_ONE.compose(tf) == tf
+            assert tf.compose(TF.ONE_ONE) == tf
+
+    def test_many_many_absorbing(self):
+        for tf in ALL_TFS:
+            assert TF.MANY_MANY.compose(tf) == TF.MANY_MANY
+            assert tf.compose(TF.MANY_MANY) == TF.MANY_MANY
+
+    def test_paper_grade_case(self):
+        # score (many-one) o cutoff (many-one) = many-one = grade's.
+        assert TF.MANY_ONE.compose(TF.MANY_ONE) == TF.MANY_ONE
+
+    def test_mixed(self):
+        assert TF.MANY_ONE.compose(TF.ONE_MANY) == TF.MANY_MANY
+        assert TF.ONE_MANY.compose(TF.MANY_ONE) == TF.MANY_MANY
+        assert TF.ONE_MANY.compose(TF.ONE_MANY) == TF.ONE_MANY
+
+    def test_exhaustive_against_rule(self):
+        for a in ALL_TFS:
+            for b in ALL_TFS:
+                composite = a.compose(b)
+                assert composite.src_per_tgt == a.src_per_tgt.join(
+                    b.src_per_tgt
+                )
+                assert composite.tgt_per_src == a.tgt_per_src.join(
+                    b.tgt_per_src
+                )
+
+
+class TestAlgebraicLaws:
+    @given(tf_strategy, tf_strategy, tf_strategy)
+    def test_associativity(self, a, b, c):
+        assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+    @given(tf_strategy, tf_strategy)
+    def test_commutativity(self, a, b):
+        # Worst-case composition happens to be commutative.
+        assert a.compose(b) == b.compose(a)
+
+    @given(tf_strategy)
+    def test_idempotence(self, a):
+        assert a.compose(a) == a
+
+    @given(tf_strategy)
+    def test_inverse_involution(self, a):
+        assert a.inverse().inverse() == a
+
+    @given(tf_strategy, tf_strategy)
+    def test_inverse_antihomomorphism(self, a, b):
+        # (a o b)^-1 = b^-1 o a^-1
+        assert a.compose(b).inverse() == b.inverse().compose(a.inverse())
+
+    def test_inverse_swaps(self):
+        assert TF.MANY_ONE.inverse() == TF.ONE_MANY
+        assert TF.ONE_MANY.inverse() == TF.MANY_ONE
+        assert TF.ONE_ONE.inverse() == TF.ONE_ONE
+        assert TF.MANY_MANY.inverse() == TF.MANY_MANY
+
+    @given(st.lists(tf_strategy, max_size=6))
+    def test_fold_matches_pairwise(self, tfs):
+        expected = TF.ONE_ONE
+        for tf in tfs:
+            expected = expected.compose(tf)
+        assert compose_functionalities(tfs) == expected
+
+    def test_fold_empty_is_identity(self):
+        assert compose_functionalities([]) == TF.ONE_ONE
+
+
+class TestObjectType:
+    def test_simple(self):
+        t = ObjectType("marks")
+        assert t.name == "marks"
+        assert not t.is_product
+        assert str(t) == "marks"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectType("")
+
+    def test_product(self):
+        t = product_type("student", "course")
+        assert t.is_product
+        assert t.components == ("student", "course")
+        assert t.name == "[student; course]"
+
+    def test_product_needs_components(self):
+        with pytest.raises(ValueError):
+            product_type()
+
+    def test_parse_simple(self):
+        assert ObjectType.parse("  faculty ") == ObjectType("faculty")
+
+    def test_parse_product(self):
+        parsed = ObjectType.parse("[student; course]")
+        assert parsed == product_type("student", "course")
+
+    def test_parse_product_whitespace(self):
+        assert ObjectType.parse("[ student ;course ]") == product_type(
+            "student", "course"
+        )
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectType.parse("   ")
+        with pytest.raises(ValueError):
+            ObjectType.parse("[ ; ]")
+
+    def test_equality_distinguishes_products(self):
+        assert product_type("a", "b") != product_type("b", "a")
+        assert ObjectType("[a; b]", ("a", "b")) == product_type("a", "b")
+
+    def test_hashable(self):
+        assert len({ObjectType("a"), ObjectType("a"), ObjectType("b")}) == 2

@@ -1,0 +1,215 @@
+"""Tests for the workload generators (determinism, well-formedness,
+cross-model consistency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import FunctionGraph
+from repro.core.minimal_schema import minimal_schema_ams
+from repro.fdb.evaluate import derived_extension
+from repro.fdb.logic import Truth
+from repro.fdb.updates import apply_update
+from repro.workloads.generator import (
+    WorkloadConfig,
+    chain_fdb,
+    cyclic_design_schema,
+    paired_chain_workload,
+    random_instance,
+    random_updates,
+    tree_schema_with_derived,
+)
+
+
+class TestTreeSchema:
+    def test_deterministic(self):
+        a = tree_schema_with_derived(15, 4, seed=5)
+        b = tree_schema_with_derived(15, 4, seed=5)
+        assert a == b and a.names == b.names
+
+    def test_seed_changes_output(self):
+        a = tree_schema_with_derived(15, 4, seed=5)
+        b = tree_schema_with_derived(15, 4, seed=6)
+        assert a != b
+
+    def test_counts(self):
+        schema = tree_schema_with_derived(15, 4, seed=5)
+        assert len(schema) == (15 - 1) + 4
+
+    def test_derived_have_matching_derivations(self):
+        """Each chord's functionality equals its tree path's, so it is a
+        genuine candidate derived function."""
+        schema = tree_schema_with_derived(12, 5, seed=2)
+        tree = schema.restricted_to(
+            n for n in schema.names if n.startswith("f")
+        )
+        graph = FunctionGraph.of_schema(tree)
+        for name in schema.names:
+            if not name.startswith("d"):
+                continue
+            assert graph.has_equivalent_walk(schema[name]), name
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            tree_schema_with_derived(1, 0)
+
+    def test_impossible_placement_rejected(self):
+        # Two types -> all paths have length 1, but chords need >= 2.
+        with pytest.raises(ValueError):
+            tree_schema_with_derived(2, 1, seed=0)
+
+
+class TestCyclicSchema:
+    def test_structure(self):
+        schema = cyclic_design_schema(3, path_length=2)
+        assert len(schema) == 3 * 2 + 1
+        assert "closer" in schema
+
+    def test_closer_creates_n_cycles(self):
+        schema = cyclic_design_schema(4, path_length=2)
+        graph = FunctionGraph.of_schema(schema)
+        cycles = list(graph.cycles_through("closer"))
+        assert len(cycles) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_design_schema(0)
+        with pytest.raises(ValueError):
+            cyclic_design_schema(2, path_length=0)
+
+
+class TestChainFdb:
+    def test_shape(self):
+        db = chain_fdb(3)
+        assert db.base_names == ("f1", "f2", "f3")
+        assert db.derived_names == ("v",)
+        assert str(db.derived("v").primary) == "f1 o f2 o f3"
+
+    def test_k1(self):
+        db = chain_fdb(1)
+        assert db.base_names == ("f1",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chain_fdb(0)
+
+
+class TestRandomInstance:
+    def test_sizes(self):
+        db = chain_fdb(2)
+        random_instance(db, 20, seed=1, value_pool=30)
+        assert len(db.table("f1")) == 20
+        assert len(db.table("f2")) == 20
+
+    def test_deterministic(self):
+        a = chain_fdb(2)
+        b = chain_fdb(2)
+        random_instance(a, 10, seed=3)
+        random_instance(b, 10, seed=3)
+        assert a.table("f1").rows() == b.table("f1").rows()
+
+    def test_small_pool_caps_rows(self):
+        db = chain_fdb(2)
+        random_instance(db, 100, seed=1, value_pool=3)  # max 9 pairs
+        assert len(db.table("f1")) <= 9
+
+
+class TestRandomUpdates:
+    def test_all_updates_applicable(self):
+        db = chain_fdb(2)
+        random_instance(db, 15, seed=4, value_pool=8)
+        updates = random_updates(db, 40, WorkloadConfig(seed=9))
+        assert len(updates) == 40
+        for update in updates:
+            apply_update(db, update)  # must not raise
+
+    def test_deterministic(self):
+        db = chain_fdb(2)
+        random_instance(db, 15, seed=4)
+        a = random_updates(db, 20, WorkloadConfig(seed=9))
+        b = random_updates(db, 20, WorkloadConfig(seed=9))
+        assert [str(u) for u in a] == [str(u) for u in b]
+
+    def test_respects_mix(self):
+        db = chain_fdb(2)
+        random_instance(db, 15, seed=4)
+        config = WorkloadConfig(
+            seed=1, base_insert=1.0, base_delete=0.0,
+            derived_insert=0.0, derived_delete=0.0,
+        )
+        updates = random_updates(db, 10, config)
+        assert all(
+            u.kind == "INS" and u.function.startswith("f") for u in updates
+        )
+
+    def test_zero_weights_rejected(self):
+        config = WorkloadConfig(
+            base_insert=0, base_delete=0,
+            derived_insert=0, derived_delete=0,
+        )
+        with pytest.raises(ValueError):
+            config.weights(with_derived=True)
+
+    def test_base_only_database(self):
+        from repro.fdb.database import FunctionalDatabase
+        from repro.core.schema import FunctionDef
+        from repro.core.types import ObjectType
+
+        db = FunctionalDatabase()
+        db.declare_base(FunctionDef(
+            "f", ObjectType("A"), ObjectType("B")
+        ))
+        updates = random_updates(db, 10, WorkloadConfig(seed=0))
+        assert all(u.function == "f" for u in updates)
+
+
+class TestPairedWorkload:
+    def test_view_and_derived_extensions_agree(self):
+        relational, functional, targets = paired_chain_workload(
+            3, 15, seed=11
+        )
+        view_tuples = set(
+            relational.view("v").evaluate(relational).tuples
+        )
+        derived = {
+            pair for pair, truth in
+            derived_extension(functional, "v").items()
+            if truth is Truth.TRUE
+        }
+        assert view_tuples == derived
+        assert set(targets) == view_tuples
+
+    def test_deterministic(self):
+        a = paired_chain_workload(2, 10, seed=3)
+        b = paired_chain_workload(2, 10, seed=3)
+        assert a[2] == b[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_chain_workload(1, 10)
+
+
+class TestUniversityFixtures:
+    def test_design_trace_functions_order(self, trace_functions):
+        names = [f.name for f in trace_functions]
+        assert names == [
+            "teach", "taught_by", "class_list", "lecturer_of", "grade",
+            "attendance", "attendance_eval", "score", "cutoff",
+        ]
+
+    def test_s1_is_ufa_solvable(self, s1):
+        result = minimal_schema_ams(s1)
+        assert len(result.derived) == 2
+
+    def test_pupil_database_instance(self, pupil_db):
+        assert len(pupil_db.table("teach")) == 2
+        assert len(pupil_db.table("class_list")) == 2
+        assert pupil_db.derived_names == ("pupil",)
+
+    def test_u_sequence_shape(self, u_sequence):
+        assert [u.kind for u in u_sequence] == [
+            "DEL", "INS", "DEL", "INS", "INS",
+        ]
+        assert [str(u) for u in u_sequence][0] == (
+            "DEL(pupil, <euclid, john>)"
+        )

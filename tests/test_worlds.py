@@ -1,0 +1,213 @@
+"""Tests for the possible-worlds quantification of ambiguity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fdb.facts import FactRef
+from repro.fdb.logic import Truth
+from repro.fdb.worlds import (
+    EXACT_LIMIT,
+    ambiguous_atoms,
+    analyze,
+    certain,
+    count_worlds,
+    derived_marginal,
+    iter_worlds,
+    marginal,
+    possible,
+)
+
+TEACH = FactRef("teach", "euclid", "math")
+CLASS = FactRef("class_list", "math", "john")
+
+
+class TestCleanDatabase:
+    def test_single_world(self, pupil_db):
+        assert ambiguous_atoms(pupil_db) == ()
+        assert count_worlds(pupil_db) == 1
+        assert list(iter_worlds(pupil_db)) == [frozenset()]
+
+    def test_true_facts_certain(self, pupil_db):
+        assert marginal(pupil_db, "teach", "euclid", "math") == 1.0
+        assert certain(pupil_db, "teach", "euclid", "math")
+
+    def test_absent_facts_impossible(self, pupil_db):
+        assert marginal(pupil_db, "teach", "gauss", "cs") == 0.0
+        assert not possible(pupil_db, "teach", "gauss", "cs")
+
+
+class TestAfterDerivedDelete:
+    """DEL(pupil, <euclid, john>) leaves one NC over two facts: worlds
+    are the three truth assignments with not-both-true."""
+
+    @pytest.fixture
+    def db(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        return pupil_db
+
+    def test_atoms(self, db):
+        assert set(ambiguous_atoms(db)) == {TEACH, CLASS}
+
+    def test_three_worlds(self, db):
+        worlds = set(iter_worlds(db))
+        assert worlds == {
+            frozenset(), frozenset({TEACH}), frozenset({CLASS}),
+        }
+        assert count_worlds(db) == 3
+
+    def test_member_marginals_one_third(self, db):
+        assert marginal(db, "teach", "euclid", "math") == pytest.approx(1 / 3)
+        assert marginal(db, "class_list", "math", "john") == pytest.approx(1 / 3)
+
+    def test_deleted_derived_fact_impossible(self, db):
+        # Its only chain needs both NC members true: in no world.
+        assert derived_marginal(db, "pupil", "euclid", "john") == 0.0
+        assert not possible(db, "pupil", "euclid", "john")
+
+    def test_sibling_derived_marginals(self, db):
+        # pupil(euclid, bill) needs only <teach, euclid, math>: 1/3.
+        assert derived_marginal(db, "pupil", "euclid", "bill") == (
+            pytest.approx(1 / 3)
+        )
+        # pupil(laplace, bill) needs only true facts: certain.
+        assert derived_marginal(db, "pupil", "laplace", "bill") == 1.0
+        assert certain(db, "pupil", "laplace", "bill")
+
+    def test_modal_refinement(self, db):
+        """An ambiguous fact is possible but not certain."""
+        assert possible(db, "teach", "euclid", "math")
+        assert not certain(db, "teach", "euclid", "math")
+
+
+class TestTwoNCs:
+    def test_overlapping_ncs(self, pupil_db):
+        """NCs {teach, class_john} and {teach, class_bill}: worlds must
+        violate neither."""
+        pupil_db.delete("pupil", "euclid", "john")
+        pupil_db.delete("pupil", "euclid", "bill")
+        worlds = set(iter_worlds(pupil_db))
+        class_bill = FactRef("class_list", "math", "bill")
+        # Atoms: TEACH, CLASS, class_bill. Forbidden: TEACH with either
+        # class fact. Allowed: {}, {T}, {Cj}, {Cb}, {Cj, Cb}.
+        assert frozenset({TEACH, CLASS}) not in worlds
+        assert frozenset({TEACH, class_bill}) not in worlds
+        assert frozenset({CLASS, class_bill}) in worlds
+        assert len(worlds) == 5
+
+    def test_marginal_reflects_shared_member(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        pupil_db.delete("pupil", "euclid", "bill")
+        # TEACH is in both NCs: true in exactly 1 of 5 worlds.
+        assert marginal(pupil_db, "teach", "euclid", "math") == (
+            pytest.approx(1 / 5)
+        )
+
+
+class TestReport:
+    def test_analyze(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        report = analyze(pupil_db)
+        assert report.exact
+        assert report.atom_count == 2
+        assert report.world_count == 3
+        assert report.base_marginals[TEACH] == pytest.approx(1 / 3)
+        assert 0 < report.entropy_like <= 0.5
+
+    def test_clean_entropy_zero(self, pupil_db):
+        assert analyze(pupil_db).entropy_like == 0.0
+
+    def test_str(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        text = str(analyze(pupil_db))
+        assert "3 possible worlds" in text
+        assert "P(<teach, euclid, math>)" in text
+
+
+class TestDefaultLogic:
+    def test_clean_db_single_preferred_world(self, pupil_db):
+        from repro.fdb.worlds import default_truth, preferred_worlds
+
+        assert preferred_worlds(pupil_db) == [frozenset()]
+        assert default_truth(
+            pupil_db, "teach", "euclid", "math"
+        ) is Truth.TRUE
+
+    def test_single_nc_preferred_worlds(self, pupil_db):
+        from repro.fdb.worlds import preferred_worlds
+
+        pupil_db.delete("pupil", "euclid", "john")
+        preferred = set(preferred_worlds(pupil_db))
+        # By default exactly one suspect is wrong, never both.
+        assert preferred == {frozenset({TEACH}), frozenset({CLASS})}
+
+    def test_default_truth_of_members(self, pupil_db):
+        from repro.fdb.worlds import default_truth
+
+        pupil_db.delete("pupil", "euclid", "john")
+        # Each member holds in one of two preferred worlds: ambiguous.
+        assert default_truth(
+            pupil_db, "teach", "euclid", "math"
+        ) is Truth.AMBIGUOUS
+        # The deleted derived fact needs both: false in all preferred.
+        assert default_truth(
+            pupil_db, "pupil", "euclid", "john"
+        ) is Truth.FALSE
+        # Unrelated true facts stay true.
+        assert default_truth(
+            pupil_db, "pupil", "laplace", "bill"
+        ) is Truth.TRUE
+
+    def test_defaults_can_promote(self, pupil_db):
+        """A fact in every maximal repair is defaulted true even though
+        the three-valued verdict says ambiguous."""
+        from repro.fdb.worlds import default_truth
+
+        # Two NCs sharing teach: {T, Cj} and {T, Cb}. Worlds of max
+        # size: {Cj, Cb} (size 2) only -- teach false by default, both
+        # class facts defaulted true.
+        pupil_db.delete("pupil", "euclid", "john")
+        pupil_db.delete("pupil", "euclid", "bill")
+        assert default_truth(
+            pupil_db, "class_list", "math", "john"
+        ) is Truth.TRUE
+        assert default_truth(
+            pupil_db, "teach", "euclid", "math"
+        ) is Truth.FALSE
+        assert pupil_db.truth_of(
+            "class_list", "math", "john"
+        ) is Truth.AMBIGUOUS  # 3VL stays cautious
+
+    def test_absent_fact_false(self, pupil_db):
+        from repro.fdb.worlds import default_truth
+
+        assert default_truth(
+            pupil_db, "teach", "nobody", "nothing"
+        ) is Truth.FALSE
+
+
+class TestSampling:
+    def test_exact_limit_enforced(self, pupil_db):
+        table = pupil_db.table("teach")
+        for i in range(EXACT_LIMIT + 1):
+            fact = table.add_pair(f"x{i}", f"y{i}")
+            pupil_db.ncs.create([("teach", fact)] + [])
+        with pytest.raises(ReproError):
+            count_worlds(pupil_db)
+
+    def test_sampled_marginal_close_to_exact(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        exact = marginal(pupil_db, "teach", "euclid", "math")
+        sampled = marginal(
+            pupil_db, "teach", "euclid", "math", samples=4000, seed=1
+        )
+        assert abs(sampled - exact) < 0.05
+
+    def test_sampling_deterministic_by_seed(self, pupil_db):
+        pupil_db.delete("pupil", "euclid", "john")
+        a = marginal(pupil_db, "teach", "euclid", "math",
+                     samples=500, seed=7)
+        b = marginal(pupil_db, "teach", "euclid", "math",
+                     samples=500, seed=7)
+        assert a == b
