@@ -6,10 +6,18 @@ writes a human-readable report — the same rows/series the paper
 reports — into ``benchmarks/results/<exp_id>.txt`` via the ``report``
 fixture, so `pytest benchmarks/ --benchmark-only` leaves comparable
 artifacts behind.
+
+Each report also lands as machine-readable JSON in
+``benchmarks/results/<exp_id>.json``: the report lines plus whatever
+the bench attached via :attr:`ReportWriter.data` — typically a
+:func:`repro.obs.export.snapshot` of runtime metrics from an
+instrumented (un-timed) replay of the workload, so CI can assert on
+counters without parsing text.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -18,11 +26,18 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 class ReportWriter:
-    """Collects lines and writes them to results/<exp_id>.txt."""
+    """Collects lines and writes them to results/<exp_id>.txt (and,
+    with any attached ``data``, results/<exp_id>.json)."""
 
     def __init__(self, exp_id: str) -> None:
         self.exp_id = exp_id
         self.lines: list[str] = []
+        self.data: dict = {}
+
+    def attach(self, mapping: dict) -> None:
+        """Merge extra keys into the JSON payload (e.g. an
+        observability snapshot)."""
+        self.data.update(mapping)
 
     def line(self, text: str = "") -> None:
         self.lines.append(text)
@@ -58,10 +73,29 @@ class ReportWriter:
         _written_this_session.add(self.exp_id)
         with path.open(mode, encoding="utf-8") as handle:
             handle.write("\n".join(self.lines) + "\n")
+        self._flush_json()
         return path
+
+    def _flush_json(self) -> Path:
+        """Rewrite results/<exp_id>.json with everything flushed this
+        session: report lines accumulate across the module's tests, data
+        keys merge (later flushes win on conflicts)."""
+        payload = _json_this_session.setdefault(
+            self.exp_id, {"exp_id": self.exp_id, "report": []}
+        )
+        payload["report"].extend(self.lines)
+        payload.update(self.data)
+        json_path = RESULTS_DIR / f"{self.exp_id}.json"
+        json_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str)
+            + "\n",
+            encoding="utf-8",
+        )
+        return json_path
 
 
 _written_this_session: set[str] = set()
+_json_this_session: dict[str, dict] = {}
 
 
 @pytest.fixture

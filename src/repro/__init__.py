@@ -99,6 +99,7 @@ from repro.fdb import (
     truth_of,
 )
 from repro.lang import Interpreter
+from repro.obs import OBS, Instrumentation
 
 __version__ = "1.0.0"
 
@@ -160,4 +161,7 @@ __all__ = [
     "fn",
     # lang
     "Interpreter",
+    # obs
+    "OBS",
+    "Instrumentation",
 ]

@@ -37,6 +37,7 @@ from repro.errors import DesignError
 from repro.core.derivation import Derivation
 from repro.core.graph import FunctionGraph, Path, PathStep
 from repro.core.schema import FunctionDef, Schema
+from repro.obs.hooks import OBS
 
 __all__ = [
     "CycleReport",
@@ -302,6 +303,8 @@ class DesignSession:
         self.catalog.add(function)
         self.graph.add(function)
         self.log.append(DesignEvent("added", function.name))
+        if OBS.enabled:
+            OBS.inc("design.functions_added")
         reports: list[CycleReport] = []
         while function.name in self.graph:
             report = self._next_unhandled_cycle(function)
@@ -309,10 +312,20 @@ class DesignSession:
                 break
             reports.append(report)
             self.log.append(DesignEvent("cycle", report=report))
+            if OBS.enabled:
+                OBS.inc("design.cycles_reported")
+                OBS.event(
+                    "design.cycle",
+                    trigger=function.name,
+                    cycle=" - ".join(f.name for f in report.cycle_functions),
+                    candidates=len(report.candidates),
+                )
             choice = self.designer.break_cycle(report)
             if choice is None:
                 self._kept_cycles.add(frozenset(report.cycle.edge_names))
                 self.log.append(DesignEvent("kept"))
+                if OBS.enabled:
+                    OBS.inc("design.decisions_kept")
                 continue
             if choice not in report.cycle.edge_names:
                 raise DesignError(
@@ -326,6 +339,11 @@ class DesignSession:
                 )
             self.graph.remove(choice)
             self.log.append(DesignEvent("removed", choice))
+            if OBS.enabled:
+                OBS.inc("design.decisions_removed")
+        if OBS.enabled:
+            OBS.gauge("design.graph_edges", len(self.graph))
+            OBS.gauge("design.graph_nodes", len(self.graph.nodes))
         return reports
 
     def add_all(self, functions: Iterable[FunctionDef]) -> None:
@@ -348,6 +366,10 @@ class DesignSession:
             cycle for cycle in self._kept_cycles if name not in cycle
         }
         self.log.append(DesignEvent("retracted", name))
+        if OBS.enabled:
+            OBS.inc("design.functions_retracted")
+            OBS.gauge("design.graph_edges", len(self.graph))
+            OBS.gauge("design.graph_nodes", len(self.graph.nodes))
         return function
 
     def _next_unhandled_cycle(self, trigger: FunctionDef) -> CycleReport | None:

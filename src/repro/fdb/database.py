@@ -323,6 +323,18 @@ class FunctionalDatabase:
             "next_null_index": self.nulls.next_index,
         }
 
+    def stats(self) -> dict:
+        """Instance counts merged with the process-wide observability
+        snapshot (metrics, profile, flags) — what the REPL's ``stats``
+        command and the bench JSON exports print. Import is local to
+        avoid a cycle (obs.export has no fdb imports, but keeping the
+        front door lazy matches the update/query methods above)."""
+        from repro.obs.hooks import OBS
+
+        snapshot = OBS.snapshot()
+        snapshot["instance"] = self.counts()
+        return snapshot
+
     def __str__(self) -> str:
         lines = [f"FunctionalDatabase ({len(self._tables)} base, "
                  f"{len(self._derived)} derived)"]

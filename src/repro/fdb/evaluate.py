@@ -22,6 +22,7 @@ exactly or ambiguously (through nulls).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -30,6 +31,7 @@ from repro.fdb.database import FunctionalDatabase
 from repro.fdb.facts import Fact, FactRef
 from repro.fdb.logic import Truth
 from repro.fdb.values import Value
+from repro.obs.hooks import OBS
 
 __all__ = [
     "Chain",
@@ -179,7 +181,16 @@ def iter_chains(
                 all_exact and exact_match,
             )
 
-    yield from extend(0, (), None, True)
+    if not OBS.enabled:
+        yield from extend(0, (), None, True)
+        return
+    # Instrumented path: count enumerations and every chain yielded.
+    # Per-yield counting stays correct when a consumer abandons the
+    # generator early (exists_nvc stops at the first NVC).
+    OBS.inc("fdb.chains.enumerations")
+    for chain in extend(0, (), None, True):
+        OBS.inc("fdb.chains.enumerated")
+        yield chain
 
 
 def truth_of_derived(
@@ -187,11 +198,17 @@ def truth_of_derived(
 ) -> Truth:
     """Section 3.2 truth valuation of the derived fact ``name(x) = y``,
     considering every confirmed derivation of the function."""
+    obs_on = OBS.enabled  # hoisted: one global+attr load, not per chain
+    if obs_on:
+        OBS.inc("fdb.evaluate.truth_checks")
     derived = db.derived(name)
     ambiguous_found = False
     for derivation in derived.derivations:
         for chain in iter_chains(db, derivation, x, y):
             support = chain.supports(db)
+            if obs_on:
+                OBS.event("chain.evaluated", chain=str(chain),
+                          verdict=support.value)
             if support is Truth.TRUE:
                 return Truth.TRUE
             if support is Truth.AMBIGUOUS:
@@ -211,7 +228,19 @@ def _accumulate(
     db: FunctionalDatabase,
     chains: Iterator[Chain],
     into: dict[tuple[Value, Value], Truth],
+    label: str = "-",
 ) -> None:
+    """Fold chains into a pair -> strongest-truth map.
+
+    ``label`` names the derivation being evaluated; when observability
+    is on, the walk is timed into the profiler under
+    ``evaluate.accumulate`` so per-derivation evaluation cost is
+    attributable.
+    """
+    obs_on = OBS.enabled
+    if obs_on:
+        OBS.inc("fdb.evaluate.accumulations")
+        started = time.perf_counter()
     for chain in chains:
         support = chain.supports(db)
         if support is Truth.FALSE:
@@ -220,6 +249,10 @@ def _accumulate(
         current = into.get(pair, Truth.FALSE)
         if support > current:
             into[pair] = support
+    if obs_on:
+        OBS.profiler.record(
+            "evaluate.accumulate", label, time.perf_counter() - started
+        )
 
 
 def derived_extension(
@@ -234,7 +267,8 @@ def derived_extension(
     derived = db.derived(name)
     result: dict[tuple[Value, Value], Truth] = {}
     for derivation in derived.derivations:
-        _accumulate(db, iter_chains(db, derivation), result)
+        _accumulate(db, iter_chains(db, derivation), result,
+                    label=str(derivation))
     return result
 
 
@@ -245,5 +279,6 @@ def derived_image(
     derived = db.derived(name)
     pairs: dict[tuple[Value, Value], Truth] = {}
     for derivation in derived.derivations:
-        _accumulate(db, iter_chains(db, derivation, x=x), pairs)
+        _accumulate(db, iter_chains(db, derivation, x=x), pairs,
+                    label=str(derivation))
     return {y: truth for (_, y), truth in pairs.items()}

@@ -28,6 +28,7 @@ from repro.fdb.facts import Fact, FactRef
 from repro.fdb.logic import Truth
 from repro.fdb.table import FunctionTable
 from repro.fdb.values import Value
+from repro.obs.hooks import OBS
 
 __all__ = ["NegatedConjunction", "NCRegistry"]
 
@@ -87,6 +88,8 @@ class NCRegistry:
         pairs = list(conjuncts)
         if not pairs:
             raise UpdateError("an NC needs at least one conjunct")
+        if OBS.enabled:
+            OBS.inc("fdb.nc.created")
         index = next(self._counter)
         self._next_preview = index + 1
         members = []
@@ -110,6 +113,8 @@ class NCRegistry:
             nc = self._ncs.pop(index)
         except KeyError:
             raise UpdateError(f"no NC with index g{index}") from None
+        if OBS.enabled:
+            OBS.inc("fdb.nc.dismantled")
         for ref in nc.members:
             fact = self._table_of(ref.function).get(ref.x, ref.y)
             # A member may already have been removed from its table by the

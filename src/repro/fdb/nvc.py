@@ -23,6 +23,7 @@ from repro.fdb.evaluate import Chain, iter_chains
 from repro.fdb.facts import Fact
 from repro.fdb.logic import Truth
 from repro.fdb.values import Value, is_null
+from repro.obs.hooks import OBS
 
 __all__ = ["create_nvc", "exists_nvc", "clean_up_nvc", "interior_values"]
 
@@ -48,6 +49,8 @@ def create_nvc(
     ``<n_{k-1}, y, T, nil>`` (reoriented for inverted steps). Returns
     the stored facts in step order.
     """
+    if OBS.enabled:
+        OBS.inc("fdb.nvc.created")
     steps = derivation.steps
     nulls = list(db.nulls.fresh_many(len(steps) - 1))
     boundary: list[Value] = [x, *nulls, y]

@@ -28,6 +28,7 @@ from repro.fdb.database import FunctionalDatabase
 from repro.fdb.evaluate import _accumulate, iter_chains
 from repro.fdb.logic import Truth
 from repro.fdb.values import Value
+from repro.obs.hooks import OBS
 
 __all__ = ["Query", "fn"]
 
@@ -79,16 +80,32 @@ class Query(abc.ABC):
     def pairs(self, db: FunctionalDatabase) -> dict[tuple[Value, Value], Truth]:
         """The expression's extension: derivable pairs with truths
         (false pairs absent)."""
+        if OBS.enabled:
+            OBS.inc("fdb.query.pairs")
+            with OBS.span("query.pairs", key=str(self), expr=str(self)):
+                return self._pairs(db)
+        return self._pairs(db)
+
+    def _pairs(self, db: FunctionalDatabase) -> dict[tuple[Value, Value], Truth]:
         result: dict[tuple[Value, Value], Truth] = {}
         for derivation in self.derivations(db):
-            _accumulate(db, iter_chains(db, derivation), result)
+            _accumulate(db, iter_chains(db, derivation), result,
+                        label=str(derivation))
         return result
 
     def image(self, db: FunctionalDatabase, x: Value) -> dict[Value, Truth]:
         """Range values reached from ``x``, with truths."""
+        if OBS.enabled:
+            OBS.inc("fdb.query.image")
+            with OBS.span("query.image", key=str(self), expr=str(self), x=x):
+                return self._image(db, x)
+        return self._image(db, x)
+
+    def _image(self, db: FunctionalDatabase, x: Value) -> dict[Value, Truth]:
         pairs: dict[tuple[Value, Value], Truth] = {}
         for derivation in self.derivations(db):
-            _accumulate(db, iter_chains(db, derivation, x=x), pairs)
+            _accumulate(db, iter_chains(db, derivation, x=x), pairs,
+                        label=str(derivation))
         return {y: truth for (_, y), truth in pairs.items()}
 
     def preimage(self, db: FunctionalDatabase, y: Value) -> dict[Value, Truth]:
@@ -97,6 +114,14 @@ class Query(abc.ABC):
 
     def truth(self, db: FunctionalDatabase, x: Value, y: Value) -> Truth:
         """Truth of ``expr(x) = y`` under the Section 3.2 valuation."""
+        if OBS.enabled:
+            OBS.inc("fdb.query.truth")
+            with OBS.span("query.truth", key=str(self), expr=str(self),
+                          x=x, y=y):
+                return self._truth(db, x, y)
+        return self._truth(db, x, y)
+
+    def _truth(self, db: FunctionalDatabase, x: Value, y: Value) -> Truth:
         ambiguous = False
         for derivation in self.derivations(db):
             for chain in iter_chains(db, derivation, x, y):

@@ -20,12 +20,14 @@ transaction are stale after a rollback; re-fetch through
 
 from __future__ import annotations
 
+import time
 from types import TracebackType
 
 from repro.errors import TransactionError
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.nc import NCRegistry
 from repro.fdb.values import NullFactory
+from repro.obs.hooks import OBS
 
 __all__ = ["Transaction"]
 
@@ -46,12 +48,25 @@ class Transaction:
         if self._snapshot is not None:
             raise TransactionError("transaction already entered")
         db = self._db
+        if not OBS.enabled:
+            self._snapshot = {
+                "tables": {name: db.table(name).copy()
+                           for name in db.base_names},
+                "ncs": dict(db.ncs._ncs),
+                "nc_next": db.ncs.next_index,
+                "null_next": db.nulls.next_index,
+            }
+            return self
+        OBS.inc("fdb.txn.begun")
+        started = time.perf_counter()
         self._snapshot = {
             "tables": {name: db.table(name).copy() for name in db.base_names},
             "ncs": dict(db.ncs._ncs),
             "nc_next": db.ncs.next_index,
             "null_next": db.nulls.next_index,
         }
+        OBS.observe("fdb.txn.snapshot_seconds",
+                    time.perf_counter() - started)
         return self
 
     def __exit__(
@@ -65,7 +80,12 @@ class Transaction:
             raise TransactionError("transaction never entered")
         self._snapshot = None
         if exc_type is None:
+            if OBS.enabled:
+                OBS.inc("fdb.txn.committed")
             return False
+        if OBS.enabled:
+            OBS.inc("fdb.txn.rolled_back")
+            OBS.event("txn.rollback", reason=exc_type.__name__)
         db = self._db
         db._tables = snapshot["tables"]
         registry = NCRegistry(db.table, snapshot["nc_next"])

@@ -45,7 +45,8 @@ from repro.fdb.database import FunctionalDatabase
 from repro.fdb.evaluate import iter_chains, truth_of_derived
 from repro.fdb.logic import Truth
 from repro.fdb.nvc import clean_up_nvc, create_nvc, exists_nvc
-from repro.fdb.values import Value
+from repro.fdb.values import Value, format_value
+from repro.obs.hooks import OBS
 
 __all__ = [
     "base_insert",
@@ -69,10 +70,16 @@ def base_insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """Procedure ``base-insert(f, x, y)``."""
     table = db.table(name)
     fact = table.get(x, y)
+    obs_on = OBS.enabled
+    if obs_on:
+        OBS.inc("fdb.updates.base_insert")
+        OBS.event("base.insert", function=name, x=x, y=y)
     if fact is None:
         table.add_pair(x, y, Truth.TRUE)
         return
     for index in sorted(fact.ncl):
+        if obs_on:
+            OBS.event("nc.dismantled", index=f"g{index}", cause="insert")
         db.ncs.dismantle(index)
     fact.truth = Truth.TRUE
 
@@ -84,7 +91,13 @@ def base_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     fact = table.get(x, y)
     if fact is None:
         return
+    obs_on = OBS.enabled
+    if obs_on:
+        OBS.inc("fdb.updates.base_delete")
+        OBS.event("base.delete", function=name, x=x, y=y)
     for index in sorted(fact.ncl):
+        if obs_on:
+            OBS.event("nc.dismantled", index=f"g{index}", cause="delete")
         db.ncs.dismantle(index)
     table.discard(x, y)
 
@@ -100,8 +113,13 @@ def derived_insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
     or create a fresh one.
     """
     derived = db.derived(name)
+    obs_on = OBS.enabled
     if truth_of_derived(db, name, x, y) is Truth.TRUE:
+        if obs_on:
+            OBS.event("insert.already_true", function=name, x=x, y=y)
         return
+    if obs_on:
+        OBS.inc("fdb.updates.derived_insert")
     if db.insert_mode == "primary":
         derivations = (derived.primary,)
     else:
@@ -109,9 +127,16 @@ def derived_insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
     for derivation in derivations:
         chain = exists_nvc(db, derivation, x, y)
         if chain is not None:
+            if obs_on:
+                OBS.inc("fdb.nvc.reused")
+                OBS.event("nvc.reused", derivation=str(derivation),
+                          chain=str(chain))
             clean_up_nvc(db, chain)
         else:
-            create_nvc(db, derivation, x, y)
+            created = create_nvc(db, derivation, x, y)
+            if obs_on:
+                OBS.event("nvc.created", derivation=str(derivation),
+                          facts=len(created))
 
 
 def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
@@ -125,12 +150,20 @@ def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
         for derivation in derived.derivations
         for chain in iter_chains(db, derivation, x, y, allow_ambiguous=False)
     ]
+    obs_on = OBS.enabled
+    if obs_on:
+        OBS.inc("fdb.updates.derived_delete")
+        OBS.event("chains.matched", function=name, count=len(chains))
     for chain in chains:
+        if obs_on:
+            OBS.event("chain.evaluated", chain=str(chain))
         conjuncts = chain.conjuncts()
         if len(conjuncts) == 1:
             # A one-fact "conjunction" being false is just that fact
             # being false: no ambiguity arises, so delete it outright
             # (taught_by = teach^-1 deletes translate to teach deletes).
+            if obs_on:
+                OBS.event("chain.single_fact", chain=str(chain))
             function, fact = conjuncts[0]
             base_delete(db, function, fact.x, fact.y)
             continue
@@ -141,10 +174,16 @@ def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
         if not still_stored:
             # A one-fact chain above already deleted a fact this chain
             # shares; its conjunction is false without an NC.
+            if obs_on:
+                OBS.event("chain.stale", chain=str(chain))
             continue
         if chain.is_known_false(db):
+            if obs_on:
+                OBS.event("chain.already_false", chain=str(chain))
             continue
-        db.ncs.create(conjuncts)
+        nc = db.ncs.create(conjuncts)
+        if obs_on:
+            OBS.event("nc.created", index=f"g{nc.index}", chain=str(chain))
 
 
 # -- dispatching front door ---------------------------------------------------------
@@ -152,6 +191,16 @@ def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
 
 def insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """INS(f, <x, y>)."""
+    if OBS.enabled:
+        OBS.inc("fdb.updates.insert")
+        with OBS.span("update.insert", key=name, function=name, x=x, y=y):
+            _dispatch_insert(db, name, x, y)
+        return
+    _dispatch_insert(db, name, x, y)
+
+
+def _dispatch_insert(db: FunctionalDatabase, name: str,
+                     x: Value, y: Value) -> None:
     if db.is_base(name):
         base_insert(db, name, x, y)
     else:
@@ -160,6 +209,16 @@ def insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
 
 def delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """DEL(f, <x, y>)."""
+    if OBS.enabled:
+        OBS.inc("fdb.updates.delete")
+        with OBS.span("update.delete", key=name, function=name, x=x, y=y):
+            _dispatch_delete(db, name, x, y)
+        return
+    _dispatch_delete(db, name, x, y)
+
+
+def _dispatch_delete(db: FunctionalDatabase, name: str,
+                     x: Value, y: Value) -> None:
     if db.is_base(name):
         base_delete(db, name, x, y)
     else:
@@ -175,6 +234,13 @@ def replace(
     """REP(f, <x1, y1>, <x2, y2>): atomic delete of the old pair and
     insert of the new one (Section 3 lists replace as the third update
     type; its semantics follow from the other two)."""
+    if OBS.enabled:
+        OBS.inc("fdb.updates.replace")
+        with OBS.span("update.replace", key=name, function=name):
+            with db.transaction():
+                delete(db, name, *old)
+                insert(db, name, *new)
+        return
     with db.transaction():
         delete(db, name, *old)
         insert(db, name, *new)
@@ -200,10 +266,13 @@ class Update:
             raise UpdateError("REP takes two pairs; INS/DEL take one")
 
     def __str__(self) -> str:
-        x, y = self.pair
+        # format_value keeps indexed nulls printing as n<i> even inside
+        # product-type tuples, so update strings are diffable across
+        # runs that issue the same null indices.
+        x, y = (format_value(v) for v in self.pair)
         if self.kind == "REP":
             assert self.new_pair is not None
-            x2, y2 = self.new_pair
+            x2, y2 = (format_value(v) for v in self.new_pair)
             return f"REP({self.function}, <{x}, {y}>, <{x2}, {y2}>)"
         return f"{self.kind}({self.function}, <{x}, {y}>)"
 

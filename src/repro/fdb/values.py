@@ -29,6 +29,7 @@ __all__ = [
     "NullValue",
     "NullFactory",
     "is_null",
+    "format_value",
     "match_exactly",
     "match_ambiguously",
 ]
@@ -84,6 +85,21 @@ class NullFactory:
 
 def is_null(value: Value) -> bool:
     return isinstance(value, NullValue)
+
+
+def format_value(value: Value) -> str:
+    """Render a value the paper's way, stably across runs.
+
+    Indexed nulls print as ``n1`` even inside product-type tuples
+    (``str`` of a tuple would fall back to ``repr`` and print
+    ``NullValue(1)``), so update strings, traces and journal output are
+    diffable between runs that issue the same null indices.
+    """
+    if isinstance(value, NullValue):
+        return str(value)
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(item) for item in value) + ")"
+    return str(value)
 
 
 def match_exactly(left: Value, right: Value) -> bool:

@@ -22,6 +22,7 @@ snapshots:
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -37,6 +38,7 @@ from repro.fdb.updates import (
     apply_update,
 )
 from repro.fdb.values import Value
+from repro.obs.hooks import OBS
 
 __all__ = ["UpdateLog", "LoggedDatabase", "checkpoint", "recover",
            "RecoveryReport"]
@@ -93,10 +95,23 @@ class UpdateLog:
         self.path = Path(path)
 
     def append(self, update: Update | UpdateSequence) -> None:
+        if not OBS.enabled:
+            line = json.dumps(_encode_entry(update), sort_keys=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            return
+        # Instrumented path: count appends and time the full durable
+        # write (open + write + flush), the WAL's fsync-analogue cost.
+        OBS.inc("fdb.wal.appends")
+        started = time.perf_counter()
         line = json.dumps(_encode_entry(update), sort_keys=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
+        OBS.observe("fdb.wal.append_seconds",
+                    time.perf_counter() - started)
+        OBS.event("wal.append", entry=str(update))
 
     def entries(self) -> Iterator[Update | UpdateSequence]:
         """Logged entries in order; a torn final line is skipped (it
@@ -185,6 +200,8 @@ def checkpoint(logged: LoggedDatabase,
                snapshot_path: str | Path) -> None:
     """Write a snapshot of the current state and truncate the log —
     everything in the log is now folded into the snapshot."""
+    if OBS.enabled:
+        OBS.inc("fdb.wal.checkpoints")
     persistence.save(logged.db, snapshot_path)
     logged.log.truncate()
 
@@ -202,4 +219,7 @@ def recover(snapshot_path: str | Path,
         else:
             apply_update(db, entry)
         applied += 1
+    if OBS.enabled:
+        OBS.inc("fdb.wal.recoveries")
+        OBS.inc("fdb.wal.recovered_entries", applied)
     return RecoveryReport(db, applied, torn)

@@ -28,6 +28,8 @@ __all__ = [
     "Show",
     "ShowNCs",
     "Metrics",
+    "Stats",
+    "Trace",
     "Resolve",
     "Save",
     "Load",
@@ -174,6 +176,24 @@ class ShowNCs(Statement):
 @dataclass(frozen=True)
 class Metrics(Statement):
     """``metrics`` — the ambiguity report."""
+
+
+@dataclass(frozen=True)
+class Stats(Statement):
+    """``stats`` — instance counts plus the observability snapshot
+    (runtime counters, gauges, timings, profile)."""
+
+
+@dataclass(frozen=True)
+class Trace(Statement):
+    """``trace on|off|show`` — control update-propagation tracing.
+
+    ``on`` enables instrumentation with span collection, ``off``
+    disables tracing (metrics stay on), ``show`` re-prints the last
+    recorded trace tree.
+    """
+
+    mode: str  # "on" | "off" | "show"
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,8 @@ from repro.fdb.logic import Truth
 from repro.fdb.render import render_state
 from repro.fdb.updates import Update
 from repro.fdb.values import Value
+from repro.obs.export import render_stats
+from repro.obs.hooks import OBS
 from repro.lang import ast
 from repro.lang.parser import parse_program
 
@@ -68,6 +70,8 @@ Queries:
 Inspection:
   ncs                    live negated conjunctions
   metrics                degree-of-ambiguity report
+  stats                  runtime counters, timings and profile
+  trace on | off | show  update-propagation span trees
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -282,6 +286,7 @@ class Interpreter:
             return [f"queued: {update}"]
         db, output = self._require_db()
         assert self.journal is not None
+        traces_before = len(OBS.tracer.traces) if OBS.tracing else 0
         self.journal.execute(update)
         if self.guard_enabled:
             violations = self.constraints.check(db)
@@ -292,7 +297,17 @@ class Interpreter:
                     + "; ".join(str(v) for v in violations)
                 )
         output.append(f"ok: {update}")
+        output.extend(self._trace_lines(traces_before))
         return output
+
+    def _trace_lines(self, traces_before: int) -> list[str]:
+        """Span trees recorded since ``traces_before`` (tracing only)."""
+        if not OBS.tracing:
+            return []
+        lines: list[str] = []
+        for span in OBS.tracer.traces[traces_before:]:
+            lines.extend(span.lines("  "))
+        return lines
 
     def _run_insert(self, statement: ast.Insert) -> list[str]:
         return self._apply(
@@ -340,6 +355,7 @@ class Interpreter:
         sequence = UpdateSequence(tuple(pending))
         db, output = self._require_db()
         assert self.journal is not None
+        traces_before = len(OBS.tracer.traces) if OBS.tracing else 0
         self.journal.execute(sequence)
         if self.guard_enabled:
             violations = self.constraints.check(db)
@@ -350,6 +366,7 @@ class Interpreter:
                     + "; ".join(str(v) for v in violations)
                 )
         output.append(f"ok: {sequence}")
+        output.extend(self._trace_lines(traces_before))
         return output
 
     def _run_abort(self, statement: ast.Abort) -> list[str]:
@@ -482,6 +499,29 @@ class Interpreter:
         db, output = self._require_db()
         output.extend(str(measure(db)).splitlines())
         return output
+
+    # -- observability -------------------------------------------------------------
+
+    def _run_stats(self, statement: ast.Stats) -> list[str]:
+        db, output = self._require_db()
+        output.extend(render_stats(db.stats()).splitlines())
+        return output
+
+    def _run_trace(self, statement: ast.Trace) -> list[str]:
+        if statement.mode == "on":
+            OBS.enable(tracing=True)
+            return ["trace on: updates will print propagation span "
+                    "trees (metrics collection enabled too)"]
+        if statement.mode == "off":
+            # Tracing off but metrics stay on, so 'stats' keeps working.
+            OBS.enable(tracing=False)
+            return ["trace off (metrics still collecting; 'stats' "
+                    "shows them)"]
+        last = OBS.tracer.last_trace
+        if last is None:
+            return ["(no trace recorded -- run 'trace on' and then an "
+                    "update)"]
+        return last.lines("  ")
 
     # -- maintenance -----------------------------------------------------------------------
 

@@ -6,7 +6,8 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
     statement  := "add" funcdef
                 | "commit" | "design" | "ncs" | "metrics" | "resolve"
                 | "help" | "undo" | "redo" | "history" | "worlds"
-                | "check"
+                | "check" | "stats"
+                | "trace" ("on" | "off" | "show")
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -116,6 +117,8 @@ class _Parser:
             "design": lambda: self._nullary(ast.ShowDesign),
             "ncs": lambda: self._nullary(ast.ShowNCs),
             "metrics": lambda: self._nullary(ast.Metrics),
+            "stats": lambda: self._nullary(ast.Stats),
+            "trace": self._parse_trace,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -392,6 +395,13 @@ class _Parser:
         if mode not in ("on", "off"):
             raise self._error("guard takes 'on' or 'off'")
         return ast.Guard(mode == "on")
+
+    def _parse_trace(self) -> ast.Trace:
+        self._advance()  # trace
+        mode = self._expect_name()
+        if mode not in ("on", "off", "show"):
+            raise self._error("trace takes 'on', 'off' or 'show'")
+        return ast.Trace(mode)
 
     # -- values ------------------------------------------------------------------------------
 

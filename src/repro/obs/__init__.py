@@ -1,0 +1,62 @@
+"""Observability for the functional database runtime.
+
+The paper's update machinery turns one ``DEL``/``INS`` into a cascade
+of chain enumerations, negated conjunctions and base mutations; this
+package makes that cascade *reportable* — as counters and histograms
+(:mod:`repro.obs.metrics`), hierarchical update-propagation traces
+(:mod:`repro.obs.tracing`), per-function/per-derivation cost profiles
+(:mod:`repro.obs.profile`), and JSON/text renderings of all of it
+(:mod:`repro.obs.export`).
+
+Everything hangs off the process-wide :data:`OBS` context
+(:mod:`repro.obs.hooks`), which is **disabled by default**: hot paths
+guard instrumentation behind a single ``if OBS.enabled:`` attribute
+check, so the un-observed runtime is unchanged.
+
+>>> from repro.obs import OBS                        # doctest: +SKIP
+>>> OBS.enable(tracing=True)                         # doctest: +SKIP
+>>> db.delete("pupil", "euclid", "john")             # doctest: +SKIP
+>>> print(OBS.tracer.last_trace.render())            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.obs.hooks import OBS, Instrumentation
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.profile import ProfileEntry, Profiler
+from repro.obs.tracing import Span, SpanEvent, Tracer
+from repro.obs.export import (
+    render_metrics,
+    render_profile,
+    render_stats,
+    snapshot,
+    to_json,
+    write_json,
+)
+
+__all__ = [
+    "OBS",
+    "Instrumentation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ProfileEntry",
+    "Profiler",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "snapshot",
+    "to_json",
+    "write_json",
+    "render_metrics",
+    "render_profile",
+    "render_stats",
+]

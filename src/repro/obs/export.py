@@ -1,0 +1,129 @@
+"""Renderers for observability data: JSON for machines, text for humans.
+
+Everything the instrumentation collects is already plain data
+(:meth:`MetricsRegistry.snapshot`, :meth:`Profiler.snapshot`,
+:meth:`Span.to_dict`); this module turns those dicts into the two
+surfaces people actually read — ``benchmarks/results/*.json`` artifacts
+and the REPL's ``stats`` table.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.hooks import OBS, Instrumentation
+
+__all__ = ["snapshot", "to_json", "write_json", "render_metrics",
+           "render_profile", "render_stats"]
+
+
+def snapshot(obs: Instrumentation | None = None) -> dict:
+    """Flags + metrics + profile of ``obs`` (default: the process-wide
+    :data:`repro.obs.hooks.OBS`)."""
+    return (obs or OBS).snapshot()
+
+
+def to_json(data: dict, *, indent: int | None = 2) -> str:
+    """JSON-encode a snapshot; non-JSON values fall back to ``str``
+    (nulls, tuples and enum members all have stable renderings)."""
+    return json.dumps(data, indent=indent, sort_keys=True, default=str)
+
+
+def write_json(path: str | Path, data: dict, *,
+               indent: int | None = 2) -> Path:
+    path = Path(path)
+    path.write_text(to_json(data, indent=indent) + "\n", encoding="utf-8")
+    return path
+
+
+def _seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1000:.3f}ms"
+
+
+def render_metrics(metrics: dict) -> str:
+    """A metrics snapshot (the dict :meth:`MetricsRegistry.snapshot`
+    returns) as aligned text."""
+    lines: list[str] = []
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, h in histograms.items():
+            lines.append(
+                f"  {name.ljust(width)}  n={h['count']} "
+                f"mean={_seconds(h['mean'])} p95={_seconds(h['p95'])} "
+                f"max={_seconds(h['max'])}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def render_profile(profile: list[dict], *, limit: int = 20) -> str:
+    """A profiler snapshot as a most-expensive-first table."""
+    if not profile:
+        return "(no profile data)"
+    shown = profile[:limit]
+    rows = [
+        (entry["op"], entry["key"], str(entry["calls"]),
+         _seconds(entry["seconds"]), _seconds(entry["mean_seconds"]))
+        for entry in shown
+    ]
+    headers = ("op", "key", "calls", "total", "mean")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    if len(profile) > limit:
+        lines.append(f"... and {len(profile) - limit} more entries")
+    return "\n".join(lines)
+
+
+def render_stats(stats: dict) -> str:
+    """The full ``FunctionalDatabase.stats()`` payload as text (what
+    the REPL's ``stats`` command prints)."""
+    lines: list[str] = []
+    instance = stats.get("instance")
+    if instance:
+        lines.append(
+            "instance: "
+            f"{instance['stored_facts']} stored facts "
+            f"({instance['ambiguous_facts']} ambiguous), "
+            f"{instance['ncs']} NCs, "
+            f"{instance['next_null_index'] - 1} nulls issued"
+        )
+    flags = stats.get("observability", {})
+    lines.append(
+        "observability: "
+        + ("enabled" if flags.get("enabled") else "disabled")
+        + (", tracing" if flags.get("tracing") else "")
+    )
+    lines.append(render_metrics(stats.get("metrics", {})))
+    profile = stats.get("profile", [])
+    if profile:
+        lines.append("profile (most expensive first):")
+        lines.append(render_profile(profile))
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""The instrumentation context — zero overhead when disabled.
+
+One process-wide :data:`OBS` object owns the metrics registry, the
+tracer and the profiler, plus two flags:
+
+* ``OBS.enabled`` — master switch. Hot call sites guard with a single
+  attribute test (``if OBS.enabled:``) before doing *any* observability
+  work, so the disabled runtime pays one boolean check per instrumented
+  operation and nothing else — no allocation, no dict lookups, no
+  context managers. All recording methods are additionally safe no-ops
+  when disabled, so cold call sites may skip the guard.
+* ``OBS.tracing`` — span-tree construction. Metrics and profiling are
+  cheap enough for always-on collection; building span objects with
+  per-event attribute dicts is not, so traces are a second opt-in.
+
+Typical use::
+
+    from repro.obs import OBS
+
+    OBS.enable(tracing=True)
+    db.delete("pupil", "euclid", "john")
+    print(OBS.tracer.last_trace.render())
+    print(OBS.metrics.counter("fdb.nc.created").value)
+
+or scoped, restoring the previous state afterwards::
+
+    with OBS.collecting(tracing=True):
+        apply_update(db, update)
+
+Instrumented call sites across the runtime:
+``repro.fdb.updates`` (spans per insert/delete/replace, events per
+NC/NVC and base mutation), ``repro.fdb.evaluate`` (chain counters,
+derivation timings), ``repro.fdb.query``, ``repro.fdb.wal``,
+``repro.fdb.transaction``, ``repro.fdb.nc``/``nvc``, and
+``repro.core.design_aid``. The metric catalogue lives in
+docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.tracing import Span, Tracer
+
+__all__ = ["Instrumentation", "OBS"]
+
+
+class _SpanScope:
+    """Context manager for one instrumented region.
+
+    Always times the region into the profiler; additionally opens a
+    tracer span when tracing is on. Created only when ``OBS.enabled``
+    is true (disabled call sites never reach this class).
+    """
+
+    __slots__ = ("_obs", "_name", "_key", "_attrs", "_start", "_span")
+
+    def __init__(self, obs: "Instrumentation", name: str, key: str,
+                 attrs: dict) -> None:
+        self._obs = obs
+        self._name = name
+        self._key = key
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> "_SpanScope":
+        if self._obs.tracing:
+            self._span = self._obs.tracer.start(self._name, **self._attrs)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        if self._span is not None:
+            self._obs.tracer.finish(self._span)
+        self._obs.profiler.record(self._name, self._key, elapsed)
+        return False
+
+    @property
+    def span(self) -> Span | None:
+        return self._span
+
+
+class _NullScope:
+    """The do-nothing span scope handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    @property
+    def span(self) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Instrumentation:
+    """The process-wide observability context (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracing = False
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.profiler = Profiler()
+
+    # -- switching ----------------------------------------------------------
+
+    def enable(self, *, tracing: bool = False) -> None:
+        """Turn collection on; ``tracing=True`` also builds span trees."""
+        self.enabled = True
+        self.tracing = tracing
+
+    def disable(self) -> None:
+        """Turn everything off (collected data is kept until reset)."""
+        self.enabled = False
+        self.tracing = False
+
+    def reset(self) -> None:
+        """Zero metrics and drop profiles and traces; flags unchanged."""
+        self.metrics.reset()
+        self.profiler.reset()
+        self.tracer.reset()
+
+    @contextmanager
+    def collecting(self, *, tracing: bool = False, fresh: bool = True):
+        """Enable within a scope, restoring the previous flags after.
+
+        ``fresh=True`` (default) resets collected data on entry, so the
+        scope observes only its own work — what the benches want for
+        per-run metric snapshots.
+        """
+        previous = (self.enabled, self.tracing)
+        if fresh:
+            self.reset()
+        self.enable(tracing=tracing)
+        try:
+            yield self
+        finally:
+            self.enabled, self.tracing = previous
+
+    # -- recording ----------------------------------------------------------
+    #
+    # Hot paths guard with `if OBS.enabled:` before calling these; the
+    # internal checks below make un-guarded (cold) call sites safe too.
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def event(self, name: str, **attrs) -> None:
+        """A structured event on the active span (tracing only)."""
+        if self.enabled and self.tracing:
+            self.tracer.event(name, **attrs)
+
+    def span(self, name: str, *, key: str = "-", **attrs):
+        """A timed scope feeding the profiler (and, when tracing, the
+        span tree). ``key`` buckets the profile entry — typically the
+        function or derivation being worked on."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _SpanScope(self, name, key, attrs)
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flags + metrics + profile as one JSON-ready dict."""
+        return {
+            "observability": {
+                "enabled": self.enabled,
+                "tracing": self.tracing,
+            },
+            "metrics": self.metrics.snapshot(),
+            "profile": self.profiler.snapshot(),
+        }
+
+
+OBS = Instrumentation()
+"""The process-wide instrumentation context (disabled by default)."""

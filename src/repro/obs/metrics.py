@@ -1,0 +1,227 @@
+"""Metric primitives: counters, gauges, histograms, and a registry.
+
+The runtime reports on its own work as structured data — how many
+chains an update enumerated, how many NCs it created, how long a WAL
+append took. Three instrument kinds cover everything the engine needs:
+
+* :class:`Counter` — a monotonically increasing event count
+  (``fdb.updates.delete``, ``fdb.nc.created``);
+* :class:`Gauge` — a point-in-time level (``design.graph_edges``);
+* :class:`Histogram` — a distribution of observed values, typically
+  seconds (``fdb.wal.append_seconds``).
+
+A :class:`MetricsRegistry` maps dotted metric names to instruments and
+renders the whole collection as a plain, JSON-ready dict. Instruments
+are created lazily on first use, so call sites never declare anything
+up front. The module is dependency-free and makes no attempt at
+cross-process aggregation — one registry per process is the model (the
+default lives on :data:`repro.obs.hooks.OBS`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricError"]
+
+
+class MetricError(ReproError):
+    """A metric name was reused with a different instrument kind."""
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A level that can move both ways (sizes, depths, toggles)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Count, total, min and max are exact over every observation; mean
+    derives from them. Percentiles come from a bounded sample buffer
+    (the first ``sample_limit`` observations) — deterministic, cheap,
+    and accurate for the short bursts the benches and the REPL produce.
+    Long-running processes get exact aggregates and approximate tails,
+    which is the right trade for a diagnostic (not billing) signal.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "sample_limit")
+
+    def __init__(self, name: str, sample_limit: int = 1024) -> None:
+        self.name = name
+        self.sample_limit = sample_limit
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self.sample_limit:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the sampled observations,
+        by nearest-rank; 0.0 when nothing was observed."""
+        if not 0 <= p <= 100:
+            raise MetricError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """All instruments of one process, by dotted name.
+
+    Names are namespaced by convention (``fdb.updates.delete``,
+    ``design.cycles_reported``); the full catalogue lives in
+    docs/OBSERVABILITY.md. Asking for an existing name with a different
+    instrument kind raises :class:`MetricError` — silent kind confusion
+    would corrupt every downstream report.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type):
+        instrument = self._metrics.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._metrics[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise MetricError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(tuple(self._metrics.values()))
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations."""
+        for instrument in self._metrics.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """The registry as a JSON-ready dict, names sorted, grouped by
+        instrument kind."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            instrument = self._metrics[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.snapshot()
+            else:
+                histograms[name] = instrument.snapshot()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}

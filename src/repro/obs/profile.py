@@ -1,0 +1,93 @@
+"""Aggregated cost accounting per operation and per function/derivation.
+
+Spans answer "what did *this* update do"; the profiler answers "where
+does the time go overall". Every instrumented span feeds one
+:class:`ProfileEntry` keyed by ``(op, key)`` — ``op`` is the span name
+(``update.delete``, ``query.pairs``, ``evaluate.accumulate``) and
+``key`` the function or derivation it worked on — so after a workload
+you can read off that, say, 80% of update time went into derived
+deletes of ``pupil``, almost all of it enumerating chains of
+``teach o class_list``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProfileEntry", "Profiler"]
+
+
+@dataclass
+class ProfileEntry:
+    """Accumulated cost of one (operation, key) pair."""
+
+    op: str
+    key: str
+    calls: int = 0
+    seconds: float = 0.0
+    min_seconds: float | None = None
+    max_seconds: float | None = None
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.seconds += seconds
+        if self.min_seconds is None or seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if self.max_seconds is None or seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "op": self.op,
+            "key": self.key,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class Profiler:
+    """All :class:`ProfileEntry` aggregates of one process."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], ProfileEntry] = {}
+
+    def record(self, op: str, key: str, seconds: float) -> None:
+        entry = self._entries.get((op, key))
+        if entry is None:
+            entry = ProfileEntry(op, key)
+            self._entries[(op, key)] = entry
+        entry.record(seconds)
+
+    def entry(self, op: str, key: str) -> ProfileEntry | None:
+        return self._entries.get((op, key))
+
+    def entries(self) -> list[ProfileEntry]:
+        """Every entry, most expensive first (total seconds)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.seconds, e.op, e.key),
+        )
+
+    def total_seconds(self, op: str | None = None) -> float:
+        return sum(
+            entry.seconds
+            for entry in self._entries.values()
+            if op is None or entry.op == op
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready list of entries, most expensive first."""
+        return [entry.snapshot() for entry in self.entries()]

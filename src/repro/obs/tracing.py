@@ -1,0 +1,205 @@
+"""Hierarchical spans with structured events — update-propagation traces.
+
+A derived ``DEL`` is a cascade: chains are enumerated, conjunctions
+negated, NVCs re-truthified, base rows mutated. A :class:`Span` records
+one timed region of that cascade; spans nest (``update.replace`` over
+``update.delete`` over ``txn``), and carry :class:`SpanEvent` markers
+for the atomic things that happen inside them — each NC created, each
+chain evaluated, each base mutation.
+
+The :class:`Tracer` keeps the active span stack and retains the last few
+finished root spans, so the REPL's ``trace`` command and the examples
+can print the tree of what an update actually did::
+
+    update.delete function=pupil x=euclid y=john [0.21 ms]
+      + chain.evaluated chain=<teach, euclid, math> . <class_list, math, john>
+      + nc.created index=g1 members=2
+
+Attribute values are rendered through
+:func:`repro.fdb.values.format_value`, so indexed nulls print ``n1``
+(stable across runs) rather than their repr, keeping traces diffable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanEvent", "Span", "Tracer"]
+
+
+def format_value(value) -> str:
+    # Lazy import: repro.fdb modules import repro.obs.hooks at module
+    # level (the instrumentation hot-path guard), so obs modules must
+    # not import repro.fdb until first use or the packages deadlock in
+    # a circular import.
+    from repro.fdb.values import format_value as _format_value
+
+    return _format_value(value)
+
+
+def _render_attrs(attrs: dict) -> str:
+    return " ".join(
+        f"{key}={format_value(value)}" for key, value in attrs.items()
+    )
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One structured marker inside a span.
+
+    ``offset`` is seconds since the enclosing span started, so events
+    order and locate themselves inside the span's duration.
+    """
+
+    name: str
+    attrs: dict
+    offset: float
+
+    def __str__(self) -> str:
+        rendered = _render_attrs(self.attrs)
+        return f"+ {self.name}" + (f" {rendered}" if rendered else "")
+
+
+@dataclass
+class Span:
+    """One timed, named region of work, with children and events."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list[SpanEvent] = field(default_factory=list)
+    start: float = 0.0
+    duration: float | None = None
+
+    def event(self, name: str, **attrs) -> SpanEvent:
+        marker = SpanEvent(name, attrs, time.perf_counter() - self.start)
+        self.events.append(marker)
+        return marker
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant span (incl. self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def event_names(self) -> list[str]:
+        """Event names of this span and every descendant, in tree
+        order (events before child spans' events)."""
+        names = [event.name for event in self.events]
+        for child in self.children:
+            names.extend(child.event_names())
+        return names
+
+    # -- rendering -----------------------------------------------------------
+
+    def _header(self) -> str:
+        rendered = _render_attrs(self.attrs)
+        timing = (
+            f" [{self.duration * 1000:.2f} ms]"
+            if self.duration is not None else " [open]"
+        )
+        return self.name + (f" {rendered}" if rendered else "") + timing
+
+    def lines(self, indent: str = "") -> list[str]:
+        out = [indent + self._header()]
+        inner = indent + "  "
+        for event in self.events:
+            out.append(inner + str(event))
+        for child in self.children:
+            out.extend(child.lines(inner))
+        return out
+
+    def render(self, indent: str = "") -> str:
+        """The span tree as indented text."""
+        return "\n".join(self.lines(indent))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (attribute values stringified for
+        stability)."""
+        return {
+            "name": self.name,
+            "attrs": {k: format_value(v) for k, v in self.attrs.items()},
+            "duration_seconds": self.duration,
+            "events": [
+                {"name": e.name,
+                 "attrs": {k: format_value(v) for k, v in e.attrs.items()},
+                 "offset_seconds": e.offset}
+                for e in self.events
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """The active span stack plus a bounded buffer of finished traces.
+
+    ``max_traces`` bounds memory: only the most recent finished *root*
+    spans are retained (children live inside their roots). The tracer
+    itself has no enabled flag — :class:`repro.obs.hooks.Instrumentation`
+    decides whether any span is ever started.
+    """
+
+    def __init__(self, max_traces: int = 16) -> None:
+        self.max_traces = max_traces
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+
+    @property
+    def active(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def start(self, name: str, **attrs) -> Span:
+        """Open a span as a child of the active one (or a new root)."""
+        span = Span(name, attrs, start=time.perf_counter())
+        parent = self.active
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close ``span``; it must be the innermost open span."""
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} is not the innermost open span"
+            )
+        self._stack.pop()
+        span.duration = time.perf_counter() - span.start
+        if not self._stack:  # a root completed: retain it
+            self._finished.append(span)
+            if len(self._finished) > self.max_traces:
+                self._finished.pop(0)
+        return span
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach an event to the active span; dropped when no span is
+        open (an event outside any traced operation has no home)."""
+        span = self.active
+        if span is not None:
+            span.event(name, **attrs)
+
+    @property
+    def traces(self) -> tuple[Span, ...]:
+        """Finished root spans, oldest first."""
+        return tuple(self._finished)
+
+    @property
+    def last_trace(self) -> Span | None:
+        return self._finished[-1] if self._finished else None
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._finished.clear()

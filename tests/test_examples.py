@@ -75,6 +75,18 @@ class TestDurability:
         assert "recovered state identical to pre-crash state: True" in out
 
 
+class TestObservabilityDemo:
+    def test_runs_and_reports(self):
+        out = run_example("observability_demo.py")
+        assert "u1: DEL(pupil, <euclid, john>)" in out
+        assert ("+ nc.created index=g1 chain=<teach, euclid, math> . "
+                "<class_list, math, john>") in out
+        assert "+ nvc.created derivation=teach o class_list facts=2" in out
+        assert "+ nc.dismantled index=g1 cause=delete" in out
+        assert "observability: enabled, tracing" in out
+        assert "fdb.updates.derived_delete" in out
+
+
 class TestInteractiveScript:
     def test_runs_and_reports(self):
         out = run_example("interactive_script.py")
