@@ -1,0 +1,7 @@
+"""``python -m repro.faults`` — run the crash matrix and exit nonzero
+on any divergence or unreached fault point."""
+
+from repro.faults.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the durability layer.
+
+Crash-safety claims are only as good as the crashes they were tested
+against. This module provides a process-wide :data:`FAULTS` registry of
+*named fault points* threaded through the storage, WAL, persistence and
+transaction code. In production nothing is armed and every
+:meth:`FaultRegistry.fire` call is a single dict lookup that finds
+nothing; under test, a harness arms a fault at a point and the next
+``fire`` there simulates the failure:
+
+* :class:`CrashFault` — the process dies *at* the point (raises
+  :class:`SimulatedCrash`, which derives from ``BaseException`` so no
+  library ``except Exception`` handler can accidentally "survive" it);
+* :class:`TornWrite` — the process dies mid-write, leaving only the
+  first *n* bytes of the payload on disk (the classic torn record);
+* :class:`TransientError` — the operation fails with ``OSError`` a set
+  number of times and then works, exercising retry paths.
+
+Every point is registered up front with a description, so harnesses can
+*enumerate* the catalogue and prove they exercised all of it — a fault
+matrix with a hole in it is the bug that ships.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "SimulatedCrash",
+    "Fault",
+    "CrashFault",
+    "TornWrite",
+    "TransientError",
+    "ErrorFault",
+    "FaultRegistry",
+    "FAULTS",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The simulated death of the process at a fault point.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    library-level ``except Exception`` recovery code cannot catch it: a
+    real crash gives no such chance, and the harness must observe the
+    same on-disk state a real crash would leave.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+class Fault:
+    """Base class for injectable faults. Subclasses implement
+    :meth:`trigger`, called with the point name and whatever context
+    the fire site provides."""
+
+    def trigger(self, point: str, **context) -> None:
+        raise NotImplementedError
+
+
+class CrashFault(Fault):
+    """Die at the point, touching nothing."""
+
+    def trigger(self, point: str, **context) -> None:
+        raise SimulatedCrash(point)
+
+    def __repr__(self) -> str:
+        return "CrashFault()"
+
+
+class TornWrite(Fault):
+    """Die mid-write: persist only the first ``nbytes`` of the payload.
+
+    Fire sites that support torn writes pass ``handle`` (a binary or
+    text file object positioned for the write) and ``data`` (the full
+    payload). The fault writes the prefix, forces it to disk so the
+    tear is really there, and then crashes.
+    """
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+    def trigger(self, point: str, **context) -> None:
+        handle = context.get("handle")
+        data = context.get("data")
+        if handle is None or data is None:
+            raise SimulatedCrash(point)
+        handle.write(data[: self.nbytes])
+        handle.flush()
+        os.fsync(handle.fileno())
+        raise SimulatedCrash(point)
+
+    def __repr__(self) -> str:
+        return f"TornWrite({self.nbytes})"
+
+
+class TransientError(Fault):
+    """Fail with ``OSError`` the first ``times`` firings, then recover.
+
+    Exercises retry-with-backoff paths: the caller should succeed once
+    the transient condition clears, without duplicating the write.
+    """
+
+    def __init__(self, times: int = 1,
+                 make: Callable[[], OSError] | None = None) -> None:
+        self.times = times
+        self.remaining = times
+        self._make = make or (lambda: OSError("injected transient I/O "
+                                              "error"))
+
+    def trigger(self, point: str, **context) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self._make()
+
+    def __repr__(self) -> str:
+        return f"TransientError(times={self.times})"
+
+
+class ErrorFault(Fault):
+    """Fail with an ordinary (catchable) exception the first ``times``
+    firings.
+
+    Unlike :class:`SimulatedCrash` the process survives; this drives
+    code paths that *handle* failure — the WAL's compensating abort
+    record, transaction rollback — rather than code paths that die.
+    """
+
+    def __init__(self, times: int = 1,
+                 make: Callable[[], Exception] | None = None) -> None:
+        self.times = times
+        self.remaining = times
+        self._make = make or (lambda: RuntimeError("injected failure"))
+
+    def trigger(self, point: str, **context) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self._make()
+
+    def __repr__(self) -> str:
+        return f"ErrorFault(times={self.times})"
+
+
+@dataclass
+class _Point:
+    name: str
+    description: str
+    supports_torn_write: bool = False
+    # An update in flight when this point fires is expected durable
+    # (recovery must replay it) — see the crash-matrix harness.
+    durable: bool = False
+    hits: int = 0
+    armed: Fault | None = None
+
+
+@dataclass(frozen=True)
+class FaultPointInfo:
+    """Public view of one registered fault point."""
+
+    name: str
+    description: str
+    supports_torn_write: bool
+    durable: bool
+    hits: int
+
+
+class FaultRegistry:
+    """The catalogue of fault points and whatever is armed at them."""
+
+    def __init__(self) -> None:
+        self._points: dict[str, _Point] = {}
+
+    # -- catalogue ----------------------------------------------------------
+
+    def register(self, name: str, description: str, *,
+                 supports_torn_write: bool = False,
+                 durable: bool = False) -> None:
+        """Declare a fault point (idempotent; modules register at
+        import time)."""
+        if name not in self._points:
+            self._points[name] = _Point(
+                name, description,
+                supports_torn_write=supports_torn_write,
+                durable=durable,
+            )
+
+    def points(self) -> tuple[FaultPointInfo, ...]:
+        """The registered catalogue, in registration order."""
+        return tuple(
+            FaultPointInfo(p.name, p.description, p.supports_torn_write,
+                           p.durable, p.hits)
+            for p in self._points.values()
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._points
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._points)
+
+    def _point(self, name: str) -> _Point:
+        try:
+            return self._points[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown fault point {name!r}; registered: "
+                f"{sorted(self._points)}"
+            ) from None
+
+    # -- arming -------------------------------------------------------------
+
+    def arm(self, name: str, fault: Fault) -> None:
+        """Arm ``fault`` at the named point (replacing any prior)."""
+        self._point(name).armed = fault
+
+    def disarm(self, name: str) -> None:
+        self._point(name).armed = None
+
+    def disarm_all(self) -> None:
+        for point in self._points.values():
+            point.armed = None
+
+    def injected(self, name: str, fault: Fault) -> "_Injection":
+        """Context manager: arm on entry, disarm on exit."""
+        return _Injection(self, name, fault)
+
+    # -- firing -------------------------------------------------------------
+
+    def fire(self, name: str, **context) -> None:
+        """Hit a fault point. No-op unless something is armed there.
+
+        Fire sites for torn-write-capable points pass ``handle`` and
+        ``data``; the armed fault decides what to do with them.
+        """
+        point = self._points.get(name)
+        if point is None:
+            raise KeyError(f"fire at unregistered fault point {name!r}")
+        point.hits += 1
+        if point.armed is not None:
+            point.armed.trigger(name, **context)
+
+    def hits(self, name: str) -> int:
+        """How many times the named point has fired."""
+        return self._point(name).hits
+
+    def reset_hits(self) -> None:
+        for point in self._points.values():
+            point.hits = 0
+
+
+class _Injection:
+    def __init__(self, registry: FaultRegistry, name: str,
+                 fault: Fault) -> None:
+        self._registry = registry
+        self._name = name
+        self._fault = fault
+
+    def __enter__(self) -> Fault:
+        self._registry.arm(self._name, self._fault)
+        return self._fault
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._registry.disarm(self._name)
+        return False
+
+
+FAULTS = FaultRegistry()
+"""The process-wide fault registry (nothing armed by default)."""

@@ -24,16 +24,24 @@ from repro.errors import PersistenceError
 from repro.core.derivation import Derivation, Op, Step
 from repro.core.schema import FunctionDef
 from repro.core.types import ObjectType, TypeFunctionality
+from repro.faults.registry import FAULTS
+from repro.fdb import storage
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.facts import Fact, FactRef
 from repro.fdb.logic import Truth
 from repro.fdb.nc import NCRegistry, NegatedConjunction
 from repro.fdb.values import NullFactory, NullValue, Value
 
-__all__ = ["to_dict", "from_dict", "dumps", "loads", "save", "load"]
+__all__ = ["to_dict", "from_dict", "dumps", "loads", "save", "load",
+           "load_with_meta"]
 
 _FORMAT = "repro-fdb-snapshot"
 _VERSION = 1
+
+FAULTS.register(
+    "persistence.save.before",
+    "persistence.save: before the atomic snapshot write",
+)
 
 
 # -- value encoding -------------------------------------------------------------
@@ -100,8 +108,15 @@ def _decode_function(data: Any) -> FunctionDef:
 # -- snapshotting ------------------------------------------------------------------------
 
 
-def to_dict(db: FunctionalDatabase) -> dict:
-    """Snapshot a database into a JSON-serializable dict."""
+def to_dict(db: FunctionalDatabase, *,
+            wal_applied: int | None = None) -> dict:
+    """Snapshot a database into a JSON-serializable dict.
+
+    ``wal_applied`` stamps the snapshot with the highest write-ahead
+    log sequence number it folds in; :func:`repro.fdb.wal.recover`
+    uses it to skip log records the snapshot already contains (the
+    crash-between-snapshot-and-truncate case).
+    """
     base = []
     for name in db.base_names:
         table = db.table(name)
@@ -143,7 +158,7 @@ def to_dict(db: FunctionalDatabase) -> dict:
         }
         for nc in db.ncs
     ]
-    return {
+    data = {
         "format": _FORMAT,
         "version": _VERSION,
         "insert_mode": db.insert_mode,
@@ -153,6 +168,9 @@ def to_dict(db: FunctionalDatabase) -> dict:
         "next_null_index": db.nulls.next_index,
         "next_nc_index": db.ncs.next_index,
     }
+    if wal_applied is not None:
+        data["wal_applied"] = wal_applied
+    return data
 
 
 def from_dict(data: dict) -> FunctionalDatabase:
@@ -228,8 +246,10 @@ def _check_consistency(db: FunctionalDatabase) -> None:
                     )
 
 
-def dumps(db: FunctionalDatabase, *, indent: int | None = 2) -> str:
-    return json.dumps(to_dict(db), indent=indent, sort_keys=False)
+def dumps(db: FunctionalDatabase, *, indent: int | None = 2,
+          wal_applied: int | None = None) -> str:
+    return json.dumps(to_dict(db, wal_applied=wal_applied),
+                      indent=indent, sort_keys=False)
 
 
 def loads(text: str) -> FunctionalDatabase:
@@ -240,13 +260,29 @@ def loads(text: str) -> FunctionalDatabase:
     return from_dict(data)
 
 
-def save(db: FunctionalDatabase, path: str | Path) -> None:
-    Path(path).write_text(dumps(db), encoding="utf-8")
+def save(db: FunctionalDatabase, path: str | Path, *,
+         wal_applied: int | None = None) -> None:
+    """Write a snapshot atomically: a crash mid-save leaves the
+    previous snapshot intact, never a torn file."""
+    FAULTS.fire("persistence.save.before")
+    storage.atomic_write(path, dumps(db, wal_applied=wal_applied))
 
 
 def load(path: str | Path) -> FunctionalDatabase:
+    return load_with_meta(path)[0]
+
+
+def load_with_meta(path: str | Path) -> tuple[FunctionalDatabase, dict]:
+    """Load a snapshot plus its durability metadata (``wal_applied``),
+    which :func:`from_dict` ignores but recovery needs."""
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise PersistenceError(f"cannot read snapshot: {exc}") from exc
-    return loads(text)
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid snapshot JSON: {exc}") from exc
+    meta = {"wal_applied": data.get("wal_applied")} \
+        if isinstance(data, dict) else {}
+    return from_dict(data), meta

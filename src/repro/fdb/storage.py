@@ -1,0 +1,125 @@
+"""Crash-safe filesystem primitives.
+
+Everything durable in this package goes through two operations, both
+with the fsync discipline a real store needs:
+
+* :func:`atomic_write` — publish a complete new file state with no
+  window in which a reader (or a crash) can observe a partial one:
+  write to a temp file in the same directory, flush + fsync the data,
+  ``os.replace`` over the target (atomic on POSIX and Windows), then
+  fsync the directory so the rename itself is durable.
+
+* :func:`append_line` — append one line and force it to disk before
+  returning, so a record the caller believes committed survives power
+  loss, not just process death.
+
+Fault points (see :mod:`repro.faults`) are threaded through both so the
+crash-matrix harness can kill the process at every step and assert the
+recovery story.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.faults.registry import FAULTS
+
+__all__ = ["atomic_write", "append_line", "fsync_directory"]
+
+
+FAULTS.register(
+    "storage.atomic.before-write",
+    "atomic_write: before the temp file is created",
+)
+FAULTS.register(
+    "storage.atomic.payload",
+    "atomic_write: mid-write of the temp file (torn temp, target intact)",
+    supports_torn_write=True,
+)
+FAULTS.register(
+    "storage.atomic.before-rename",
+    "atomic_write: temp durable, target not yet replaced",
+)
+FAULTS.register(
+    "storage.atomic.after-rename",
+    "atomic_write: target replaced, directory fsync pending",
+    durable=True,
+)
+FAULTS.register(
+    "storage.append.before",
+    "append_line: nothing written yet",
+)
+FAULTS.register(
+    "storage.append.payload",
+    "append_line: mid-write of the record (torn tail)",
+    supports_torn_write=True,
+)
+FAULTS.register(
+    "storage.append.after-write",
+    "append_line: record written and fsync'd",
+    durable=True,
+)
+
+
+def fsync_directory(path: Path) -> None:
+    """Force a directory's entry table to disk (after create/rename).
+
+    Platforms whose directories cannot be opened (notably Windows)
+    skip silently — the ``os.replace`` there is already atomic and
+    metadata-durable enough for this store's guarantees.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str | Path, text: str, *,
+                 encoding: str = "utf-8") -> None:
+    """Replace ``path``'s contents with ``text``, atomically.
+
+    Either the old complete contents or the new complete contents are
+    on disk at every instant — a crash anywhere inside this function
+    never exposes a partial file. The temp file lives in the target's
+    directory so the final ``os.replace`` never crosses filesystems.
+    """
+    target = Path(path)
+    FAULTS.fire("storage.atomic.before-write")
+    tmp = target.with_name(target.name + ".tmp")
+    data = text.encode(encoding) if isinstance(text, str) else text
+    with open(tmp, "wb") as handle:
+        FAULTS.fire("storage.atomic.payload", handle=handle, data=data)
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    FAULTS.fire("storage.atomic.before-rename")
+    os.replace(tmp, target)
+    FAULTS.fire("storage.atomic.after-rename")
+    fsync_directory(target.parent)
+
+
+def append_line(path: str | Path, line: str, *,
+                encoding: str = "utf-8", fsync: bool = True) -> None:
+    """Append ``line`` (a newline is added) and make it durable.
+
+    The flush + fsync pair is what turns "the process wrote it" into
+    "the disk has it"; ``fsync=False`` trades that guarantee for speed
+    when the caller batches its own syncs.
+    """
+    target = Path(path)
+    FAULTS.fire("storage.append.before")
+    data = (line + "\n").encode(encoding)
+    with open(target, "ab") as handle:
+        FAULTS.fire("storage.append.payload", handle=handle, data=data)
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    FAULTS.fire("storage.append.after-write")

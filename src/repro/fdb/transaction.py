@@ -24,12 +24,45 @@ import time
 from types import TracebackType
 
 from repro.errors import TransactionError
+from repro.faults.registry import FAULTS
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.nc import NCRegistry
 from repro.fdb.values import NullFactory
 from repro.obs.hooks import OBS
 
 __all__ = ["Transaction"]
+
+
+FAULTS.register(
+    "txn.commit",
+    "Transaction.__exit__: block succeeded, snapshot being discarded",
+    durable=True,
+)
+FAULTS.register(
+    "txn.rollback.before-restore",
+    "Transaction.__exit__: block failed, state not yet restored",
+    durable=True,
+)
+
+
+def _snapshot_state(db: FunctionalDatabase) -> dict:
+    """Copy everything a rollback must restore: the stored tables, the
+    NC registry and both index counters."""
+    return {
+        "tables": {name: db.table(name).copy()
+                   for name in db.base_names},
+        "ncs": dict(db.ncs._ncs),
+        "nc_next": db.ncs.next_index,
+        "null_next": db.nulls.next_index,
+    }
+
+
+def _restore_state(db: FunctionalDatabase, snapshot: dict) -> None:
+    db._tables = snapshot["tables"]
+    registry = NCRegistry(db.table, snapshot["nc_next"])
+    registry._ncs = snapshot["ncs"]
+    db.ncs = registry
+    db.nulls = NullFactory(snapshot["null_next"])
 
 
 class Transaction:
@@ -47,26 +80,14 @@ class Transaction:
     def __enter__(self) -> "Transaction":
         if self._snapshot is not None:
             raise TransactionError("transaction already entered")
-        db = self._db
-        if not OBS.enabled:
-            self._snapshot = {
-                "tables": {name: db.table(name).copy()
-                           for name in db.base_names},
-                "ncs": dict(db.ncs._ncs),
-                "nc_next": db.ncs.next_index,
-                "null_next": db.nulls.next_index,
-            }
-            return self
-        OBS.inc("fdb.txn.begun")
-        started = time.perf_counter()
-        self._snapshot = {
-            "tables": {name: db.table(name).copy() for name in db.base_names},
-            "ncs": dict(db.ncs._ncs),
-            "nc_next": db.ncs.next_index,
-            "null_next": db.nulls.next_index,
-        }
-        OBS.observe("fdb.txn.snapshot_seconds",
-                    time.perf_counter() - started)
+        obs_on = OBS.enabled
+        if obs_on:
+            OBS.inc("fdb.txn.begun")
+            started = time.perf_counter()
+        self._snapshot = _snapshot_state(self._db)
+        if obs_on:
+            OBS.observe("fdb.txn.snapshot_seconds",
+                        time.perf_counter() - started)
         return self
 
     def __exit__(
@@ -82,14 +103,11 @@ class Transaction:
         if exc_type is None:
             if OBS.enabled:
                 OBS.inc("fdb.txn.committed")
+            FAULTS.fire("txn.commit")
             return False
         if OBS.enabled:
             OBS.inc("fdb.txn.rolled_back")
             OBS.event("txn.rollback", reason=exc_type.__name__)
-        db = self._db
-        db._tables = snapshot["tables"]
-        registry = NCRegistry(db.table, snapshot["nc_next"])
-        registry._ncs = snapshot["ncs"]
-        db.ncs = registry
-        db.nulls = NullFactory(snapshot["null_next"])
+        FAULTS.fire("txn.rollback.before-restore")
+        _restore_state(self._db, snapshot)
         return False  # re-raise

@@ -1,9 +1,9 @@
 """Write-ahead logging and recovery.
 
 Base functions are "extensionally stored" (Section 1); a database that
-loses its extension on a crash is not stored at all. This module adds
-the classic durability pair on top of :mod:`repro.fdb.persistence`
-snapshots:
+loses or corrupts its extension on a crash is not stored at all. This
+module adds the classic durability pair on top of
+:mod:`repro.fdb.persistence` snapshots:
 
 * :class:`UpdateLog` — an append-only JSON-lines file of updates.
   :class:`LoggedDatabase` wraps a database so every update is logged
@@ -12,25 +12,63 @@ snapshots:
   replaying the log over the last snapshot reproduces the state
   exactly — partial information included.
 
-* :func:`checkpoint` / :func:`recover` — write a snapshot and truncate
-  the log; rebuild a database from snapshot + log after a crash. A
-  torn final log line (the classic mid-write crash) is detected and
-  skipped, and recovery reports how many entries were applied and
-  whether a tear was found.
+* :func:`checkpoint` / :func:`recover` — fold the log into a durable
+  snapshot; rebuild a database from snapshot + log after a crash.
+
+**Record format (v2).** Each line is one JSON object::
+
+    {"v": 2, "seq": 7, "crc": 2893417301, "entry": {...}}
+
+``crc`` is the CRC32 of the canonical encoding of everything but ``v``
+and ``crc`` themselves, so a record that was *mutated but still
+parses* is detected instead of silently replayed; ``seq`` numbers are
+strictly increasing and survive checkpoints (the truncated log keeps a
+header record carrying the next sequence number). Besides ``entry``
+records there are ``abort_of`` records — compensation for an update
+that was durably logged but failed to apply — and the ``header``
+record. Legacy (v1) lines, bare update objects with neither checksum
+nor sequence number, are still replayed.
+
+**Crash consistency.** Appends go through
+:func:`repro.fdb.storage.append_line` (flush + fsync before the append
+is acknowledged) and snapshots through
+:func:`repro.fdb.storage.atomic_write` (temp file + fsync + atomic
+rename + directory fsync). :func:`checkpoint` writes the snapshot
+durably *first* — stamped with the highest folded sequence number —
+and only then truncates the log via an atomic rename; a crash between
+the two leaves both files intact, and :func:`recover` skips records
+the snapshot already contains by sequence number instead of replaying
+them twice.
+
+**Recovery policies.** ``recover(..., policy="strict")`` raises on any
+interior damage (checksum mismatch, unparseable interior line,
+sequence gap); ``policy="salvage"`` skips damaged records, keeps
+going, and itemises everything it skipped in the returned
+:class:`RecoveryReport`. A torn *final* line — the classic mid-write
+crash — is skipped under both policies, because an unacknowledged
+append never committed.
+
+Named fault points (see :mod:`repro.faults`) are threaded through the
+append, apply, abort and checkpoint steps; the crash-matrix harness in
+:mod:`repro.faults.harness` kills the process at every one of them and
+asserts recovery reproduces exactly the committed prefix.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
 from repro.errors import PersistenceError
-from repro.fdb import persistence
+from repro.faults.registry import FAULTS
+from repro.fdb import persistence, storage
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.persistence import _decode_value, _encode_value
+from repro.fdb.transaction import Transaction
 from repro.fdb.updates import (
     Update,
     UpdateSequence,
@@ -41,7 +79,47 @@ from repro.fdb.values import Value
 from repro.obs.hooks import OBS
 
 __all__ = ["UpdateLog", "LoggedDatabase", "checkpoint", "recover",
-           "RecoveryReport"]
+           "RecoveryReport", "LogRecord", "LogProblem", "WAL_VERSION"]
+
+WAL_VERSION = 2
+
+
+FAULTS.register(
+    "wal.append.before",
+    "UpdateLog.append: before the record write (retry site for "
+    "transient I/O errors)",
+)
+FAULTS.register(
+    "wal.append.after",
+    "UpdateLog.append: record durable, update not yet applied",
+    durable=True,
+)
+FAULTS.register(
+    "wal.apply.before",
+    "LoggedDatabase.execute: record durable, about to apply in memory",
+    durable=True,
+)
+FAULTS.register(
+    "wal.abort.append",
+    "LoggedDatabase.execute: apply failed, compensating abort record "
+    "not yet written",
+    durable=True,
+)
+FAULTS.register(
+    "wal.checkpoint.before-snapshot",
+    "checkpoint: before the snapshot write",
+)
+FAULTS.register(
+    "wal.checkpoint.after-snapshot",
+    "checkpoint: snapshot durable, log not yet truncated",
+)
+FAULTS.register(
+    "wal.checkpoint.after-truncate",
+    "checkpoint: snapshot durable and log truncated",
+)
+
+
+# -- entry encoding -----------------------------------------------------------
 
 
 def _encode_update(update: Update) -> dict:
@@ -88,76 +166,404 @@ def _decode_entry(entry: dict) -> Update | UpdateSequence:
     return _decode_update(entry)
 
 
+# -- record framing -----------------------------------------------------------
+
+
+def _crc_of(payload: dict) -> int:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _frame(payload: dict) -> str:
+    """One v2 log line: the payload plus version and checksum."""
+    record = dict(payload)
+    record["v"] = WAL_VERSION
+    record["crc"] = _crc_of(payload)
+    return json.dumps(record, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One decoded, checksum-verified log record."""
+
+    line_no: int
+    seq: int | None  # None for legacy (v1) records
+    entry: Update | UpdateSequence | None  # None for abort/header
+    abort_of: int | None = None
+    legacy: bool = False
+
+
+@dataclass(frozen=True)
+class LogProblem:
+    """One damaged or suspicious spot found while scanning the log."""
+
+    line_no: int
+    kind: str  # "torn-tail" | "checksum" | "parse" | "gap"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"line {self.line_no}: {self.kind} ({self.detail})"
+
+
+@dataclass
+class LogScan:
+    """Everything one pass over the log produced."""
+
+    records: list[LogRecord] = field(default_factory=list)
+    problems: list[LogProblem] = field(default_factory=list)
+    aborted: set[int] = field(default_factory=set)
+    base_seq: int = 0  # from a header record, if present
+    torn_tail: bool = False
+    checksum_failures: int = 0
+    legacy_records: int = 0
+
+    @property
+    def max_seq(self) -> int:
+        seqs = [r.seq for r in self.records if r.seq is not None]
+        return max(seqs, default=self.base_seq)
+
+
 class UpdateLog:
-    """Append-only JSON-lines log of updates."""
+    """Append-only, checksummed JSON-lines log of updates.
 
-    def __init__(self, path: str | Path) -> None:
+    Every acknowledged append is fsync'd (``fsync=False`` trades the
+    power-loss guarantee for speed); transient ``OSError`` during the
+    write is retried ``retries`` times with exponential backoff before
+    giving up.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True,
+                 retries: int = 3, backoff: float = 0.005) -> None:
         self.path = Path(path)
+        self.fsync = fsync
+        self.retries = retries
+        self.backoff = backoff
+        self._next_seq: int | None = None  # lazy: scanned on first use
+        self._cache: tuple[int, int] | None = None  # (file size, count)
 
-    def append(self, update: Update | UpdateSequence) -> None:
+    # -- appending ----------------------------------------------------------
+
+    def append(self, update: Update | UpdateSequence) -> int:
+        """Durably append one update record; returns its sequence
+        number."""
+        seq = self._claim_seq()
+        line = _frame({"seq": seq, "entry": _encode_entry(update)})
         if not OBS.enabled:
-            line = json.dumps(_encode_entry(update), sort_keys=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-            return
+            self._write_line(line)
+            self._note_appended(committed=1)
+            return seq
         # Instrumented path: count appends and time the full durable
-        # write (open + write + flush), the WAL's fsync-analogue cost.
+        # write (open + write + flush + fsync), the WAL's ack cost.
         OBS.inc("fdb.wal.appends")
         started = time.perf_counter()
-        line = json.dumps(_encode_entry(update), sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        self._write_line(line)
         OBS.observe("fdb.wal.append_seconds",
                     time.perf_counter() - started)
         OBS.event("wal.append", entry=str(update))
+        self._note_appended(committed=1)
+        return seq
+
+    def append_abort(self, seq: int) -> None:
+        """Compensate a record that was logged but never applied."""
+        abort_seq = self._claim_seq()
+        line = _frame({"seq": abort_seq, "abort_of": seq})
+        self._write_line(line)
+        if OBS.enabled:
+            OBS.inc("fdb.wal.aborts")
+            OBS.event("wal.abort", aborted_seq=seq)
+        # The aborted entry no longer counts as committed.
+        self._note_appended(committed=-1)
+
+    def _claim_seq(self) -> int:
+        if self._next_seq is None:
+            self._next_seq = self._scan("salvage").max_seq + 1
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _write_line(self, line: str) -> None:
+        """The durable write, with transient-error retry."""
+        attempt = 0
+        while True:
+            try:
+                FAULTS.fire("wal.append.before")
+                storage.append_line(self.path, line, fsync=self.fsync)
+                FAULTS.fire("wal.append.after")
+                return
+            except OSError as exc:
+                if attempt >= self.retries:
+                    raise PersistenceError(
+                        f"log append failed after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                if OBS.enabled:
+                    OBS.inc("fdb.wal.retries")
+                time.sleep(self.backoff * (2 ** attempt))
+                attempt += 1
+
+    def _note_appended(self, committed: int) -> None:
+        if self._cache is not None:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                self._cache = None
+                return
+            self._cache = (size, self._cache[1] + committed)
+
+    # -- scanning -----------------------------------------------------------
+
+    def _scan(self, policy: str) -> LogScan:
+        """One streaming pass: decode, verify checksums, track
+        sequence numbers, classify damage.
+
+        ``strict`` raises on interior damage; ``salvage`` records the
+        problem and skips the record. A final line that fails to parse
+        is a torn tail under both policies — that append was never
+        acknowledged.
+        """
+        scan = LogScan()
+        if not self.path.exists():
+            return scan
+        pending: LogProblem | None = None  # unparsed line, maybe a tear
+        last_seq: int | None = None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_no, raw_line in enumerate(handle, 1):
+                line = raw_line.strip()
+                if not line:
+                    continue
+                if pending is not None:
+                    # Valid data follows the bad line: interior damage,
+                    # not a tear.
+                    self._problem(scan, policy, pending)
+                    pending = None
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    pending = LogProblem(line_no, "parse", str(exc))
+                    continue
+                if not isinstance(raw, dict):
+                    pending = LogProblem(line_no, "parse",
+                                         "not a JSON object")
+                    continue
+                if "v" not in raw:
+                    record = self._decode_legacy(raw, line_no)
+                    if record is None:
+                        pending = LogProblem(
+                            line_no, "parse", "undecodable legacy record"
+                        )
+                        continue
+                    scan.legacy_records += 1
+                    scan.records.append(record)
+                    continue
+                record = self._decode_v2(raw, line_no, scan, policy)
+                if record is None:
+                    continue
+                if record.seq is not None:
+                    reference = (last_seq if last_seq is not None
+                                 else scan.base_seq)
+                    if record.seq != reference + 1:
+                        self._problem(scan, policy, LogProblem(
+                            line_no, "gap",
+                            f"sequence {record.seq} after {reference}",
+                        ))
+                    last_seq = record.seq
+                if record.abort_of is not None:
+                    scan.aborted.add(record.abort_of)
+                scan.records.append(record)
+        if pending is not None:
+            scan.torn_tail = True
+            scan.problems.append(LogProblem(
+                pending.line_no, "torn-tail", pending.detail
+            ))
+        return scan
+
+    def _decode_v2(self, raw: dict, line_no: int, scan: LogScan,
+                   policy: str) -> LogRecord | None:
+        if raw.get("v") != WAL_VERSION:
+            self._problem(scan, policy, LogProblem(
+                line_no, "parse",
+                f"unsupported record version {raw.get('v')!r}",
+            ))
+            return None
+        payload = {k: v for k, v in raw.items() if k not in ("v", "crc")}
+        if raw.get("crc") != _crc_of(payload):
+            scan.checksum_failures += 1
+            if OBS.enabled:
+                OBS.inc("fdb.wal.checksum_failures")
+            self._problem(scan, policy, LogProblem(
+                line_no, "checksum",
+                f"stored {raw.get('crc')!r} != computed "
+                f"{_crc_of(payload)}",
+            ))
+            return None
+        seq = payload.get("seq")
+        if not isinstance(seq, int):
+            self._problem(scan, policy, LogProblem(
+                line_no, "parse", "record lacks a sequence number"
+            ))
+            return None
+        if "header" in payload:
+            scan.base_seq = payload["header"].get("next_seq", 1) - 1
+            return LogRecord(line_no, None, None)
+        if "abort_of" in payload:
+            return LogRecord(line_no, seq, None,
+                             abort_of=payload["abort_of"])
+        try:
+            entry = _decode_entry(payload["entry"])
+        except (KeyError, TypeError, ValueError) as exc:
+            # The checksum matched, so the record is as written and
+            # the writer produced something this reader cannot decode:
+            # a version/logic bug, not disk damage. Always fatal.
+            raise PersistenceError(
+                f"undecodable log entry at line {line_no}: {exc}"
+            ) from exc
+        return LogRecord(line_no, seq, entry)
+
+    @staticmethod
+    def _decode_legacy(raw: dict, line_no: int) -> LogRecord | None:
+        try:
+            return LogRecord(line_no, None, _decode_entry(raw),
+                             legacy=True)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _problem(scan: LogScan, policy: str,
+                 problem: LogProblem) -> None:
+        if policy == "strict":
+            raise PersistenceError(f"corrupt log: {problem}")
+        scan.problems.append(problem)
+
+    # -- reading ------------------------------------------------------------
+
+    def scan(self, policy: str = "strict") -> LogScan:
+        """Scan the whole log under a recovery policy (see module
+        docstring)."""
+        if policy not in ("strict", "salvage"):
+            raise ValueError(
+                f"policy must be 'strict' or 'salvage', not {policy!r}"
+            )
+        return self._scan(policy)
 
     def entries(self) -> Iterator[Update | UpdateSequence]:
-        """Logged entries in order; a torn final line is skipped (it
-        never committed). A torn line *before* valid entries means real
-        corruption and raises."""
-        if not self.path.exists():
-            return
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        for index, line in enumerate(lines):
-            if not line.strip():
+        """Committed entries in order: torn tails and aborted records
+        are skipped, interior corruption raises (strict policy)."""
+        scan = self._scan("strict")
+        for record in scan.records:
+            if record.entry is None:
                 continue
-            try:
-                yield _decode_entry(json.loads(line))
-            except (json.JSONDecodeError, KeyError) as exc:
-                if index == len(lines) - 1:
-                    return  # torn tail from a mid-write crash
-                raise PersistenceError(
-                    f"corrupt log entry at line {index + 1}: {exc}"
-                ) from exc
+            if record.seq is not None and record.seq in scan.aborted:
+                continue
+            yield record.entry
 
     @property
     def tail_is_torn(self) -> bool:
-        """Whether the last line fails to parse (crash signature)."""
-        if not self.path.exists():
-            return False
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        if not lines or not lines[-1].strip():
+        """Whether the final line is an unparseable fragment (the
+        mid-write crash signature). Reads only the file's tail."""
+        line = self._last_nonblank_line()
+        if line is None:
             return False
         try:
-            _decode_entry(json.loads(lines[-1]))
-            return False
-        except (json.JSONDecodeError, KeyError):
+            raw = json.loads(line)
+        except json.JSONDecodeError:
             return True
+        if not isinstance(raw, dict):
+            return True
+        if "v" in raw:
+            # A parseable v2 record is never a tear; a bad checksum
+            # there is corruption, which scan()/recover() report.
+            return False
+        return self._decode_legacy(raw, 0) is None
 
-    def truncate(self) -> None:
-        self.path.write_text("", encoding="utf-8")
+    def _last_nonblank_line(self, block: int = 4096) -> str | None:
+        """The last non-blank line, read backwards in blocks."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return None
+        if size == 0:
+            return None
+        with self.path.open("rb") as handle:
+            buffer = b""
+            position = size
+            while position > 0:
+                step = min(block, position)
+                position -= step
+                handle.seek(position)
+                buffer = handle.read(step) + buffer
+                stripped = buffer.rstrip()
+                if not stripped:
+                    continue  # trailing blank lines; keep reading back
+                # The final line is fully buffered once a newline
+                # precedes it, or the buffer reaches the file start.
+                if position == 0 or b"\n" in stripped:
+                    return (stripped.split(b"\n")[-1].strip()
+                            .decode("utf-8", errors="replace"))
+        return None
+
+    def last_seq(self) -> int:
+        """The highest sequence number ever claimed in this log
+        generation (0 for a fresh or legacy log)."""
+        if self._next_seq is None:
+            self._next_seq = self._scan("salvage").max_seq + 1
+        return self._next_seq - 1
+
+    def truncate(self, next_seq: int | None = None) -> None:
+        """Atomically empty the log.
+
+        ``next_seq`` (used by :func:`checkpoint`) persists a header so
+        sequence numbers keep increasing across the truncation —
+        that monotonicity is what lets recovery tell "already folded
+        into the snapshot" from "new since the snapshot".
+        """
+        if next_seq is None or next_seq <= 1:
+            storage.atomic_write(self.path, "")
+            self._next_seq = 1
+        else:
+            header = _frame({"seq": next_seq - 1,
+                             "header": {"next_seq": next_seq}})
+            storage.atomic_write(self.path, header + "\n")
+            self._next_seq = next_seq
+        self._cache = (self.path.stat().st_size, 0)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.entries())
+        """Number of committed entries. Cached between calls; the
+        cache is revalidated against the file size, so external
+        writes (or another process) force a rescan."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return 0
+        if self._cache is not None and self._cache[0] == size:
+            return self._cache[1]
+        count = sum(1 for _ in self.entries())
+        self._cache = (size, count)
+        return count
+
+
+# -- the write-ahead wrapper --------------------------------------------------
+
+
+def _validate(db: FunctionalDatabase,
+              update: Update | UpdateSequence) -> None:
+    """Reject an update the schema cannot apply *before* it is logged.
+
+    Logging an inapplicable update is the write-ahead divergence bug:
+    the log would replay an update the live database never performed.
+    """
+    updates = update if isinstance(update, UpdateSequence) else (update,)
+    for simple in updates:
+        db.is_base(simple.function)  # raises UnknownFunctionError
 
 
 class LoggedDatabase:
-    """Write-ahead wrapper: log first, then apply.
+    """Write-ahead wrapper: validate, log durably, then apply.
 
     Exposes the update front door of :class:`FunctionalDatabase`;
-    reads go straight to ``self.db``.
+    reads go straight to ``self.db``. If applying a logged update
+    fails, the in-memory state is rolled back and a compensating
+    abort record is appended so replay skips it — the log and the
+    live state never diverge.
     """
 
     def __init__(self, db: FunctionalDatabase,
@@ -166,11 +572,32 @@ class LoggedDatabase:
         self.log = log if isinstance(log, UpdateLog) else UpdateLog(log)
 
     def execute(self, update: Update | UpdateSequence) -> None:
-        self.log.append(update)
-        if isinstance(update, UpdateSequence):
-            apply_sequence(self.db, update)
-        else:
-            apply_update(self.db, update)
+        _validate(self.db, update)
+        seq = self.log.append(update)
+        try:
+            with Transaction(self.db):
+                FAULTS.fire("wal.apply.before")
+                if isinstance(update, UpdateSequence):
+                    for simple in update:
+                        apply_update(self.db, simple)
+                else:
+                    apply_update(self.db, update)
+        except Exception:
+            # The update is durably logged but was never applied (the
+            # transaction above rolled the memory state back): append
+            # the compensation so replay skips it too. A SimulatedCrash
+            # is a BaseException and falls through — a dead process
+            # writes nothing.
+            FAULTS.fire("wal.abort.append")
+            try:
+                self.log.append_abort(seq)
+            except OSError:
+                # Disk went away mid-compensation; replay will re-apply
+                # the entry (its intent was durable and deterministic).
+                # Count it so operators can see the window was hit.
+                if OBS.enabled:
+                    OBS.inc("fdb.wal.abort_failures")
+            raise
 
     def insert(self, name: str, x: Value, y: Value) -> None:
         self.execute(Update.ins(name, x, y))
@@ -183,43 +610,130 @@ class LoggedDatabase:
         self.execute(Update.rep(name, old, new))
 
 
+# -- checkpoint / recover -----------------------------------------------------
+
+
 @dataclass(frozen=True)
 class RecoveryReport:
-    """What :func:`recover` did."""
+    """What :func:`recover` did, in enough detail to audit it."""
 
     db: FunctionalDatabase
     entries_applied: int
     torn_tail: bool
+    policy: str = "strict"
+    records_skipped: int = 0
+    checksum_failures: int = 0
+    aborted: int = 0
+    already_checkpointed: int = 0
+    legacy_records: int = 0
+    notes: tuple[str, ...] = ()
 
     def __str__(self) -> str:
         tear = " (torn tail skipped)" if self.torn_tail else ""
-        return f"recovered: {self.entries_applied} log entries{tear}"
+        parts = [f"recovered: {self.entries_applied} log entries{tear}"]
+        if self.aborted:
+            parts.append(f"{self.aborted} aborted")
+        if self.already_checkpointed:
+            parts.append(
+                f"{self.already_checkpointed} already checkpointed"
+            )
+        if self.records_skipped:
+            parts.append(
+                f"{self.records_skipped} skipped ({self.policy})"
+            )
+        if self.checksum_failures:
+            parts.append(f"{self.checksum_failures} checksum failures")
+        return "; ".join(parts)
 
 
 def checkpoint(logged: LoggedDatabase,
                snapshot_path: str | Path) -> None:
-    """Write a snapshot of the current state and truncate the log —
-    everything in the log is now folded into the snapshot."""
+    """Fold the log into a durable snapshot.
+
+    Ordering is the whole point: the snapshot — stamped with the
+    highest sequence number it folds in — is written atomically and
+    fsync'd *before* the log is truncated (itself an atomic rename).
+    A crash before the snapshot rename keeps the old pair; a crash
+    between the two steps leaves the new snapshot plus the old log,
+    which :func:`recover` reconciles by skipping already-folded
+    sequence numbers. There is no window in which committed state is
+    only partially on disk.
+    """
     if OBS.enabled:
         OBS.inc("fdb.wal.checkpoints")
-    persistence.save(logged.db, snapshot_path)
-    logged.log.truncate()
+    FAULTS.fire("wal.checkpoint.before-snapshot")
+    folded = logged.log.last_seq()
+    persistence.save(logged.db, snapshot_path, wal_applied=folded)
+    FAULTS.fire("wal.checkpoint.after-snapshot")
+    logged.log.truncate(next_seq=folded + 1)
+    FAULTS.fire("wal.checkpoint.after-truncate")
 
 
-def recover(snapshot_path: str | Path,
-            log_path: str | Path) -> RecoveryReport:
-    """Rebuild a database: load the snapshot, replay the log over it."""
-    db = persistence.load(snapshot_path)
+def recover(snapshot_path: str | Path, log_path: str | Path, *,
+            policy: str = "strict") -> RecoveryReport:
+    """Rebuild a database: load the snapshot, replay the log over it.
+
+    ``policy="strict"`` raises on interior damage; ``policy="salvage"``
+    applies every record that survives its checksum and reports the
+    rest. Records the snapshot already folded in (by sequence number),
+    aborted records, and a torn final line are skipped under both.
+    """
+    db, meta = persistence.load_with_meta(snapshot_path)
     log = UpdateLog(log_path)
-    torn = log.tail_is_torn
-    applied = 0
-    for entry in log.entries():
-        if isinstance(entry, UpdateSequence):
-            apply_sequence(db, entry)
-        else:
-            apply_update(db, entry)
+    scan = log.scan(policy)
+    wal_applied = meta.get("wal_applied")
+    applied = aborted = already = skipped = 0
+    notes = [str(problem) for problem in scan.problems]
+    for record in scan.records:
+        if record.entry is None:
+            continue  # header or abort record
+        if record.seq is not None and record.seq in scan.aborted:
+            aborted += 1
+            continue
+        if (wal_applied is not None and record.seq is not None
+                and record.seq <= wal_applied):
+            already += 1
+            continue
+        try:
+            if isinstance(record.entry, UpdateSequence):
+                apply_sequence(db, record.entry)
+            else:
+                apply_update(db, record.entry)
+        except Exception as exc:
+            # A logged update that cannot re-apply: normally prevented
+            # by validate-then-log + abort records; reachable when a
+            # crash hit the abort window. Strict surfaces it, salvage
+            # records and carries on.
+            if policy == "strict":
+                raise PersistenceError(
+                    f"log entry at line {record.line_no} failed to "
+                    f"re-apply: {exc}"
+                ) from exc
+            skipped += 1
+            notes.append(
+                f"line {record.line_no}: apply-failed ({exc})"
+            )
+            continue
         applied += 1
+    skipped += sum(1 for p in scan.problems
+                   if p.kind in ("checksum", "parse"))
     if OBS.enabled:
         OBS.inc("fdb.wal.recoveries")
         OBS.inc("fdb.wal.recovered_entries", applied)
-    return RecoveryReport(db, applied, torn)
+        OBS.inc("fdb.recovery.runs")
+        OBS.inc("fdb.recovery.records_applied", applied)
+        OBS.inc("fdb.recovery.records_skipped", skipped)
+        if scan.torn_tail:
+            OBS.inc("fdb.recovery.torn_tails")
+    return RecoveryReport(
+        db,
+        entries_applied=applied,
+        torn_tail=scan.torn_tail,
+        policy=policy,
+        records_skipped=skipped,
+        checksum_failures=scan.checksum_failures,
+        aborted=aborted,
+        already_checkpointed=already,
+        legacy_records=scan.legacy_records,
+        notes=tuple(notes),
+    )

@@ -216,6 +216,24 @@ class Load(Statement):
 
 
 @dataclass(frozen=True)
+class Checkpoint(Statement):
+    """``checkpoint "dir"`` — write a durable snapshot of the live
+    database into the directory and attach its write-ahead log, so
+    every later update is durably logged before it is applied."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class Recover(Statement):
+    """``recover "dir" [strict|salvage]`` — rebuild the database from
+    the directory's snapshot plus write-ahead log (crash recovery)."""
+
+    path: str
+    policy: str = "strict"
+
+
+@dataclass(frozen=True)
 class Help(Statement):
     """``help``."""
 

@@ -82,6 +82,9 @@ Constraints:
 Maintenance:
   resolve                FD-driven null resolution
   save "path" / load "path"
+  checkpoint "dir"       durable snapshot + write-ahead log in dir
+  recover "dir" [strict|salvage]
+                         rebuild from snapshot + log after a crash
   source "path"          run a script file
   schema "path"          add a paper-notation schema file
   dot "path"             export the design as Graphviz DOT
@@ -107,6 +110,8 @@ class Interpreter:
         self.session = DesignSession(self.designer)
         self.db: FunctionalDatabase | None = None
         self.journal: Journal | None = None
+        self.wal = None  # UpdateLog attached by checkpoint/recover
+        self._wal_snapshot = None  # its snapshot path
         self.constraints = ConstraintSet()
         self.guard_enabled = False
         self._pending: list[Update] | None = None  # open begin-block
@@ -285,20 +290,37 @@ class Interpreter:
             self._pending.append(update)
             return [f"queued: {update}"]
         db, output = self._require_db()
-        assert self.journal is not None
         traces_before = len(OBS.tracer.traces) if OBS.tracing else 0
-        self.journal.execute(update)
+        self._execute_guarded(db, update, f"update {update}")
+        output.append(f"ok: {update}")
+        output.extend(self._trace_lines(traces_before))
+        return output
+
+    def _execute_guarded(self, db: FunctionalDatabase, update,
+                         label: str) -> None:
+        """The journal execute shared by updates and ``end`` blocks:
+        durably WAL-log first when a checkpoint directory is attached,
+        apply, then enforce guarded constraints. A failed apply or a
+        guard undo appends a compensating abort record so the log
+        never replays an update the live state rejected."""
+        assert self.journal is not None
+        seq = self.wal.append(update) if self.wal is not None else None
+        try:
+            self.journal.execute(update)
+        except Exception:
+            if seq is not None:
+                self.wal.append_abort(seq)
+            raise
         if self.guard_enabled:
             violations = self.constraints.check(db)
             if violations:
                 self.journal.undo()
+                if seq is not None:
+                    self.wal.append_abort(seq)
                 raise ConstraintViolation(
-                    f"update {update} undone; it violates: "
+                    f"{label} undone; it violates: "
                     + "; ".join(str(v) for v in violations)
                 )
-        output.append(f"ok: {update}")
-        output.extend(self._trace_lines(traces_before))
-        return output
 
     def _trace_lines(self, traces_before: int) -> list[str]:
         """Span trees recorded since ``traces_before`` (tracing only)."""
@@ -329,6 +351,7 @@ class Interpreter:
         assert self.journal is not None
         undone = self.journal.undo()
         output.append(f"undone: {undone}")
+        output.extend(self._refresh_wal())
         return output
 
     def _run_redo(self, statement: ast.Redo) -> list[str]:
@@ -336,7 +359,23 @@ class Interpreter:
         assert self.journal is not None
         redone = self.journal.redo()
         output.append(f"redone: {redone}")
+        output.extend(self._refresh_wal())
         return output
+
+    def _refresh_wal(self) -> list[str]:
+        """Re-checkpoint after undo/redo: those rewind the state
+        *behind* the log, so replaying the old log would resurrect
+        what was just undone. Folding state into a fresh snapshot
+        restores the invariant that snapshot + log = live state."""
+        if self.wal is None or self._wal_snapshot is None:
+            return []
+        from repro.fdb.wal import LoggedDatabase, checkpoint
+
+        assert self.db is not None
+        checkpoint(LoggedDatabase(self.db, self.wal),
+                   self._wal_snapshot)
+        return ["checkpoint refreshed (snapshot + log match the "
+                "rewound state)"]
 
     def _run_begin(self, statement: ast.Begin) -> list[str]:
         if self._pending is not None:
@@ -354,17 +393,8 @@ class Interpreter:
 
         sequence = UpdateSequence(tuple(pending))
         db, output = self._require_db()
-        assert self.journal is not None
         traces_before = len(OBS.tracer.traces) if OBS.tracing else 0
-        self.journal.execute(sequence)
-        if self.guard_enabled:
-            violations = self.constraints.check(db)
-            if violations:
-                self.journal.undo()
-                raise ConstraintViolation(
-                    f"sequence undone; it violates: "
-                    + "; ".join(str(v) for v in violations)
-                )
+        self._execute_guarded(db, sequence, "sequence")
         output.append(f"ok: {sequence}")
         output.extend(self._trace_lines(traces_before))
         return output
@@ -541,18 +571,68 @@ class Interpreter:
         return output
 
     def _run_load(self, statement: ast.Load) -> list[str]:
-        self.db = persistence.load(statement.path)
-        self.journal = Journal(self.db)
+        self._adopt_database(persistence.load(statement.path))
+        output = [f"loaded {statement.path}"]
+        if self.wal is not None:
+            # The attached log described the *previous* state; keeping
+            # it would replay stale updates over the loaded one.
+            self.wal = None
+            self._wal_snapshot = None
+            output.append("write-ahead log detached (run 'checkpoint' "
+                          "to re-attach)")
+        return output
+
+    def _adopt_database(self, db: FunctionalDatabase) -> None:
+        """Install a database from disk and rebuild the design session
+        to mirror its schema, so a later 'add' continues from it."""
+        self.db = db
+        self.journal = Journal(db)
         self._design_dirty = False
-        # Rebuild the design session to mirror the loaded schema, so a
-        # later 'add' continues from it.
         self.session = DesignSession(self.designer)
-        for name in self.db.base_names:
-            self.session.catalog.add(self.db.schema[name])
-            self.session.graph.add(self.db.schema[name])
-        for derived in self.db.derived_functions():
+        for name in db.base_names:
+            self.session.catalog.add(db.schema[name])
+            self.session.graph.add(db.schema[name])
+        for derived in db.derived_functions():
             self.session.catalog.add(derived.definition)
-        return [f"loaded {statement.path}"]
+
+    def _run_checkpoint(self, statement: ast.Checkpoint) -> list[str]:
+        from pathlib import Path
+
+        from repro.fdb.wal import LoggedDatabase, UpdateLog, checkpoint
+
+        db, output = self._require_db()
+        directory = Path(statement.path)
+        directory.mkdir(parents=True, exist_ok=True)
+        snapshot = directory / "snapshot.json"
+        log = self.wal
+        if log is None or Path(log.path).parent != directory:
+            log = UpdateLog(directory / "wal.log")
+        checkpoint(LoggedDatabase(db, log), snapshot)
+        self.wal = log
+        self._wal_snapshot = snapshot
+        output.append(
+            f"checkpoint: snapshot + log in {directory} "
+            "(updates are now logged write-ahead)"
+        )
+        return output
+
+    def _run_recover(self, statement: ast.Recover) -> list[str]:
+        from pathlib import Path
+
+        from repro.fdb.wal import UpdateLog, recover
+
+        directory = Path(statement.path)
+        report = recover(
+            directory / "snapshot.json", directory / "wal.log",
+            policy=statement.policy,
+        )
+        self._adopt_database(report.db)
+        self.wal = UpdateLog(directory / "wal.log")
+        self._wal_snapshot = directory / "snapshot.json"
+        output = [str(report)]
+        output.extend(f"  {note}" for note in report.notes)
+        output.append(f"recovered from {directory} (log re-attached)")
+        return output
 
     def _run_help(self, statement: ast.Help) -> list[str]:
         return HELP_TEXT.splitlines()

@@ -18,6 +18,8 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "pairs" qexpr
                 | "show" (NAME | "all")
                 | "save" STRING | "load" STRING | "dot" STRING
+                | "checkpoint" STRING
+                | "recover" STRING [ "strict" | "salvage" ]
                 | "guard" ("on" | "off")
                 | "constraint" "include" colref "in" colref
                 | "constraint" "range" colref NUMBER NUMBER
@@ -130,6 +132,8 @@ class _Parser:
             "show": self._parse_show,
             "save": lambda: self._parse_path_stmt(ast.Save),
             "load": lambda: self._parse_path_stmt(ast.Load),
+            "checkpoint": lambda: self._parse_path_stmt(ast.Checkpoint),
+            "recover": self._parse_recover,
             "undo": lambda: self._nullary(ast.Undo),
             "redo": lambda: self._nullary(ast.Redo),
             "history": lambda: self._nullary(ast.History),
@@ -267,10 +271,20 @@ class _Parser:
         return ast.Show(self._expect_name())
 
     def _parse_path_stmt(self, cls: type) -> ast.Statement:
-        self._advance()  # save / load / dot
+        self._advance()  # save / load / dot / checkpoint ...
         if self.current.kind != "STRING":
             raise self._error("expected a quoted path")
         return cls(self._advance().text)
+
+    def _parse_recover(self) -> ast.Recover:
+        self._advance()  # recover
+        if self.current.kind != "STRING":
+            raise self._error("expected a quoted directory")
+        path = self._advance().text
+        policy = "strict"
+        if self._at_name("strict", "salvage"):
+            policy = self._advance().text
+        return ast.Recover(path, policy)
 
     # -- constraints and guards ---------------------------------------------------
 

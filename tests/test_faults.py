@@ -1,0 +1,190 @@
+"""Tests for the fault-injection registry and the crash matrix.
+
+The matrix/sweep tests here run the full harness — every registered
+fault point with a crash (and torn-write variants), plus a
+byte-granular truncation sweep over the final WAL record — and assert
+the acceptance criterion directly: recovery reproduces exactly the
+committed prefix, for every cell, with every point actually reached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.faults import (
+    FAULTS,
+    CrashFault,
+    ErrorFault,
+    SimulatedCrash,
+    TornWrite,
+    TransientError,
+)
+from repro.faults.harness import (
+    default_workload,
+    run_crash_matrix,
+    run_truncation_sweep,
+    states_diff,
+)
+from repro.fdb import persistence
+from repro.fdb.updates import Update
+from repro.fdb.wal import LoggedDatabase, UpdateLog
+from repro.obs import OBS
+from repro.workloads.university import pupil_database
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """No test leaves a fault armed behind it."""
+    FAULTS.disarm_all()
+    yield
+    FAULTS.disarm_all()
+
+
+class TestRegistry:
+    def test_catalogue_is_populated(self):
+        names = {info.name for info in FAULTS.points()}
+        # One representative per instrumented module.
+        assert "storage.append.payload" in names
+        assert "wal.append.after" in names
+        assert "persistence.save.before" in names
+        assert "txn.rollback.before-restore" in names
+
+    def test_register_is_idempotent(self):
+        before = FAULTS.points()
+        for info in before:
+            FAULTS.register(info.name, "other text", durable=True)
+        assert FAULTS.points() == before
+
+    def test_fire_unregistered_raises(self):
+        with pytest.raises(KeyError):
+            FAULTS.fire("no.such.point")
+
+    def test_unarmed_fire_is_noop_but_counted(self):
+        before = FAULTS.hits("wal.append.before")
+        FAULTS.fire("wal.append.before")
+        assert FAULTS.hits("wal.append.before") == before + 1
+
+    def test_injected_context_manager_disarms(self):
+        with FAULTS.injected("wal.append.before", CrashFault()):
+            with pytest.raises(SimulatedCrash) as info:
+                FAULTS.fire("wal.append.before")
+            assert info.value.point == "wal.append.before"
+        FAULTS.fire("wal.append.before")  # disarmed again
+
+    def test_simulated_crash_evades_except_exception(self):
+        FAULTS.arm("wal.append.before", CrashFault())
+        with pytest.raises(SimulatedCrash):
+            try:
+                FAULTS.fire("wal.append.before")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must not be an Exception")
+
+    def test_error_fault_exhausts(self):
+        fault = ErrorFault(times=2)
+        FAULTS.arm("wal.apply.before", fault)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                FAULTS.fire("wal.apply.before")
+        FAULTS.fire("wal.apply.before")  # third firing passes
+
+
+class TestTransientRetry:
+    def test_append_retries_through_transient_errors(self, tmp_path):
+        log = UpdateLog(tmp_path / "log", backoff=0.0)
+        FAULTS.arm("storage.append.before", TransientError(times=2))
+        OBS.enable()
+        try:
+            log.append(Update.ins("teach", "gauss", "cs"))
+            retries = OBS.metrics.counter("fdb.wal.retries").value
+        finally:
+            OBS.disable()
+            OBS.reset()
+            OBS.metrics.clear()
+        assert retries == 2
+        assert len(log) == 1  # exactly one record despite the retries
+
+    def test_append_gives_up_after_retry_budget(self, tmp_path):
+        log = UpdateLog(tmp_path / "log", retries=2, backoff=0.0)
+        FAULTS.arm("storage.append.before", TransientError(times=10))
+        with pytest.raises(PersistenceError, match="3 attempts"):
+            log.append(Update.ins("teach", "gauss", "cs"))
+
+    def test_torn_write_leaves_prefix(self, tmp_path):
+        log = UpdateLog(tmp_path / "log")
+        log.append(Update.ins("teach", "gauss", "cs"))
+        size_before = log.path.stat().st_size
+        FAULTS.arm("storage.append.payload", TornWrite(5))
+        with pytest.raises(SimulatedCrash):
+            log.append(Update.ins("teach", "noether", "algebra"))
+        FAULTS.disarm_all()
+        assert log.path.stat().st_size == size_before + 5
+        assert log.tail_is_torn
+        assert len(list(log.entries())) == 1
+
+
+class TestCrashMatrix:
+    def test_every_point_zero_divergence(self, tmp_path):
+        """The acceptance criterion: a simulated kill at every
+        registered fault point (plus torn-write variants) recovers to
+        exactly the committed prefix."""
+        outcomes = run_crash_matrix(tmp_path)
+        failures = [str(o) + (f" :: {o.divergence}" if o.divergence
+                              else "")
+                    for o in outcomes if not o.ok]
+        assert failures == []
+        # Coverage: every cell fired its point, and every registered
+        # point appears in the matrix.
+        tested = {o.point for o in outcomes}
+        for info in FAULTS.points():
+            assert info.name in tested
+
+    def test_truncation_sweep_zero_divergence(self, tmp_path):
+        """Every byte-truncation offset of the final WAL record
+        recovers to the state without that record; only the complete
+        record (newline aside) yields the full state."""
+        outcomes = run_truncation_sweep(tmp_path)
+        assert len(outcomes) > 100  # byte-granular, not spot checks
+        failures = [str(o) + f" :: {o.divergence}"
+                    for o in outcomes if not o.ok]
+        assert failures == []
+
+    def test_workload_exercises_checkpoint_and_sequences(self):
+        steps = default_workload()
+        kinds = [step[0] for step in steps]
+        assert "checkpoint" in kinds
+        assert any(step[0] == "update" and hasattr(step[1], "label")
+                   for step in steps)
+
+    def test_states_diff_reports_first_difference(self):
+        left = pupil_database()
+        right = pupil_database()
+        assert states_diff(left, right) is None
+        from repro.fdb.updates import apply_update
+
+        apply_update(right, Update.ins("teach", "gauss", "cs"))
+        diff = states_diff(left, right)
+        assert diff is not None and "teach" in diff
+
+
+class TestCheckpointCrashWindow:
+    def test_crash_between_snapshot_and_truncate(self, tmp_path):
+        """The double-apply window: the new snapshot already folds the
+        log in, the old log still exists. Recovery must not replay the
+        folded records a second time."""
+        from repro.fdb.wal import checkpoint, recover
+
+        snapshot = tmp_path / "snapshot.json"
+        db = pupil_database()
+        persistence.save(db, snapshot)
+        logged = LoggedDatabase(db, tmp_path / "wal.log")
+        logged.insert("pupil", "gauss", "bill")  # burns a null index
+        FAULTS.arm("wal.checkpoint.after-snapshot", CrashFault())
+        with pytest.raises(SimulatedCrash):
+            checkpoint(logged, snapshot)
+        FAULTS.disarm_all()
+        assert len(UpdateLog(tmp_path / "wal.log")) == 1  # not truncated
+        report = recover(snapshot, tmp_path / "wal.log")
+        assert report.already_checkpointed == 1
+        assert report.entries_applied == 0
+        assert states_diff(logged.db, report.db) is None

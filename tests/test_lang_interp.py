@@ -187,3 +187,70 @@ class TestWithPaperDesigner:
         joined = "\n".join(out)
         assert "grade = score o cutoff" in joined
         assert "lecturer_of = class_list^-1 o teach^-1" in joined
+
+
+class TestCheckpointRecover:
+    def test_checkpoint_then_recover_roundtrip(self, tmp_path):
+        interp, _ = run(DESIGN + "commit; insert teach(euclid, math);")
+        out = interp.execute(
+            f'checkpoint "{tmp_path}"; insert teach(gauss, cs);'
+        )
+        assert any("checkpoint" in line for line in out)
+        assert interp.wal is not None
+        assert len(interp.wal) == 1  # only the post-checkpoint update
+
+        # A second interpreter — the "restarted process" — recovers
+        # both facts from the directory the first one left behind.
+        fresh = Interpreter(AutoDesigner())
+        out2 = fresh.execute(
+            f'recover "{tmp_path}";'
+            "truth teach(euclid, math); truth teach(gauss, cs);"
+        )
+        joined = "\n".join(out2)
+        assert "recovered: 1 log entries" in joined
+        assert "teach(euclid) = math: true" in joined
+        assert "teach(gauss) = cs: true" in joined
+        assert fresh.wal is not None  # updates keep logging
+
+    def test_undo_refreshes_checkpoint(self, tmp_path):
+        interp, _ = run(DESIGN + "commit;")
+        out = interp.execute(
+            f'checkpoint "{tmp_path}";'
+            "insert teach(gauss, cs); undo;"
+        )
+        assert any("checkpoint refreshed" in line for line in out)
+        fresh = Interpreter(AutoDesigner())
+        out2 = fresh.execute(
+            f'recover "{tmp_path}"; truth teach(gauss, cs);'
+        )
+        joined = "\n".join(out2)
+        assert "recovered: 0 log entries" in joined
+        assert "teach(gauss) = cs: false" in joined
+
+    def test_load_detaches_wal(self, tmp_path):
+        interp, _ = run(DESIGN + "commit;")
+        out = interp.execute(
+            f'checkpoint "{tmp_path}";'
+            f'save "{tmp_path / "plain.json"}";'
+            f'load "{tmp_path / "plain.json"}";'
+        )
+        assert any("detached" in line for line in out)
+        assert interp.wal is None
+
+    def test_guard_undo_compensates_wal(self, tmp_path):
+        interp, _ = run(DESIGN + "commit;")
+        out = interp.execute(
+            f'checkpoint "{tmp_path}";'
+            "constraint card teach per domain max 1;"
+            "guard on;"
+            "insert teach(euclid, math);"
+            "insert teach(euclid, cs);"  # violates; undone + aborted
+        )
+        assert any(line.startswith("error:") for line in out)
+        assert len(interp.wal) == 1  # the violating entry is aborted
+        fresh = Interpreter(AutoDesigner())
+        out2 = fresh.execute(
+            f'recover "{tmp_path}"; truth teach(euclid, cs);'
+        )
+        assert any("teach(euclid) = cs: false" in line
+                   for line in out2)

@@ -142,6 +142,19 @@ class TestMisc:
         with pytest.raises(ParseError):
             parse_statement("save db.json")
 
+    def test_checkpoint_recover(self):
+        assert parse_statement('checkpoint "dir"') == (
+            ast.Checkpoint("dir")
+        )
+        assert parse_statement('recover "dir"') == (
+            ast.Recover("dir", "strict")
+        )
+        assert parse_statement('recover "dir" salvage') == (
+            ast.Recover("dir", "salvage")
+        )
+        with pytest.raises(ParseError):
+            parse_statement("recover dir")
+
     def test_unknown_statement(self):
         with pytest.raises(ParseError):
             parse_statement("frobnicate x")

@@ -83,15 +83,40 @@ class TestLoggedDatabase:
         assert len(UpdateLog(log_path)) == 3
         assert logged.db.truth_of("teach", "euclid", "cs") is Truth.TRUE
 
-    def test_log_written_before_apply(self, setup):
-        """A failing update still leaves its log entry (write-ahead):
-        recovery replays it and fails the same way — or, as here, the
-        entry simply targets an unknown function and recovery would
-        surface the same error. We check the ordering contract only."""
+    def test_invalid_update_never_logged(self, setup):
+        """Validate-then-log: an update the schema cannot apply is
+        rejected *before* it reaches the log, so replay can never
+        diverge by re-running an update the live database refused."""
         logged, _, log_path = setup
         with pytest.raises(Exception):
             logged.insert("no_such", "a", "b")
+        assert len(UpdateLog(log_path)) == 0
+
+    def test_failed_apply_is_compensated(self, setup):
+        """If applying a logged update fails, the memory state rolls
+        back and an abort record lands in the log — replay skips the
+        entry and matches the live state exactly."""
+        from repro.faults import ErrorFault, FAULTS
+
+        logged, snapshot, log_path = setup
+        logged.insert("teach", "gauss", "cs")
+        FAULTS.arm("wal.apply.before", ErrorFault(times=1))
+        try:
+            with pytest.raises(RuntimeError):
+                logged.insert("teach", "noether", "algebra")
+        finally:
+            FAULTS.disarm_all()
+        # Rolled back in memory...
+        assert logged.db.table("teach").get("noether", "algebra") is None
+        # ... and compensated on disk: one committed entry remains.
         assert len(UpdateLog(log_path)) == 1
+        report = recover(snapshot, log_path)
+        assert report.entries_applied == 1
+        assert report.aborted == 1
+        for name in logged.db.base_names:
+            assert report.db.table(name).rows() == (
+                logged.db.table(name).rows()
+            )
 
 
 class TestRecovery:
@@ -153,3 +178,121 @@ class TestRecovery:
             logged.db.table("teach").rows()
         )
         assert report.db.nulls.next_index == logged.db.nulls.next_index
+
+
+def _corrupt_crc(log_path, line_index):
+    """Flip the stored CRC of one record, leaving the line parseable."""
+    import json
+
+    lines = log_path.read_text(encoding="utf-8").splitlines()
+    record = json.loads(lines[line_index])
+    record["crc"] = (record["crc"] + 1) & 0xFFFFFFFF
+    lines[line_index] = json.dumps(record, sort_keys=True)
+    log_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestRecoveryEdgeCases:
+    def test_empty_log_file(self, setup):
+        logged, snapshot, log_path = setup
+        log_path.write_text("", encoding="utf-8")
+        report = recover(snapshot, log_path)
+        assert report.entries_applied == 0
+        assert not report.torn_tail
+
+    def test_blank_interior_lines_ignored(self, setup):
+        logged, snapshot, log_path = setup
+        logged.insert("teach", "gauss", "cs")
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write("\n   \n")
+        logged.insert("teach", "noether", "algebra")
+        report = recover(snapshot, log_path)
+        assert report.entries_applied == 2
+        assert report.records_skipped == 0
+
+    def test_checksum_failure_strict_raises(self, setup):
+        logged, snapshot, log_path = setup
+        logged.insert("teach", "gauss", "cs")
+        logged.insert("teach", "noether", "algebra")
+        _corrupt_crc(log_path, 0)
+        with pytest.raises(PersistenceError, match="checksum"):
+            recover(snapshot, log_path, policy="strict")
+
+    def test_checksum_failure_salvage_skips_with_report(self, setup):
+        logged, snapshot, log_path = setup
+        logged.insert("teach", "gauss", "cs")
+        logged.insert("teach", "noether", "algebra")
+        _corrupt_crc(log_path, 0)
+        report = recover(snapshot, log_path, policy="salvage")
+        assert report.entries_applied == 1
+        assert report.records_skipped == 1
+        assert report.checksum_failures == 1
+        assert any("checksum" in note for note in report.notes)
+        # The surviving record still replayed.
+        assert report.db.truth_of(
+            "teach", "noether", "algebra") is Truth.TRUE
+
+    def test_legacy_v1_log_replays(self, setup):
+        """Pre-checksum logs — bare entry objects, no v/seq/crc —
+        still recover."""
+        import json
+
+        from repro.fdb.wal import _encode_entry
+
+        logged, snapshot, log_path = setup
+        lines = [
+            json.dumps(_encode_entry(Update.ins("teach", "gauss", "cs"))),
+            json.dumps(_encode_entry(UpdateSequence((
+                Update.delete("teach", "gauss", "cs"),
+            ), label="legacy"))),
+        ]
+        log_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        report = recover(snapshot, log_path)
+        assert report.entries_applied == 2
+        assert report.legacy_records == 2
+        assert report.db.truth_of("teach", "gauss", "cs") is not Truth.TRUE
+
+    def test_sequence_gap_strict_vs_salvage(self, setup):
+        logged, snapshot, log_path = setup
+        for update in section_42_updates():
+            logged.execute(update)
+        lines = log_path.read_text(encoding="utf-8").splitlines()
+        del lines[2]  # open a hole in the sequence
+        log_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(PersistenceError, match="gap"):
+            recover(snapshot, log_path, policy="strict")
+        report = recover(snapshot, log_path, policy="salvage")
+        assert report.entries_applied == 4
+        assert any("gap" in note for note in report.notes)
+
+    @pytest.mark.parametrize("prefix", range(6))
+    def test_committed_prefix_replay_is_deterministic(
+            self, tmp_path, prefix):
+        """The property the whole log design rests on: replaying any
+        committed prefix over the snapshot equals applying that prefix
+        directly — twice over, since recovery itself must be
+        deterministic too."""
+        from repro.fdb.updates import apply_update
+        from repro.workloads.university import pupil_database
+
+        updates = section_42_updates()[:prefix]
+        snapshot = tmp_path / "snapshot.json"
+        log_path = tmp_path / "wal.log"
+        db = pupil_database()
+        persistence.save(db, snapshot)
+        logged = LoggedDatabase(db, log_path)
+        for update in updates:
+            logged.execute(update)
+
+        oracle = pupil_database()
+        for update in updates:
+            apply_update(oracle, update)
+
+        for _ in range(2):
+            report = recover(snapshot, log_path)
+            assert report.entries_applied == prefix
+            for name in oracle.base_names:
+                assert report.db.table(name).rows() == (
+                    oracle.table(name).rows()
+                )
+            assert report.db.nulls.next_index == oracle.nulls.next_index
+            assert report.db.ncs.next_index == oracle.ncs.next_index
