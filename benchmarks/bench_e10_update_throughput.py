@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.bench.scale import scaled
 from repro.fdb.persistence import dumps, loads
 from repro.fdb.updates import apply_update
 from repro.workloads.generator import (
@@ -21,7 +22,9 @@ from repro.workloads.generator import (
 )
 
 K = 3
-ROWS = 120
+# Scaled by REPRO_BENCH_SCALE (smoke runs); identity at scale 1.
+ROWS = scaled(120, minimum=20)
+STREAM = scaled(200, minimum=40)
 
 
 def prepared_snapshot() -> str:
@@ -80,7 +83,7 @@ def test_bench_derived_delete(benchmark):
 def test_bench_mixed_stream(benchmark, report):
     db = loads(SNAPSHOT)
     stream = random_updates(
-        db, 200, WorkloadConfig(seed=7, value_pool=60)
+        db, STREAM, WorkloadConfig(seed=7, value_pool=60)
     )
 
     def run():
@@ -92,7 +95,7 @@ def test_bench_mixed_stream(benchmark, report):
     final = benchmark(run)
     counts = final.counts()
     report.line("E10 -- update throughput (3-hop chain, "
-                f"{ROWS} rows/table, 200-update mixed stream)")
+                f"{ROWS} rows/table, {STREAM}-update mixed stream)")
     report.line()
     report.line(f"final state: {counts['stored_facts']} stored facts, "
                 f"{counts['ambiguous_facts']} ambiguous, "

@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import time
 
+from repro.bench.scale import scaled, scaled_sizes
 from repro.fdb.evaluate import derived_extension, truth_of
 from repro.workloads.generator import chain_fdb, random_instance
 
 CHAIN_LENGTHS = (2, 3, 4)
-ROW_COUNTS = (50, 100, 200)
+# Scaled by REPRO_BENCH_SCALE (smoke runs); identity at scale 1.
+ROW_COUNTS = scaled_sizes((50, 100, 200), minimum=15)
 
 
 def build(k: int, rows: int):
@@ -68,13 +70,13 @@ def test_query_scaling(report):
 
 
 def test_bench_extension_k3(benchmark):
-    db = build(3, 100)
+    db = build(3, scaled(100, minimum=25))
     extension = benchmark(derived_extension, db, "v")
     assert extension
 
 
 def test_bench_truth_probe_k3(benchmark):
-    db = build(3, 100)
+    db = build(3, scaled(100, minimum=25))
     extension = list(derived_extension(db, "v"))
     probe = extension[0]
     verdict = benchmark(truth_of, db, "v", *probe)

@@ -15,11 +15,15 @@ from __future__ import annotations
 import math
 import time
 
+from repro.bench.scale import scaled, scaled_sizes
 from repro.core.minimal_schema import minimal_schema_ams
 from repro.core.schema import Schema
 from repro.workloads.generator import tree_schema_with_derived
 
-SIZES = (16, 32, 64, 128, 256)
+# Scaled by REPRO_BENCH_SCALE (smoke runs); identity at scale 1.
+# The log-log exponent fit needs several distinct sizes, which
+# scaled_sizes guarantees by deduplicating after scaling.
+SIZES = scaled_sizes((16, 32, 64, 128, 256), minimum=8)
 _DERIVED_FRACTION = 4  # one chord per four types
 
 
@@ -68,6 +72,7 @@ def test_ams_scaling_is_subcubic(report):
 
 
 def test_bench_ams_midsize(benchmark):
-    schema = schema_for(64)
+    n_types = scaled(64, minimum=16)
+    schema = schema_for(n_types)
     result = benchmark(minimal_schema_ams, schema)
-    assert len(result.derived) == 64 // _DERIVED_FRACTION
+    assert len(result.derived) == n_types // _DERIVED_FRACTION

@@ -1,101 +1,36 @@
 """Shared infrastructure for the experiment benches.
 
 Each bench module reproduces one paper artifact (see DESIGN.md's
-experiment index). Besides the pytest-benchmark timings, every bench
-writes a human-readable report — the same rows/series the paper
-reports — into ``benchmarks/results/<exp_id>.txt`` via the ``report``
-fixture, so `pytest benchmarks/ --benchmark-only` leaves comparable
-artifacts behind.
-
-Each report also lands as machine-readable JSON in
-``benchmarks/results/<exp_id>.json``: the report lines plus whatever
-the bench attached via :attr:`ReportWriter.data` — typically a
-:func:`repro.obs.export.snapshot` of runtime metrics from an
-instrumented (un-timed) replay of the workload, so CI can assert on
-counters without parsing text.
+experiment index). Report writing is shared with the standalone runner
+(``python -m repro.bench``): the ``report`` fixture hands each test a
+:class:`repro.bench.report.Report`, flushed through one session-wide
+:class:`repro.bench.report.ReportStore` into
+``benchmarks/results/<exp_id>.json`` — the primary artifact, carrying
+the structured report blocks plus whatever the bench attached (metric
+snapshots, series) — and ``results/<exp_id>.txt``, which is a pure
+render of that JSON. Running a bench under pytest or under the runner
+produces identical reports.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
 
+from repro.bench.report import Report, ReportStore
+
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+_store = ReportStore(RESULTS_DIR)
 
-class ReportWriter:
-    """Collects lines and writes them to results/<exp_id>.txt (and,
-    with any attached ``data``, results/<exp_id>.json)."""
 
-    def __init__(self, exp_id: str) -> None:
-        self.exp_id = exp_id
-        self.lines: list[str] = []
-        self.data: dict = {}
-
-    def attach(self, mapping: dict) -> None:
-        """Merge extra keys into the JSON payload (e.g. an
-        observability snapshot)."""
-        self.data.update(mapping)
-
-    def line(self, text: str = "") -> None:
-        self.lines.append(text)
-
-    def block(self, text: str) -> None:
-        self.lines.extend(text.splitlines())
-
-    def table(self, headers: tuple[str, ...], rows: list[tuple]) -> None:
-        str_rows = [tuple(str(c) for c in row) for row in rows]
-        widths = [
-            max(len(headers[i]), *(len(r[i]) for r in str_rows))
-            if str_rows else len(headers[i])
-            for i in range(len(headers))
-        ]
-        def fmt(cells):
-            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
-        self.line(fmt(headers))
-        self.line(fmt(tuple("-" * w for w in widths)))
-        for row in str_rows:
-            self.line(fmt(row))
+class ReportWriter(Report):
+    """A :class:`Report` that knows how to flush itself into the
+    session store (the API the bench modules were written against)."""
 
     def flush(self) -> Path:
-        """Write this test's lines to the experiment's report file.
-
-        Several tests of one bench module share the file: the first
-        flush of a session truncates it, later flushes append. Files of
-        experiments whose report tests did not run this session (e.g.
-        under ``--benchmark-only``) are left untouched.
-        """
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{self.exp_id}.txt"
-        mode = "a" if self.exp_id in _written_this_session else "w"
-        _written_this_session.add(self.exp_id)
-        with path.open(mode, encoding="utf-8") as handle:
-            handle.write("\n".join(self.lines) + "\n")
-        self._flush_json()
-        return path
-
-    def _flush_json(self) -> Path:
-        """Rewrite results/<exp_id>.json with everything flushed this
-        session: report lines accumulate across the module's tests, data
-        keys merge (later flushes win on conflicts)."""
-        payload = _json_this_session.setdefault(
-            self.exp_id, {"exp_id": self.exp_id, "report": []}
-        )
-        payload["report"].extend(self.lines)
-        payload.update(self.data)
-        json_path = RESULTS_DIR / f"{self.exp_id}.json"
-        json_path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=str)
-            + "\n",
-            encoding="utf-8",
-        )
-        return json_path
-
-
-_written_this_session: set[str] = set()
-_json_this_session: dict[str, dict] = {}
+        return _store.flush(self)
 
 
 @pytest.fixture
@@ -105,7 +40,7 @@ def report(request) -> ReportWriter:
     exp_id = module.split(".")[-1].removeprefix("bench_")
     writer = ReportWriter(exp_id)
     yield writer
-    if writer.lines:
+    if writer.blocks or writer.data:
         path = writer.flush()
         # Also echo to the terminal when -s is passed.
         print(f"\n[{writer.exp_id}] report written to {path}")

@@ -1,0 +1,54 @@
+"""Workload scaling for smoke runs (``REPRO_BENCH_SCALE``).
+
+The heavy benches (E4's schema sweep, E10's update stream, E15's
+query-scaling grid) read their sizes through these helpers, so one
+environment variable scales the whole suite down for CI smoke runs —
+``REPRO_BENCH_SCALE=0.25 python -m repro.bench`` — without touching
+the bench code. The variable is read at *call* time, so the runner can
+set it before importing the bench modules (several build their
+workloads at import).
+
+Scale 1.0 (the default) must be the identity: the helpers return the
+requested sizes untouched, so a full run is exactly the historical
+workload.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["scale_factor", "scaled", "scaled_sizes"]
+
+ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def scale_factor() -> float:
+    """The current workload scale (default 1.0, clamped positive)."""
+    raw = os.environ.get(ENV_VAR, "")
+    try:
+        factor = float(raw) if raw else 1.0
+    except ValueError:
+        return 1.0
+    return factor if factor > 0 else 1.0
+
+
+def scaled(n: int, *, minimum: int = 1) -> int:
+    """``n`` scaled by the current factor, never below ``minimum``
+    (a 0-row table benchmarks nothing)."""
+    return max(minimum, round(n * scale_factor()))
+
+
+def scaled_sizes(sizes: tuple[int, ...], *,
+                 minimum: int = 2) -> tuple[int, ...]:
+    """A size series scaled element-wise, deduplicated, order kept.
+
+    Series feeding log-log exponent fits (E4) need several *distinct*
+    points, so after scaling, collapsed duplicates are dropped rather
+    than kept as flat repeats that would skew the fit.
+    """
+    out: list[int] = []
+    for size in sizes:
+        value = scaled(size, minimum=minimum)
+        if value not in out:
+            out.append(value)
+    return tuple(out)

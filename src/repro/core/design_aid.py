@@ -305,6 +305,14 @@ class DesignSession:
         self.log.append(DesignEvent("added", function.name))
         if OBS.enabled:
             OBS.inc("design.functions_added")
+            # Scope the cycle-hunting loop so its design.cycle events
+            # carry span context in the structured event log.
+            with OBS.span("design.add", key=function.name,
+                          function=function.name):
+                return self._resolve_cycles(function)
+        return self._resolve_cycles(function)
+
+    def _resolve_cycles(self, function: FunctionDef) -> list[CycleReport]:
         reports: list[CycleReport] = []
         while function.name in self.graph:
             report = self._next_unhandled_cycle(function)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.core.design_aid import DesignOutcome
 from repro.core.graph import FunctionGraph
 
-__all__ = ["graph_to_dot", "design_to_dot"]
+__all__ = ["graph_to_dot", "design_to_dot", "dag_to_dot"]
 
 
 def _quote(text: str) -> str:
@@ -41,6 +41,41 @@ def graph_to_dot(graph: FunctionGraph, *, name: str = "function_graph",
             f"  {_quote(str(edge.u))} -- {_quote(str(edge.v))} "
             f"[label={_quote(label)}];"
         )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_DAG_STYLES = {
+    "span": "shape=box",
+    "event": "shape=ellipse, style=dashed, color=gray40, "
+             "fontcolor=gray40",
+    "action": "shape=ellipse, style=bold",
+    "cause": "shape=diamond, style=filled, fillcolor=lightyellow",
+}
+
+
+def dag_to_dot(nodes, edges, *, name: str = "dag",
+               rankdir: str = "TB") -> str:
+    """A generic directed acyclic graph as DOT text.
+
+    ``nodes`` is an iterable of ``(node_id, label, kind)`` triples —
+    ``kind`` selects a node style (span/event/action/cause, anything
+    else drawn plain); ``edges`` of ``(src_id, dst_id, label)``
+    triples. Used for update-propagation DAGs reconstructed from the
+    structured event log (:func:`repro.obs.events.propagation_dag`),
+    but intentionally knows nothing about events: any DAG renders.
+    """
+    lines = [f"digraph {_quote(name)} {{", f"  rankdir={rankdir};"]
+    for node_id, label, kind in nodes:
+        style = _DAG_STYLES.get(kind)
+        # Multi-line labels use DOT's \n escape, not raw newlines.
+        attrs = "label=" + _quote(label).replace("\n", "\\n")
+        if style:
+            attrs += f", {style}"
+        lines.append(f"  {_quote(node_id)} [{attrs}];")
+    for src, dst, label in edges:
+        attrs = f" [label={_quote(label)}]" if label else ""
+        lines.append(f"  {_quote(src)} -> {_quote(dst)}{attrs};")
     lines.append("}")
     return "\n".join(lines)
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.core.derivation import Derivation
 from repro.core.graph import FunctionGraph
 from repro.core.schema import Schema
+from repro.obs.hooks import OBS
 
 __all__ = [
     "MinimalSchemaResult",
@@ -98,6 +99,18 @@ def minimal_schema_ams(schema: Schema) -> MinimalSchemaResult:
     :meth:`FunctionGraph.has_equivalent_walk`, which runs in time linear
     in the graph, giving the O(n^2) total of Lemma 3.
     """
+    if OBS.enabled:
+        OBS.inc("design.ams.runs")
+        with OBS.span("design.ams", key=f"n={len(schema)}",
+                      functions=len(schema)):
+            result = _run_ams(schema)
+        OBS.inc("design.ams.edges_scanned", len(schema))
+        OBS.inc("design.ams.removed", len(result.derived))
+        return result
+    return _run_ams(schema)
+
+
+def _run_ams(schema: Schema) -> MinimalSchemaResult:
     graph = FunctionGraph.of_schema(schema)
     removed: set[str] = set()
     for function in schema:

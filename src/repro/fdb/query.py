@@ -77,12 +77,22 @@ class Query(abc.ABC):
 
     # -- evaluation -----------------------------------------------------------------
 
+    def _slow_detail(self, db: FunctionalDatabase):
+        """A lazy cost breakdown of the expanded derivations, for the
+        slowlog — built only if the span crosses its threshold."""
+        def build() -> dict:
+            from repro.fdb.explain import cost_breakdown
+
+            return cost_breakdown(db, self.derivations(db))
+        return build
+
     def pairs(self, db: FunctionalDatabase) -> dict[tuple[Value, Value], Truth]:
         """The expression's extension: derivable pairs with truths
         (false pairs absent)."""
         if OBS.enabled:
             OBS.inc("fdb.query.pairs")
-            with OBS.span("query.pairs", key=str(self), expr=str(self)):
+            with OBS.span("query.pairs", key=str(self), expr=str(self),
+                          slow_detail=self._slow_detail(db)):
                 return self._pairs(db)
         return self._pairs(db)
 
@@ -97,7 +107,8 @@ class Query(abc.ABC):
         """Range values reached from ``x``, with truths."""
         if OBS.enabled:
             OBS.inc("fdb.query.image")
-            with OBS.span("query.image", key=str(self), expr=str(self), x=x):
+            with OBS.span("query.image", key=str(self), expr=str(self), x=x,
+                          slow_detail=self._slow_detail(db)):
                 return self._image(db, x)
         return self._image(db, x)
 
@@ -117,7 +128,7 @@ class Query(abc.ABC):
         if OBS.enabled:
             OBS.inc("fdb.query.truth")
             with OBS.span("query.truth", key=str(self), expr=str(self),
-                          x=x, y=y):
+                          x=x, y=y, slow_detail=self._slow_detail(db)):
                 return self._truth(db, x, y)
         return self._truth(db, x, y)
 

@@ -189,14 +189,32 @@ def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
 # -- dispatching front door ---------------------------------------------------------
 
 
+def _update_cause() -> str:
+    """The update id for a front-door span: inherited when we are a
+    step inside an enclosing update (a replace's delete, a WAL replay),
+    freshly allocated when this is a new user-level update."""
+    return OBS.current_cause() or OBS.new_update_id()
+
+
 def insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """INS(f, <x, y>)."""
     if OBS.enabled:
         OBS.inc("fdb.updates.insert")
-        with OBS.span("update.insert", key=name, function=name, x=x, y=y):
+        with OBS.span("update.insert", key=name, cause=_update_cause(),
+                      slow_detail=lambda: _update_detail(db, name),
+                      function=name, x=x, y=y):
             _dispatch_insert(db, name, x, y)
         return
     _dispatch_insert(db, name, x, y)
+
+
+def _update_detail(db: FunctionalDatabase, name: str) -> dict:
+    # Lazy import: explain imports database/evaluate, which import this
+    # module's siblings; deferring breaks the cycle. Only slow spans
+    # ever call this.
+    from repro.fdb.explain import derived_breakdown
+
+    return derived_breakdown(db, name)
 
 
 def _dispatch_insert(db: FunctionalDatabase, name: str,
@@ -211,7 +229,9 @@ def delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """DEL(f, <x, y>)."""
     if OBS.enabled:
         OBS.inc("fdb.updates.delete")
-        with OBS.span("update.delete", key=name, function=name, x=x, y=y):
+        with OBS.span("update.delete", key=name, cause=_update_cause(),
+                      slow_detail=lambda: _update_detail(db, name),
+                      function=name, x=x, y=y):
             _dispatch_delete(db, name, x, y)
         return
     _dispatch_delete(db, name, x, y)
@@ -236,7 +256,9 @@ def replace(
     type; its semantics follow from the other two)."""
     if OBS.enabled:
         OBS.inc("fdb.updates.replace")
-        with OBS.span("update.replace", key=name, function=name):
+        with OBS.span("update.replace", key=name, cause=_update_cause(),
+                      slow_detail=lambda: _update_detail(db, name),
+                      function=name):
             with db.transaction():
                 delete(db, name, *old)
                 insert(db, name, *new)

@@ -665,8 +665,13 @@ def checkpoint(logged: LoggedDatabase,
     folded = logged.log.last_seq()
     persistence.save(logged.db, snapshot_path, wal_applied=folded)
     FAULTS.fire("wal.checkpoint.after-snapshot")
+    if OBS.enabled:
+        OBS.action("checkpoint.snapshot_written",
+                   path=str(snapshot_path), wal_applied=folded)
     logged.log.truncate(next_seq=folded + 1)
     FAULTS.fire("wal.checkpoint.after-truncate")
+    if OBS.enabled:
+        OBS.action("checkpoint.log_truncated", next_seq=folded + 1)
 
 
 def recover(snapshot_path: str | Path, log_path: str | Path, *,
@@ -682,6 +687,9 @@ def recover(snapshot_path: str | Path, log_path: str | Path, *,
     log = UpdateLog(log_path)
     scan = log.scan(policy)
     wal_applied = meta.get("wal_applied")
+    if OBS.enabled:
+        OBS.action("recovery.start", policy=policy,
+                   snapshot=str(snapshot_path), log=str(log_path))
     applied = aborted = already = skipped = 0
     notes = [str(problem) for problem in scan.problems]
     for record in scan.records:
@@ -695,6 +703,9 @@ def recover(snapshot_path: str | Path, log_path: str | Path, *,
             already += 1
             continue
         try:
+            if OBS.enabled:
+                OBS.action("recovery.replay", seq=record.seq,
+                           entry=str(record.entry))
             if isinstance(record.entry, UpdateSequence):
                 apply_sequence(db, record.entry)
             else:
@@ -725,6 +736,10 @@ def recover(snapshot_path: str | Path, log_path: str | Path, *,
         OBS.inc("fdb.recovery.records_skipped", skipped)
         if scan.torn_tail:
             OBS.inc("fdb.recovery.torn_tails")
+        OBS.action("recovery.finish", policy=policy, applied=applied,
+                   skipped=skipped, aborted=aborted,
+                   already_checkpointed=already,
+                   torn_tail=scan.torn_tail)
     return RecoveryReport(
         db,
         entries_applied=applied,

@@ -30,6 +30,7 @@ __all__ = [
     "Metrics",
     "Stats",
     "Trace",
+    "SlowLogCmd",
     "Resolve",
     "Save",
     "Load",
@@ -186,14 +187,31 @@ class Stats(Statement):
 
 @dataclass(frozen=True)
 class Trace(Statement):
-    """``trace on|off|show`` — control update-propagation tracing.
+    """``trace on|off|show [--dot "path"]`` — control update-propagation
+    tracing.
 
     ``on`` enables instrumentation with span collection, ``off``
     disables tracing (metrics stay on), ``show`` re-prints the last
-    recorded trace tree.
+    recorded trace tree — with ``--dot "path"`` it instead writes the
+    trace's propagation DAG as Graphviz DOT to the file.
     """
 
     mode: str  # "on" | "off" | "show"
+    dot_path: str | None = None
+
+
+@dataclass(frozen=True)
+class SlowLogCmd(Statement):
+    """``slowlog [query SECONDS | update SECONDS | off | clear]`` —
+    the slow-operation log.
+
+    Bare ``slowlog`` prints the captured records; ``query``/``update``
+    set the family's threshold in seconds (enabling capture);
+    ``off`` disables both thresholds; ``clear`` drops the records.
+    """
+
+    mode: str  # "show" | "query" | "update" | "off" | "clear"
+    threshold: float | None = None
 
 
 @dataclass(frozen=True)

@@ -72,6 +72,12 @@ Inspection:
   metrics                degree-of-ambiguity report
   stats                  runtime counters, timings and profile
   trace on | off | show  update-propagation span trees
+  trace show --dot "path"
+                         write the last trace's propagation DAG as DOT
+  slowlog                captured slow operations (with cost breakdown)
+  slowlog query 0.5      capture queries slower than 0.5 s
+  slowlog update 0.5     capture updates slower than 0.5 s
+  slowlog off | clear    disable thresholds / drop records
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -551,7 +557,46 @@ class Interpreter:
         if last is None:
             return ["(no trace recorded -- run 'trace on' and then an "
                     "update)"]
+        if statement.dot_path is not None:
+            from pathlib import Path
+
+            from repro.obs import propagation_dag, span_records
+
+            dag = propagation_dag(span_records(last))
+            Path(statement.dot_path).write_text(
+                dag.to_dot(name="trace") + "\n", encoding="utf-8"
+            )
+            return [
+                f"wrote propagation DAG ({len(dag.nodes)} nodes, "
+                f"{len(dag.edges)} edges) to {statement.dot_path}"
+            ]
         return last.lines("  ")
+
+    def _run_slowlogcmd(self, statement: ast.SlowLogCmd) -> list[str]:
+        from repro.obs.export import render_slowlog
+
+        slowlog = OBS.slowlog
+        if statement.mode == "query":
+            OBS.enable(tracing=OBS.tracing)
+            slowlog.configure(query_seconds=statement.threshold)
+            return [f"slowlog: capturing queries slower than "
+                    f"{statement.threshold}s"]
+        if statement.mode == "update":
+            OBS.enable(tracing=OBS.tracing)
+            slowlog.configure(update_seconds=statement.threshold)
+            return [f"slowlog: capturing updates slower than "
+                    f"{statement.threshold}s"]
+        if statement.mode == "off":
+            slowlog.disable()
+            return ["slowlog off (records kept; 'slowlog clear' drops "
+                    "them)"]
+        if statement.mode == "clear":
+            slowlog.clear()
+            return ["slowlog cleared"]
+        if not slowlog.active and not len(slowlog):
+            return ["slowlog inactive -- set a threshold with "
+                    "'slowlog query 0.5' or 'slowlog update 0.5'"]
+        return render_slowlog(slowlog.snapshot()).splitlines()
 
     # -- maintenance -----------------------------------------------------------------------
 

@@ -7,7 +7,9 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "commit" | "design" | "ncs" | "metrics" | "resolve"
                 | "help" | "undo" | "redo" | "history" | "worlds"
                 | "check" | "stats"
-                | "trace" ("on" | "off" | "show")
+                | "trace" ("on" | "off" | "show" [ "--dot" STRING ])
+                | "slowlog" [ ("query"|"update") NUMBER
+                            | "off" | "clear" ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -121,6 +123,7 @@ class _Parser:
             "metrics": lambda: self._nullary(ast.Metrics),
             "stats": lambda: self._nullary(ast.Stats),
             "trace": self._parse_trace,
+            "slowlog": self._parse_slowlog,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -415,7 +418,33 @@ class _Parser:
         mode = self._expect_name()
         if mode not in ("on", "off", "show"):
             raise self._error("trace takes 'on', 'off' or 'show'")
-        return ast.Trace(mode)
+        dot_path: str | None = None
+        if self._at_punct("-"):
+            # "--dot" lexes as PUNCT(-) PUNCT(-) NAME(dot).
+            self._advance()
+            self._expect_punct("-")
+            flag = self._expect_name()
+            if flag != "dot" or mode != "show":
+                raise self._error(
+                    "the only trace flag is 'show --dot \"path\"'"
+                )
+            if self.current.kind != "STRING":
+                raise self._error("expected a quoted path after --dot")
+            dot_path = self._advance().text
+        return ast.Trace(mode, dot_path)
+
+    def _parse_slowlog(self) -> ast.SlowLogCmd:
+        self._advance()  # slowlog
+        if self._at_name("off", "clear"):
+            return ast.SlowLogCmd(self._advance().text)
+        # 'slowlog query 0.5' sets a threshold; a bare 'slowlog'
+        # followed by a query *statement* must not be swallowed, so
+        # require the NUMBER to disambiguate.
+        if (self._at_name("query", "update")
+                and self._tokens[self._index + 1].kind == "NUMBER"):
+            mode = self._advance().text
+            return ast.SlowLogCmd(mode, self._parse_number())
+        return ast.SlowLogCmd("show")
 
     # -- values ------------------------------------------------------------------------------
 

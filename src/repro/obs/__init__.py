@@ -5,8 +5,10 @@ of chain enumerations, negated conjunctions and base mutations; this
 package makes that cascade *reportable* — as counters and histograms
 (:mod:`repro.obs.metrics`), hierarchical update-propagation traces
 (:mod:`repro.obs.tracing`), per-function/per-derivation cost profiles
-(:mod:`repro.obs.profile`), and JSON/text renderings of all of it
-(:mod:`repro.obs.export`).
+(:mod:`repro.obs.profile`), a structured event log with pluggable
+sinks and causal links (:mod:`repro.obs.events`), slow-path
+attribution (:mod:`repro.obs.slowlog`), and JSON/text renderings of
+all of it (:mod:`repro.obs.export`).
 
 Everything hangs off the process-wide :data:`OBS` context
 (:mod:`repro.obs.hooks`), which is **disabled by default**: hot paths
@@ -21,6 +23,18 @@ check, so the un-observed runtime is unchanged.
 
 from __future__ import annotations
 
+from repro.obs.events import (
+    CallbackSink,
+    EventLog,
+    EventRecord,
+    FileSink,
+    PropagationDag,
+    RingBufferSink,
+    Sink,
+    propagation_dag,
+    read_jsonl,
+    span_records,
+)
 from repro.obs.hooks import OBS, Instrumentation
 from repro.obs.metrics import (
     Counter,
@@ -30,10 +44,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import ProfileEntry, Profiler
+from repro.obs.slowlog import SlowLog, SlowRecord
 from repro.obs.tracing import Span, SpanEvent, Tracer
 from repro.obs.export import (
     render_metrics,
     render_profile,
+    render_slowlog,
     render_stats,
     snapshot,
     to_json,
@@ -53,10 +69,23 @@ __all__ = [
     "Span",
     "SpanEvent",
     "Tracer",
+    "EventRecord",
+    "EventLog",
+    "Sink",
+    "RingBufferSink",
+    "FileSink",
+    "CallbackSink",
+    "propagation_dag",
+    "PropagationDag",
+    "read_jsonl",
+    "span_records",
+    "SlowLog",
+    "SlowRecord",
     "snapshot",
     "to_json",
     "write_json",
     "render_metrics",
     "render_profile",
+    "render_slowlog",
     "render_stats",
 ]

@@ -1,0 +1,418 @@
+"""The structured event log: typed records, pluggable sinks, causal DAGs.
+
+Span trees (:mod:`repro.obs.tracing`) answer "what did this update do"
+interactively; the event log answers it *durably and causally*. Every
+span boundary, update side-effect, WAL append and recovery action is
+emitted as one :class:`EventRecord` — a flat, JSON-ready object with
+three causal fields:
+
+* ``span_id`` — the span the record belongs to (span boundaries carry
+  their own id);
+* ``parent_span`` — the enclosing span, so the span *tree* can be
+  rebuilt from the flat stream;
+* ``cause`` — the update id (``u1``, ``u2``, ...) whose propagation
+  produced the record, inherited down the span context, so a whole
+  cascade (derived delete → chain enumeration → NC creation → WAL
+  append) can be grouped and rendered as a DAG.
+
+Records flow through pluggable :class:`Sink` implementations attached
+to the process-wide :class:`EventLog` (``OBS.events``):
+
+* :class:`RingBufferSink` — the last N records in memory (the REPL and
+  the tests read this);
+* :class:`FileSink` — append-only JSONL (one record per line);
+* :class:`CallbackSink` — hand each record to a callable (bridges to
+  external collectors).
+
+Emission is wholly decoupled from tracing: with ``OBS.enabled`` and at
+least one sink attached, records flow even when span-tree construction
+is off. With no sinks attached the pipeline costs one attribute check.
+
+:func:`propagation_dag` folds a record stream back into a
+:class:`PropagationDag`; :meth:`PropagationDag.to_dot` renders it via
+:func:`repro.core.dot.dag_to_dot`, closing the loop the acceptance
+test exercises: events → JSONL → DAG → DOT.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "EventRecord",
+    "Sink",
+    "RingBufferSink",
+    "FileSink",
+    "CallbackSink",
+    "EventLog",
+    "read_jsonl",
+    "PropagationDag",
+    "propagation_dag",
+    "span_records",
+]
+
+
+def _format_value(value) -> str:
+    # Lazy import, same reason as repro.obs.tracing: fdb modules import
+    # obs at module level, so obs must not import fdb until first use.
+    from repro.fdb.values import format_value
+
+    return format_value(value)
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One typed record of the event log.
+
+    ``kind`` is the record type — ``span.start``, ``span.end``,
+    ``event`` (a point marker inside a span), or ``action`` (a
+    standalone occurrence outside any span, e.g. a recovery step).
+    ``seq`` is a process-wide monotone ordering key; ``ts`` is wall
+    time (``time.time()``); attribute values are stringified through
+    :func:`repro.fdb.values.format_value` so indexed nulls stay
+    diffable across runs.
+    """
+
+    seq: int
+    ts: float
+    kind: str
+    name: str
+    span_id: int | None = None
+    parent_span: int | None = None
+    cause: str | None = None
+    duration: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        if self.parent_span is not None:
+            record["parent_span"] = self.parent_span
+        if self.cause is not None:
+            record["cause"] = self.cause
+        if self.duration is not None:
+            record["duration"] = self.duration
+        if self.attrs:
+            record["attrs"] = {
+                key: _format_value(value)
+                for key, value in self.attrs.items()
+            }
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "EventRecord":
+        return cls(
+            seq=raw.get("seq", 0),
+            ts=raw.get("ts", 0.0),
+            kind=raw["kind"],
+            name=raw["name"],
+            span_id=raw.get("span_id"),
+            parent_span=raw.get("parent_span"),
+            cause=raw.get("cause"),
+            duration=raw.get("duration"),
+            attrs=dict(raw.get("attrs", {})),
+        )
+
+
+class Sink:
+    """Where event records go. Subclasses implement :meth:`emit`."""
+
+    def emit(self, record: EventRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; the default has none."""
+
+
+class RingBufferSink(Sink):
+    """The most recent ``capacity`` records, in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._records: deque[EventRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, record: EventRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> tuple[EventRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class FileSink(Sink):
+    """Append-only JSONL file of records.
+
+    The handle is opened lazily and kept open between emits (an event
+    log that re-opened per record would dominate the cost it
+    measures). Writes are line-buffered, not fsync'd — the event log
+    is diagnostic, not durable state; the WAL owns durability.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def emit(self, record: EventRecord) -> None:
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(record.to_json() + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class CallbackSink(Sink):
+    """Hand each record to a callable (testing, external bridges)."""
+
+    def __init__(self, callback: Callable[[EventRecord], None]) -> None:
+        self._callback = callback
+
+    def emit(self, record: EventRecord) -> None:
+        self._callback(record)
+
+
+class EventLog:
+    """The fan-out point: one :meth:`emit` call, every attached sink.
+
+    ``active`` is the single attribute hot paths check before building
+    a record, so a process with no sinks pays one boolean load. Sink
+    errors propagate — a sink that cannot accept records is a
+    configuration bug the operator must see, not silently lose data
+    over.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: list[Sink] = []
+        self._seq = itertools.count(1)
+        self.active = False
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        self.active = True
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+        sink.close()
+        self.active = bool(self._sinks)
+
+    def clear_sinks(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+        self._sinks.clear()
+        self.active = False
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return tuple(self._sinks)
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        *,
+        span_id: int | None = None,
+        parent_span: int | None = None,
+        cause: str | None = None,
+        duration: float | None = None,
+        attrs: dict | None = None,
+    ) -> EventRecord | None:
+        """Build and fan out one record; no-op without sinks."""
+        if not self.active:
+            return None
+        record = EventRecord(
+            seq=next(self._seq),
+            ts=time.time(),
+            kind=kind,
+            name=name,
+            span_id=span_id,
+            parent_span=parent_span,
+            cause=cause,
+            duration=duration,
+            attrs=attrs or {},
+        )
+        for sink in self._sinks:
+            sink.emit(record)
+        return record
+
+
+def read_jsonl(path: str | Path) -> list[EventRecord]:
+    """Decode a :class:`FileSink` artifact back into records."""
+    records: list[EventRecord] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(EventRecord.from_dict(json.loads(line)))
+    return records
+
+
+# -- DAG reconstruction -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One node of a propagation DAG: a span or a point event."""
+
+    node_id: str
+    label: str
+    kind: str  # "span" | "event" | "action" | "cause"
+
+
+@dataclass
+class PropagationDag:
+    """A record stream folded back into its causal structure.
+
+    Nodes are spans, point events and standalone actions; edges run
+    parent-span → child (tree structure) and update-cause → root span
+    (causal attribution). The same trace always folds to the same DAG,
+    so the DOT rendering is diffable.
+    """
+
+    nodes: list[DagNode] = field(default_factory=list)
+    edges: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def node_ids(self) -> set[str]:
+        return {node.node_id for node in self.nodes}
+
+    def roots(self) -> list[DagNode]:
+        """Nodes with no incoming edge."""
+        targets = {dst for _, dst, _ in self.edges}
+        return [n for n in self.nodes if n.node_id not in targets]
+
+    def to_dot(self, *, name: str = "propagation") -> str:
+        from repro.core.dot import dag_to_dot
+
+        return dag_to_dot(
+            [(n.node_id, n.label, n.kind) for n in self.nodes],
+            self.edges,
+            name=name,
+        )
+
+
+def _span_label(record: EventRecord) -> str:
+    rendered = " ".join(
+        f"{key}={value}" for key, value in record.attrs.items()
+        if key not in ("update_id",)
+    )
+    label = record.name + (f"\n{rendered}" if rendered else "")
+    if record.duration is not None:
+        label += f"\n[{record.duration * 1000:.2f} ms]"
+    return label
+
+
+def propagation_dag(records: Iterable[EventRecord]) -> PropagationDag:
+    """Reconstruct the propagation DAG of a record stream.
+
+    ``span.start``/``span.end`` pairs collapse into one span node
+    (labelled with the end record's duration); ``event`` records hang
+    off their span; ``action`` records stand alone; each distinct
+    ``cause`` becomes a source node with an edge to every root span it
+    caused.
+    """
+    dag = PropagationDag()
+    span_nodes: dict[int, DagNode] = {}
+    span_parents: dict[int, int | None] = {}
+    causes: dict[str, list[str]] = {}
+    for record in records:
+        if record.kind == "span.start":
+            continue  # the matching span.end carries the duration
+        if record.kind == "span.end":
+            assert record.span_id is not None
+            node = DagNode(f"s{record.span_id}", _span_label(record),
+                           "span")
+            span_nodes[record.span_id] = node
+            span_parents[record.span_id] = record.parent_span
+            dag.nodes.append(node)
+            if record.cause is not None and record.parent_span is None:
+                causes.setdefault(record.cause, []).append(node.node_id)
+            continue
+        node_id = f"e{record.seq}"
+        kind = "event" if record.kind == "event" else "action"
+        dag.nodes.append(DagNode(node_id, _span_label(record), kind))
+        if record.span_id is not None:
+            dag.edges.append((f"s{record.span_id}", node_id, ""))
+        elif record.cause is not None:
+            causes.setdefault(record.cause, []).append(node_id)
+    for span_id, parent in span_parents.items():
+        if parent is not None and parent in span_nodes:
+            dag.edges.append((f"s{parent}", f"s{span_id}", ""))
+    for cause, roots in causes.items():
+        cause_id = f"c_{cause}"
+        dag.nodes.append(DagNode(cause_id, cause, "cause"))
+        for root in roots:
+            dag.edges.append((cause_id, root, "causes"))
+    # Events attached to spans that never closed (span.end missing,
+    # e.g. a truncated JSONL) keep their edges only if the span node
+    # exists; prune dangling edges so the DOT stays well-formed.
+    known = dag.node_ids
+    dag.edges = [
+        (src, dst, label) for src, dst, label in dag.edges
+        if src in known and dst in known
+    ]
+    return dag
+
+
+def span_records(span, *, cause: str | None = None) -> list[EventRecord]:
+    """Synthesize the record stream of one finished
+    :class:`repro.obs.tracing.Span` tree (for rendering a live trace as
+    a DAG without an attached sink)."""
+    counter = itertools.count(1)
+    records: list[EventRecord] = []
+
+    def walk(node, parent_id: int | None) -> None:
+        records.append(EventRecord(
+            seq=next(counter), ts=0.0, kind="span.start", name=node.name,
+            span_id=node.span_id, parent_span=parent_id,
+            cause=cause or node.cause, attrs=dict(node.attrs),
+        ))
+        for event in node.events:
+            records.append(EventRecord(
+                seq=next(counter), ts=0.0, kind="event", name=event.name,
+                span_id=node.span_id, parent_span=parent_id,
+                cause=cause or node.cause, attrs=dict(event.attrs),
+            ))
+        for child in node.children:
+            walk(child, node.span_id)
+        records.append(EventRecord(
+            seq=next(counter), ts=0.0, kind="span.end", name=node.name,
+            span_id=node.span_id, parent_span=parent_id,
+            cause=cause or node.cause, duration=node.duration,
+            attrs=dict(node.attrs),
+        ))
+
+    walk(span, None)
+    return records

@@ -15,7 +15,7 @@ from pathlib import Path
 from repro.obs.hooks import OBS, Instrumentation
 
 __all__ = ["snapshot", "to_json", "write_json", "render_metrics",
-           "render_profile", "render_stats"]
+           "render_profile", "render_slowlog", "render_stats"]
 
 
 def snapshot(obs: Instrumentation | None = None) -> dict:
@@ -126,4 +126,46 @@ def render_stats(stats: dict) -> str:
     if profile:
         lines.append("profile (most expensive first):")
         lines.append(render_profile(profile))
+    slow = stats.get("slowlog", {})
+    if slow.get("records"):
+        lines.append("slowlog:")
+        lines.append(render_slowlog(slow))
+    return "\n".join(lines)
+
+
+def render_slowlog(slowlog: dict) -> str:
+    """A slowlog snapshot (:meth:`repro.obs.slowlog.SlowLog.snapshot`)
+    as text — thresholds, then one block per captured record with its
+    per-hop cost breakdown."""
+    lines: list[str] = []
+    query_t = slowlog.get("query_threshold_seconds")
+    update_t = slowlog.get("update_threshold_seconds")
+    lines.append(
+        "thresholds: "
+        f"query={_seconds(query_t)} update={_seconds(update_t)}"
+    )
+    records = slowlog.get("records", [])
+    if not records:
+        lines.append("(no slow operations recorded)")
+        return "\n".join(lines)
+    for record in records:
+        head = (
+            f"{record['op']} key={record['key']} "
+            f"{_seconds(record['duration_seconds'])} "
+            f"(threshold {_seconds(record['threshold_seconds'])})"
+        )
+        if record.get("cause"):
+            head += f" cause={record['cause']}"
+        lines.append(head)
+        detail = record.get("detail") or {}
+        for chain in detail.get("chains", []):
+            lines.append(f"  chain: {chain}")
+        for hop in detail.get("hops", []):
+            lines.append(
+                f"  hop {hop.get('hop')}: {hop.get('function')} "
+                f"({hop.get('role')}) rows={hop.get('rows')} "
+                f"cost={hop.get('est_cost')}"
+            )
+        if "error" in detail:
+            lines.append(f"  detail error: {detail['error']}")
     return "\n".join(lines)

@@ -1,7 +1,8 @@
 """The instrumentation context — zero overhead when disabled.
 
 One process-wide :data:`OBS` object owns the metrics registry, the
-tracer and the profiler, plus two flags:
+tracer, the profiler, the structured event log and the slowlog, plus
+two flags:
 
 * ``OBS.enabled`` — master switch. Hot call sites guard with a single
   attribute test (``if OBS.enabled:``) before doing *any* observability
@@ -12,6 +13,22 @@ tracer and the profiler, plus two flags:
 * ``OBS.tracing`` — span-tree construction. Metrics and profiling are
   cheap enough for always-on collection; building span objects with
   per-event attribute dicts is not, so traces are a second opt-in.
+
+Two further pipelines activate themselves by configuration rather than
+a flag:
+
+* ``OBS.events`` (:class:`repro.obs.events.EventLog`) — attach a sink
+  and every span boundary and structured event flows out as a typed
+  record with causal links (``parent_span``, ``cause=update_id``),
+  independent of whether span *trees* are being built;
+* ``OBS.slowlog`` (:class:`repro.obs.slowlog.SlowLog`) — set a
+  threshold and over-budget queries/updates are captured with an
+  explain-style cost breakdown (built lazily, only for the slow ones).
+
+Span nesting is context-propagated (:mod:`contextvars`): spans opened
+on one thread or asyncio task never become children of another's, and
+the update id that caused a cascade is inherited by every nested span
+without explicit threading through the call graph.
 
 Typical use::
 
@@ -38,11 +55,15 @@ docs/OBSERVABILITY.md.
 
 from __future__ import annotations
 
+import itertools
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
+from repro.obs.slowlog import SlowLog
 from repro.obs.tracing import Span, Tracer
 
 __all__ = ["Instrumentation", "OBS"]
@@ -52,31 +73,76 @@ class _SpanScope:
     """Context manager for one instrumented region.
 
     Always times the region into the profiler; additionally opens a
-    tracer span when tracing is on. Created only when ``OBS.enabled``
+    tracer span when tracing is on, emits ``span.start``/``span.end``
+    records when the event log has sinks, and feeds the slowlog when
+    the region crosses its threshold. Created only when ``OBS.enabled``
     is true (disabled call sites never reach this class).
     """
 
-    __slots__ = ("_obs", "_name", "_key", "_attrs", "_start", "_span")
+    __slots__ = ("_obs", "_name", "_key", "_attrs", "_start", "_span",
+                 "_cause", "_slow_detail", "_span_id", "_parent_id",
+                 "_ctx_token")
 
     def __init__(self, obs: "Instrumentation", name: str, key: str,
-                 attrs: dict) -> None:
+                 cause: str | None, slow_detail, attrs: dict) -> None:
         self._obs = obs
         self._name = name
         self._key = key
         self._attrs = attrs
+        self._cause = cause
+        self._slow_detail = slow_detail
         self._span: Span | None = None
+        self._span_id: int | None = None
+        self._ctx_token = None
 
     def __enter__(self) -> "_SpanScope":
-        if self._obs.tracing:
-            self._span = self._obs.tracer.start(self._name, **self._attrs)
+        obs = self._obs
+        events_on = obs.events.active
+        if obs.tracing:
+            span = obs.tracer.start(self._name, cause=self._cause,
+                                    **self._attrs)
+            self._span = span
+            self._span_id = span.span_id
+            self._parent_id = span.parent_id
+            self._cause = span.cause
+        elif events_on:
+            # No span tree, but records still need ids and causal
+            # links — maintain them on the instrumentation's own
+            # context stack.
+            parent_id, parent_cause = obs._span_context()
+            self._span_id = obs.tracer.next_id()
+            self._parent_id = parent_id
+            if self._cause is None:
+                self._cause = parent_cause
+        if events_on:
+            self._ctx_token = obs._span_ctx.set(
+                obs._span_ctx.get() + ((self._span_id, self._cause),)
+            )
+            obs.events.emit(
+                "span.start", self._name, span_id=self._span_id,
+                parent_span=self._parent_id, cause=self._cause,
+                attrs=self._attrs,
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         elapsed = time.perf_counter() - self._start
+        obs = self._obs
         if self._span is not None:
-            self._obs.tracer.finish(self._span)
-        self._obs.profiler.record(self._name, self._key, elapsed)
+            obs.tracer.finish(self._span)
+        if self._ctx_token is not None:
+            obs._span_ctx.reset(self._ctx_token)
+            obs.events.emit(
+                "span.end", self._name, span_id=self._span_id,
+                parent_span=self._parent_id, cause=self._cause,
+                duration=elapsed, attrs=self._attrs,
+            )
+        obs.profiler.record(self._name, self._key, elapsed)
+        if obs.slowlog.active:
+            obs.slowlog.record(self._name, self._key, elapsed,
+                               cause=self._cause,
+                               detail=self._slow_detail)
         return False
 
     @property
@@ -112,6 +178,14 @@ class Instrumentation:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.profiler = Profiler()
+        self.events = EventLog()
+        self.slowlog = SlowLog()
+        self._update_ids = itertools.count(1)
+        # (span_id, cause) pairs for the event log when span trees are
+        # not being built; per thread/task, like the tracer's stack.
+        self._span_ctx: ContextVar[tuple] = ContextVar(
+            "repro_obs_event_span_ctx", default=()
+        )
 
     # -- switching ----------------------------------------------------------
 
@@ -126,10 +200,14 @@ class Instrumentation:
         self.tracing = False
 
     def reset(self) -> None:
-        """Zero metrics and drop profiles and traces; flags unchanged."""
+        """Zero metrics and drop profiles, traces and slowlog records;
+        flags, thresholds and event sinks unchanged."""
         self.metrics.reset()
         self.profiler.reset()
         self.tracer.reset()
+        self.slowlog.reset()
+        self._span_ctx.set(())
+        self._update_ids = itertools.count(1)
 
     @contextmanager
     def collecting(self, *, tracing: bool = False, fresh: bool = True):
@@ -147,6 +225,30 @@ class Instrumentation:
             yield self
         finally:
             self.enabled, self.tracing = previous
+
+    # -- causal identity ----------------------------------------------------
+
+    def new_update_id(self) -> str:
+        """Allocate the next update id (``u1``, ``u2``, ...) — the
+        ``cause`` tag every propagation record of that update carries."""
+        return f"u{next(self._update_ids)}"
+
+    def current_cause(self) -> str | None:
+        """The update id the innermost active span is attributed to
+        (``None`` outside any caused span). Front doors use this to
+        decide whether they are a fresh user-level update (allocate a
+        new id) or a step inside one (inherit)."""
+        return self._span_context()[1]
+
+    def _span_context(self) -> tuple[int | None, str | None]:
+        """(span_id, cause) of the innermost event-log span, falling
+        back to the tracer's active span when tracing is on."""
+        if self.tracing:
+            span = self.tracer.active
+            if span is not None:
+                return span.span_id, span.cause
+        ctx = self._span_ctx.get()
+        return ctx[-1] if ctx else (None, None)
 
     # -- recording ----------------------------------------------------------
     #
@@ -166,22 +268,48 @@ class Instrumentation:
             self.metrics.gauge(name).set(value)
 
     def event(self, name: str, **attrs) -> None:
-        """A structured event on the active span (tracing only)."""
-        if self.enabled and self.tracing:
+        """A structured event on the active span (when tracing) and on
+        the event log (when a sink is attached)."""
+        if not self.enabled:
+            return
+        if self.tracing:
             self.tracer.event(name, **attrs)
+        if self.events.active:
+            span_id, cause = self._span_context()
+            self.events.emit("event", name, span_id=span_id,
+                             cause=cause, attrs=attrs)
 
-    def span(self, name: str, *, key: str = "-", **attrs):
+    def action(self, name: str, *, cause: str | None = None,
+               **attrs) -> None:
+        """A standalone occurrence outside any span (recovery steps,
+        checkpoint milestones) for the event log; also mirrored onto
+        the active trace span when one happens to be open."""
+        if not self.enabled:
+            return
+        if self.tracing:
+            self.tracer.event(name, **attrs)
+        if self.events.active:
+            span_id, inherited = self._span_context()
+            self.events.emit("action", name, span_id=span_id,
+                             cause=cause or inherited, attrs=attrs)
+
+    def span(self, name: str, *, key: str = "-",
+             cause: str | None = None, slow_detail=None, **attrs):
         """A timed scope feeding the profiler (and, when tracing, the
-        span tree). ``key`` buckets the profile entry — typically the
-        function or derivation being worked on."""
+        span tree; and, with sinks attached, the event log). ``key``
+        buckets the profile entry — typically the function or
+        derivation being worked on. ``cause`` attributes the span (and
+        everything nested under it) to an update id; ``slow_detail`` is
+        a zero-argument callable building an explain-style breakdown,
+        invoked only if the span crosses its slowlog threshold."""
         if not self.enabled:
             return _NULL_SCOPE
-        return _SpanScope(self, name, key, attrs)
+        return _SpanScope(self, name, key, cause, slow_detail, attrs)
 
     # -- reading ------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Flags + metrics + profile as one JSON-ready dict."""
+        """Flags + metrics + profile + slowlog as one JSON-ready dict."""
         return {
             "observability": {
                 "enabled": self.enabled,
@@ -189,6 +317,7 @@ class Instrumentation:
             },
             "metrics": self.metrics.snapshot(),
             "profile": self.profiler.snapshot(),
+            "slowlog": self.slowlog.snapshot(),
         }
 
 

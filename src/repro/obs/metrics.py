@@ -20,6 +20,7 @@ default lives on :data:`repro.obs.hooks.OBS`).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.errors import ReproError
@@ -33,23 +34,31 @@ class MetricError(ReproError):
 
 
 class Counter:
-    """A monotonically increasing count of events."""
+    """A monotonically increasing count of events.
 
-    __slots__ = ("name", "value")
+    ``inc`` takes the instrument's lock: ``self.value += amount`` is a
+    read-modify-write, and concurrent updaters (the WAL journal, a
+    background checkpoint) must not lose counts.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise MetricError(
                 f"counter {self.name!r} cannot decrease (amount={amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> int:
         return self.value
@@ -61,20 +70,23 @@ class Counter:
 class Gauge:
     """A level that can move both ways (sizes, depths, toggles)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
         self.value = 0
@@ -98,7 +110,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "sample_limit")
+                 "sample_limit", "_lock")
 
     def __init__(self, name: str, sample_limit: int = 1024) -> None:
         self.name = name
@@ -108,16 +120,20 @@ class Histogram:
         self.min: float | None = None
         self.max: float | None = None
         self._samples: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._samples) < self.sample_limit:
-            self._samples.append(value)
+        # One lock for the whole multi-field update: count/total/min/
+        # max must stay mutually consistent under concurrent observers.
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._samples) < self.sample_limit:
+                self._samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -128,19 +144,22 @@ class Histogram:
         by nearest-rank; 0.0 when nothing was observed."""
         if not 0 <= p <= 100:
             raise MetricError(f"percentile must be in [0, 100], got {p}")
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         rank = max(0, min(len(ordered) - 1,
                           round(p / 100 * (len(ordered) - 1))))
         return ordered[rank]
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
-        self._samples.clear()
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._samples.clear()
 
     def snapshot(self) -> dict:
         return {
@@ -169,13 +188,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type):
+        # Fast path without the lock: dict reads are atomic, and an
+        # already-registered instrument (the overwhelmingly common
+        # case) needs no synchronisation to hand out.
         instrument = self._metrics.get(name)
         if instrument is None:
-            instrument = cls(name)
-            self._metrics[name] = instrument
-        elif not isinstance(instrument, cls):
+            with self._lock:
+                instrument = self._metrics.get(name)
+                if instrument is None:
+                    instrument = cls(name)
+                    self._metrics[name] = instrument
+        if not isinstance(instrument, cls):
             raise MetricError(
                 f"metric {name!r} is a {type(instrument).__name__}, "
                 f"not a {cls.__name__}"

@@ -1,0 +1,177 @@
+"""Slow-path attribution: catch the updates and queries that hurt.
+
+Flat counters say the system is slow; the slowlog says *which
+derivation chain* made it slow. When an instrumented span finishes
+over its threshold, a :class:`SlowRecord` is captured with the span's
+name, key, duration — and, when the call site supplied one, a lazily
+built ``detail`` payload (an ``explain``-style cost breakdown of the
+derivation chains involved, see :mod:`repro.fdb.explain`). The detail
+callback runs *only* for slow spans, so the fast path never pays for
+the diagnosis.
+
+Thresholds are per operation family: ``query.*`` spans compare against
+``query_seconds``, ``update.*`` spans against ``update_seconds``;
+everything else is ignored (WAL appends and chain enumeration are
+accounted inside their enclosing update). Either threshold may be
+``None`` (that family untracked). Records live in a bounded ring; the
+newest survive.
+
+Surfaced through ``FunctionalDatabase.stats()["slowlog"]`` and the
+REPL's ``slowlog`` command.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SlowRecord", "SlowLog"]
+
+_FAMILIES = (("query.", "query_seconds"), ("update.", "update_seconds"))
+
+
+@dataclass(frozen=True)
+class SlowRecord:
+    """One over-threshold span, with its diagnosis."""
+
+    op: str
+    key: str
+    duration: float
+    threshold: float
+    ts: float
+    cause: str | None = None
+    detail: dict | None = None
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "op": self.op,
+            "key": self.key,
+            "duration_seconds": self.duration,
+            "threshold_seconds": self.threshold,
+            "ts": self.ts,
+        }
+        if self.cause is not None:
+            record["cause"] = self.cause
+        if self.detail is not None:
+            record["detail"] = self.detail
+        return record
+
+    def render(self) -> str:
+        head = (f"{self.op} key={self.key} "
+                f"{self.duration * 1000:.2f} ms "
+                f"(threshold {self.threshold * 1000:.2f} ms)")
+        if self.cause:
+            head += f" cause={self.cause}"
+        lines = [head]
+        for hop in (self.detail or {}).get("hops", []):
+            lines.append(
+                "  hop {n}: {function} ({role}) rows={rows} "
+                "cost={cost}".format(
+                    n=hop.get("hop"), function=hop.get("function"),
+                    role=hop.get("role"), rows=hop.get("rows"),
+                    cost=hop.get("est_cost"),
+                )
+            )
+        return "\n".join(lines)
+
+
+class SlowLog:
+    """Bounded, thread-safe buffer of :class:`SlowRecord` entries.
+
+    Thresholds default to ``None`` (off): the slowlog is opt-in per
+    family, because a meaningful threshold depends on the deployment's
+    data volume, not anything the library can guess.
+    """
+
+    def __init__(self, *, query_seconds: float | None = None,
+                 update_seconds: float | None = None,
+                 capacity: int = 64) -> None:
+        self.query_seconds = query_seconds
+        self.update_seconds = update_seconds
+        self._records: deque[SlowRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------------
+
+    def configure(self, *, query_seconds: float | None = ...,
+                  update_seconds: float | None = ...) -> None:
+        """Set either threshold; ``None`` disables that family,
+        an omitted argument leaves it unchanged."""
+        if query_seconds is not ...:
+            self.query_seconds = query_seconds
+        if update_seconds is not ...:
+            self.update_seconds = update_seconds
+
+    def disable(self) -> None:
+        self.query_seconds = None
+        self.update_seconds = None
+
+    @property
+    def active(self) -> bool:
+        return (self.query_seconds is not None
+                or self.update_seconds is not None)
+
+    def threshold_for(self, op: str) -> float | None:
+        """The threshold governing ``op``, by name-prefix family."""
+        for prefix, attr in _FAMILIES:
+            if op.startswith(prefix):
+                return getattr(self, attr.replace("_seconds", "")
+                               + "_seconds")
+        return None
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, op: str, key: str, duration: float, *,
+               cause: str | None = None,
+               detail: Callable[[], dict] | dict | None = None,
+               ) -> SlowRecord | None:
+        """Capture ``op`` if it crossed its family threshold.
+
+        ``detail`` may be a callable — it is invoked only when the span
+        actually qualifies, keeping the diagnosis off the fast path.
+        """
+        threshold = self.threshold_for(op)
+        if threshold is None or duration < threshold:
+            return None
+        if callable(detail):
+            try:
+                detail = detail()
+            except Exception as error:  # diagnosis must not break work
+                detail = {"error": f"{type(error).__name__}: {error}"}
+        entry = SlowRecord(
+            op=op, key=key, duration=duration, threshold=threshold,
+            ts=time.time(), cause=cause, detail=detail,
+        )
+        with self._lock:
+            self._records.append(entry)
+        return entry
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[SlowRecord, ...]:
+        """Captured entries, oldest first."""
+        with self._lock:
+            return tuple(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def reset(self) -> None:
+        """Drop records; thresholds unchanged."""
+        self.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "query_threshold_seconds": self.query_seconds,
+            "update_threshold_seconds": self.update_seconds,
+            "records": [record.to_dict() for record in self.records],
+        }

@@ -22,7 +22,10 @@ Attribute values are rendered through
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 __all__ = ["SpanEvent", "Span", "Tracer"]
@@ -63,7 +66,13 @@ class SpanEvent:
 
 @dataclass
 class Span:
-    """One timed, named region of work, with children and events."""
+    """One timed, named region of work, with children and events.
+
+    ``span_id``/``parent_id`` identify the span within its process
+    (assigned by the tracer); ``cause`` names the update (``u1``, ...)
+    whose propagation opened it. All three flow into the structured
+    event log so flat JSONL streams fold back into this tree.
+    """
 
     name: str
     attrs: dict = field(default_factory=dict)
@@ -71,6 +80,9 @@ class Span:
     events: list[SpanEvent] = field(default_factory=list)
     start: float = 0.0
     duration: float | None = None
+    span_id: int = 0
+    parent_id: int | None = None
+    cause: str | None = None
 
     def event(self, name: str, **attrs) -> SpanEvent:
         marker = SpanEvent(name, attrs, time.perf_counter() - self.start)
@@ -127,6 +139,9 @@ class Span:
         stability)."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "cause": self.cause,
             "attrs": {k: format_value(v) for k, v in self.attrs.items()},
             "duration_seconds": self.duration,
             "events": [
@@ -146,42 +161,76 @@ class Tracer:
     spans are retained (children live inside their roots). The tracer
     itself has no enabled flag — :class:`repro.obs.hooks.Instrumentation`
     decides whether any span is ever started.
+
+    The active stack lives in a :class:`~contextvars.ContextVar`
+    holding an immutable tuple, so every thread (and asyncio task) gets
+    its own nesting — spans opened on one thread never become children
+    of another thread's spans, with no locking on the hot start/finish
+    path. Only the finished-roots buffer is shared, and a lock guards
+    it. Span ids come from one process-wide counter, so ids stay unique
+    across threads (``itertools.count`` is atomic under CPython).
     """
 
     def __init__(self, max_traces: int = 16) -> None:
         self.max_traces = max_traces
-        self._stack: list[Span] = []
+        self._stack_var: ContextVar[tuple[Span, ...]] = ContextVar(
+            "repro_obs_span_stack", default=()
+        )
+        self._ids = itertools.count(1)
         self._finished: list[Span] = []
+        self._lock = threading.Lock()
 
     @property
     def active(self) -> Span | None:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
+
+    def next_id(self) -> int:
+        """Allocate a span id from the process-wide sequence (also used
+        by the event log when tracing is off, so ids never collide)."""
+        return next(self._ids)
 
     @property
     def depth(self) -> int:
-        return len(self._stack)
+        return len(self._stack_var.get())
 
-    def start(self, name: str, **attrs) -> Span:
-        """Open a span as a child of the active one (or a new root)."""
-        span = Span(name, attrs, start=time.perf_counter())
-        parent = self.active
+    def start(self, name: str, *, cause: str | None = None,
+              **attrs) -> Span:
+        """Open a span as a child of the active one (or a new root).
+
+        ``cause`` tags the span with the update id that provoked it;
+        left unset, the parent's cause is inherited, so a whole
+        propagation cascade shares one attribution.
+        """
+        stack = self._stack_var.get()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name, attrs, start=time.perf_counter(),
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            cause=cause if cause is not None
+            else (parent.cause if parent is not None else None),
+        )
         if parent is not None:
             parent.children.append(span)
-        self._stack.append(span)
+        self._stack_var.set(stack + (span,))
         return span
 
     def finish(self, span: Span) -> Span:
-        """Close ``span``; it must be the innermost open span."""
-        if not self._stack or self._stack[-1] is not span:
+        """Close ``span``; it must be the innermost open span *of the
+        current context* — a thread cannot close another's spans."""
+        stack = self._stack_var.get()
+        if not stack or stack[-1] is not span:
             raise RuntimeError(
                 f"span {span.name!r} is not the innermost open span"
             )
-        self._stack.pop()
+        self._stack_var.set(stack[:-1])
         span.duration = time.perf_counter() - span.start
-        if not self._stack:  # a root completed: retain it
-            self._finished.append(span)
-            if len(self._finished) > self.max_traces:
-                self._finished.pop(0)
+        if len(stack) == 1:  # a root completed: retain it
+            with self._lock:
+                self._finished.append(span)
+                if len(self._finished) > self.max_traces:
+                    self._finished.pop(0)
         return span
 
     def event(self, name: str, **attrs) -> None:
@@ -194,12 +243,15 @@ class Tracer:
     @property
     def traces(self) -> tuple[Span, ...]:
         """Finished root spans, oldest first."""
-        return tuple(self._finished)
+        with self._lock:
+            return tuple(self._finished)
 
     @property
     def last_trace(self) -> Span | None:
-        return self._finished[-1] if self._finished else None
+        with self._lock:
+            return self._finished[-1] if self._finished else None
 
     def reset(self) -> None:
-        self._stack.clear()
-        self._finished.clear()
+        self._stack_var.set(())
+        with self._lock:
+            self._finished.clear()

@@ -1,0 +1,154 @@
+"""Concurrency smoke tests for the instrumentation context.
+
+The registries promise exact aggregates under concurrent writers and
+per-thread span nesting (contextvar stacks). These tests hammer the
+primitives from many threads and assert the totals are exact — lost
+updates, not crashes, are the realistic failure mode of unlocked
+``+=`` sections.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import OBS, MetricsRegistry, RingBufferSink, Tracer
+
+THREADS = 8
+ITERS = 300
+
+
+def _scrub():
+    OBS.disable()
+    OBS.reset()
+    OBS.metrics.clear()
+    OBS.events.clear_sinks()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    _scrub()
+    yield
+    _scrub()
+
+
+def _run_threads(work) -> None:
+    threads = [
+        threading.Thread(target=work, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsUnderThreads:
+    def test_counter_total_is_exact(self):
+        registry = MetricsRegistry()
+
+        def work(_index):
+            for _ in range(ITERS):
+                registry.counter("hits").inc()
+
+        _run_threads(work)
+        assert registry.counter("hits").value == THREADS * ITERS
+
+    def test_histogram_count_is_exact(self):
+        registry = MetricsRegistry()
+
+        def work(index):
+            for i in range(ITERS):
+                registry.histogram("h").observe(float(index * i))
+
+        _run_threads(work)
+        assert registry.histogram("h").count == THREADS * ITERS
+
+    def test_gauge_inc_dec_balances(self):
+        registry = MetricsRegistry()
+
+        def work(_index):
+            for _ in range(ITERS):
+                registry.gauge("g").inc()
+                registry.gauge("g").dec()
+
+        _run_threads(work)
+        assert registry.gauge("g").value == 0
+
+    def test_registry_creation_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        instruments = []
+
+        def work(_index):
+            instruments.append(registry.counter("shared"))
+
+        _run_threads(work)
+        assert all(c is instruments[0] for c in instruments)
+
+
+class TestTracerUnderThreads:
+    def test_span_stacks_are_per_thread(self):
+        """A span opened on one thread never becomes the parent of
+        another thread's span."""
+        tracer = Tracer()
+        errors: list[str] = []
+
+        def work(index):
+            for i in range(ITERS // 10):
+                outer = tracer.start(f"outer-{index}")
+                inner = tracer.start(f"inner-{index}")
+                if inner.parent_id != outer.span_id:
+                    errors.append(
+                        f"cross-thread parent: {inner.parent_id}"
+                    )
+                tracer.finish(inner)
+                tracer.finish(outer)
+
+        _run_threads(work)
+        assert not errors
+        assert len(tracer.traces) <= tracer.max_traces
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def work(_index):
+            local = []
+            for _ in range(ITERS // 10):
+                span = tracer.start("s")
+                tracer.finish(span)
+                local.append(span.span_id)
+            with lock:
+                seen.extend(local)
+
+        _run_threads(work)
+        assert len(seen) == len(set(seen))
+
+
+class TestPipelineUnderThreads:
+    def test_instrumented_spans_with_events(self):
+        """The full span pipeline (ids, context stack, event emission)
+        survives concurrent use: every span.start has a span.end and
+        ids never collide."""
+        sink = OBS.events.add_sink(RingBufferSink(capacity=100_000))
+        OBS.enable()
+
+        def work(index):
+            for i in range(ITERS // 10):
+                with OBS.span(f"update.t{index}", key=str(i),
+                              cause=f"u{index}"):
+                    OBS.inc("work.done")
+
+        _run_threads(work)
+        total = THREADS * (ITERS // 10)
+        assert OBS.metrics.counter("work.done").value == total
+        starts = [r for r in sink.records if r.kind == "span.start"]
+        ends = [r for r in sink.records if r.kind == "span.end"]
+        assert len(starts) == len(ends) == total
+        ids = [r.span_id for r in ends]
+        assert len(ids) == len(set(ids))
+        # Causes stay with their thread's spans.
+        for record in ends:
+            assert record.cause == record.name.replace("update.t", "u")

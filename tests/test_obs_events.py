@@ -1,0 +1,231 @@
+"""The structured event log: records, sinks, causal DAG round trips.
+
+Covers the typed-record surface (serialization, ordering, causal
+fields), the three sink implementations, the emission gates (enabled ×
+sinks-attached × tracing), and the acceptance loop: a Section 4.2
+update traced to JSONL, read back, folded into a propagation DAG and
+rendered as DOT.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fdb.updates import apply_update
+from repro.obs import (
+    OBS,
+    CallbackSink,
+    EventLog,
+    EventRecord,
+    FileSink,
+    RingBufferSink,
+    propagation_dag,
+    read_jsonl,
+    span_records,
+)
+from repro.workloads.university import pupil_database, section_42_updates
+
+
+def _scrub():
+    OBS.disable()
+    OBS.reset()
+    OBS.metrics.clear()
+    OBS.events.clear_sinks()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    _scrub()
+    yield
+    _scrub()
+
+
+# -- records ------------------------------------------------------------------
+
+
+class TestEventRecord:
+    def test_to_dict_omits_unset_fields(self):
+        record = EventRecord(seq=1, ts=2.0, kind="event", name="x")
+        assert record.to_dict() == {
+            "seq": 1, "ts": 2.0, "kind": "event", "name": "x",
+        }
+
+    def test_round_trips_through_json(self):
+        record = EventRecord(
+            seq=7, ts=1.5, kind="span.end", name="update.delete",
+            span_id=3, parent_span=1, cause="u2", duration=0.25,
+            attrs={"function": "pupil"},
+        )
+        back = EventRecord.from_dict(json.loads(record.to_json()))
+        assert back == record
+
+    def test_attrs_are_stringified(self):
+        record = EventRecord(seq=1, ts=0.0, kind="event", name="x",
+                             attrs={"n": 3})
+        assert record.to_dict()["attrs"] == {"n": "3"}
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+class TestSinks:
+    def test_ring_buffer_keeps_newest(self):
+        sink = RingBufferSink(capacity=2)
+        for seq in range(1, 5):
+            sink.emit(EventRecord(seq=seq, ts=0.0, kind="event",
+                                  name=f"e{seq}"))
+        assert [r.seq for r in sink.records] == [3, 4]
+        assert len(sink) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = FileSink(path)
+        sink.emit(EventRecord(seq=1, ts=0.0, kind="event", name="a"))
+        sink.emit(EventRecord(seq=2, ts=0.0, kind="event", name="b"))
+        sink.close()
+        records = read_jsonl(path)
+        assert [r.name for r in records] == ["a", "b"]
+
+    def test_callback_sink(self):
+        seen: list[EventRecord] = []
+        sink = CallbackSink(seen.append)
+        sink.emit(EventRecord(seq=1, ts=0.0, kind="action", name="x"))
+        assert seen[0].kind == "action"
+
+
+class TestEventLog:
+    def test_inactive_without_sinks(self):
+        log = EventLog()
+        assert not log.active
+        assert log.emit("event", "x") is None
+
+    def test_add_remove_sink_toggles_active(self):
+        log = EventLog()
+        sink = log.add_sink(RingBufferSink())
+        assert log.active
+        log.remove_sink(sink)
+        assert not log.active
+
+    def test_fans_out_to_all_sinks(self):
+        log = EventLog()
+        a, b = RingBufferSink(), RingBufferSink()
+        log.add_sink(a)
+        log.add_sink(b)
+        log.emit("event", "x")
+        assert len(a) == len(b) == 1
+
+    def test_seq_is_monotone(self):
+        log = EventLog()
+        sink = log.add_sink(RingBufferSink())
+        log.emit("event", "a")
+        log.emit("event", "b")
+        seqs = [r.seq for r in sink.records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 2
+
+
+# -- emission gates -----------------------------------------------------------
+
+
+class TestEmissionGates:
+    def test_no_records_while_disabled(self):
+        sink = OBS.events.add_sink(RingBufferSink())
+        db = pupil_database()
+        apply_update(db, section_42_updates()[0])
+        assert len(sink) == 0
+
+    def test_records_flow_without_tracing(self):
+        """Events are decoupled from span-tree construction."""
+        sink = OBS.events.add_sink(RingBufferSink())
+        with OBS.collecting():  # tracing stays off
+            db = pupil_database()
+            apply_update(db, section_42_updates()[0])
+        assert OBS.tracer.last_trace is None
+        kinds = {r.kind for r in sink.records}
+        assert "span.start" in kinds and "span.end" in kinds
+
+    def test_span_ids_nest_and_share_a_cause(self):
+        sink = OBS.events.add_sink(RingBufferSink())
+        with OBS.collecting():
+            db = pupil_database()
+            apply_update(db, section_42_updates()[0])
+        ends = [r for r in sink.records if r.kind == "span.end"]
+        roots = [r for r in ends if r.parent_span is None]
+        children = [r for r in ends if r.parent_span is not None]
+        assert roots and all(r.cause == "u1" for r in ends)
+        span_ids = {r.span_id for r in ends}
+        for child in children:
+            assert child.parent_span in span_ids
+
+    def test_action_records_stand_alone(self):
+        sink = OBS.events.add_sink(RingBufferSink())
+        OBS.enable()
+        OBS.action("recovery.start", policy="strict")
+        (record,) = sink.records
+        assert record.kind == "action"
+        assert record.span_id is None
+        assert record.attrs == {"policy": "strict"}
+
+
+# -- DAG reconstruction -------------------------------------------------------
+
+
+def _trace_u1(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = FileSink(path)
+    db = pupil_database()
+    with OBS.collecting(tracing=True):
+        OBS.events.add_sink(sink)
+        try:
+            apply_update(db, section_42_updates()[0])
+        finally:
+            OBS.events.remove_sink(sink)
+    return read_jsonl(path)
+
+
+class TestPropagationDag:
+    def test_section_42_round_trip(self, tmp_path):
+        """The acceptance loop: events -> JSONL -> DAG -> DOT."""
+        records = _trace_u1(tmp_path)
+        dag = propagation_dag(records)
+        assert dag.nodes and dag.edges
+        # The cause node is a root and reaches the root span.
+        cause_nodes = [n for n in dag.nodes if n.kind == "cause"]
+        assert [n.label for n in cause_nodes] == ["u1"]
+        root_ids = {n.node_id for n in dag.roots()}
+        assert cause_nodes[0].node_id in root_ids
+        dot = dag.to_dot(name="u1")
+        assert dot.startswith('digraph "u1"')
+        for node in dag.nodes:
+            assert f'"{node.node_id}"' in dot
+
+    def test_same_trace_same_dag(self, tmp_path):
+        records = _trace_u1(tmp_path)
+        once = propagation_dag(records)
+        twice = propagation_dag(records)
+        assert [n.node_id for n in once.nodes] == \
+            [n.node_id for n in twice.nodes]
+        assert once.edges == twice.edges
+
+    def test_truncated_stream_prunes_dangling_edges(self, tmp_path):
+        records = _trace_u1(tmp_path)
+        # Drop the tail (the root span.end among it) as a torn file
+        # would; the DAG must still be well-formed.
+        truncated = records[:max(1, len(records) // 2)]
+        dag = propagation_dag(truncated)
+        known = dag.node_ids
+        for src, dst, _ in dag.edges:
+            assert src in known and dst in known
+
+    def test_span_records_matches_live_trace(self):
+        with OBS.collecting(tracing=True):
+            db = pupil_database()
+            apply_update(db, section_42_updates()[0])
+            last = OBS.tracer.last_trace
+        records = span_records(last)
+        dag = propagation_dag(records)
+        span_nodes = [n for n in dag.nodes if n.kind == "span"]
+        assert len(span_nodes) == sum(1 for _ in last.walk())

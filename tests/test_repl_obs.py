@@ -1,0 +1,143 @@
+"""The REPL's observability commands: ``slowlog`` and ``trace --dot``.
+
+Statement-level tests through the :class:`Interpreter`, covering the
+parse shapes (including the ``--dot`` flag and the ``slowlog query``
+vs query-statement ambiguity) and the executed behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.interp import HELP_TEXT, Interpreter
+from repro.lang.parser import parse_program, parse_statement
+from repro.obs import OBS
+
+
+def _scrub():
+    OBS.disable()
+    OBS.reset()
+    OBS.metrics.clear()
+    OBS.events.clear_sinks()
+    OBS.slowlog.disable()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    _scrub()
+    yield
+    _scrub()
+
+
+SETUP = """
+add teach: faculty -> course
+add class_list: course -> student
+add pupil: faculty -> student
+commit
+insert teach(euclid, math)
+insert class_list(math, john)
+"""
+
+
+def _ready() -> Interpreter:
+    interpreter = Interpreter()
+    interpreter.execute(SETUP)
+    return interpreter
+
+
+# -- parsing ------------------------------------------------------------------
+
+
+class TestParsing:
+    def test_trace_show_dot(self):
+        statement = parse_statement('trace show --dot "out.dot"')
+        assert statement == ast.Trace("show", "out.dot")
+
+    def test_trace_plain_modes_unchanged(self):
+        assert parse_statement("trace on") == ast.Trace("on")
+        assert parse_statement("trace show") == ast.Trace("show")
+
+    def test_dot_flag_requires_show(self):
+        with pytest.raises(ParseError):
+            parse_statement('trace on --dot "x.dot"')
+
+    def test_dot_flag_requires_path(self):
+        with pytest.raises(ParseError):
+            parse_statement("trace show --dot")
+
+    def test_slowlog_shapes(self):
+        assert parse_statement("slowlog") == ast.SlowLogCmd("show")
+        assert parse_statement("slowlog off") == ast.SlowLogCmd("off")
+        assert parse_statement("slowlog clear") == ast.SlowLogCmd("clear")
+        assert parse_statement("slowlog query 0.5") == \
+            ast.SlowLogCmd("query", 0.5)
+        assert parse_statement("slowlog update 2") == \
+            ast.SlowLogCmd("update", 2)
+
+    def test_bare_slowlog_does_not_eat_a_query_statement(self):
+        statements = parse_program("slowlog\nquery pupil(euclid)")
+        assert isinstance(statements[0], ast.SlowLogCmd)
+        assert statements[0].mode == "show"
+        assert isinstance(statements[1], ast.ImageQuery)
+
+
+# -- execution ----------------------------------------------------------------
+
+
+class TestSlowLogCommand:
+    def test_set_show_off_clear_cycle(self):
+        interpreter = _ready()
+        (line,) = interpreter.execute("slowlog update 0.0")
+        assert "0.0" in line
+        interpreter.execute("delete class_list(math, john)")
+        shown = interpreter.execute("slowlog")
+        assert any("update.delete" in line for line in shown)
+        assert any("cause=" in line for line in shown)
+        (off,) = interpreter.execute("slowlog off")
+        assert "records kept" in off
+        interpreter.execute("slowlog clear")
+        (empty,) = interpreter.execute("slowlog")
+        assert "inactive" in empty
+
+    def test_slow_records_appear_in_stats(self):
+        interpreter = _ready()
+        interpreter.execute("slowlog update 0.0")
+        interpreter.execute("insert teach(gauss, math)")
+        stats = interpreter.execute("stats")
+        assert any("slow operations" in line.lower()
+                   or "slowlog" in line.lower() for line in stats)
+
+    def test_query_threshold_catches_queries(self):
+        interpreter = _ready()
+        interpreter.execute("slowlog query 0.0")
+        interpreter.execute("pairs pupil")
+        shown = interpreter.execute("slowlog")
+        assert any("query." in line for line in shown)
+
+
+class TestTraceDot:
+    def test_writes_propagation_dag(self, tmp_path):
+        interpreter = _ready()
+        interpreter.execute("trace on")
+        interpreter.execute("delete class_list(math, john)")
+        out = tmp_path / "trace.dot"
+        (line,) = interpreter.execute(f'trace show --dot "{out}"')
+        assert "propagation DAG" in line
+        dot = out.read_text(encoding="utf-8")
+        assert dot.startswith('digraph "trace"')
+        assert "update.delete" in dot
+
+    def test_without_a_trace_reports_nothing(self, tmp_path):
+        interpreter = _ready()
+        out = tmp_path / "none.dot"
+        (line,) = interpreter.execute(f'trace show --dot "{out}"')
+        assert "no trace recorded" in line
+        assert not out.exists()
+
+
+class TestHelp:
+    def test_help_documents_the_commands(self):
+        assert "slowlog" in HELP_TEXT
+        assert "--dot" in HELP_TEXT
