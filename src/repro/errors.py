@@ -24,6 +24,14 @@ __all__ = [
     "TransactionError",
     "PersistenceError",
     "ParseError",
+    "OperationCancelled",
+    "DeadlineExceeded",
+    "ServiceError",
+    "LockTimeout",
+    "DeadlockDetected",
+    "ServiceOverloaded",
+    "ServiceReadOnly",
+    "ServiceClosed",
 ]
 
 
@@ -107,6 +115,54 @@ class TransactionError(ReproError):
 
 class PersistenceError(ReproError):
     """A snapshot could not be written or read back."""
+
+
+class OperationCancelled(ReproError):
+    """An operation observed a cancellation checkpoint and aborted.
+
+    Raised *between* units of work (chains enumerated, log records
+    appended), never mid-mutation; inside a transaction or the WAL's
+    write-ahead wrapper the abort rolls back cleanly.
+    """
+
+
+class DeadlineExceeded(OperationCancelled):
+    """A request ran past its deadline and was cooperatively cancelled."""
+
+
+class ServiceError(ReproError):
+    """A request could not be served by the concurrent service layer."""
+
+
+class LockTimeout(ServiceError):
+    """A lock could not be acquired within the request's timeout.
+
+    Transient by nature — the standard response is backoff and retry
+    (see :class:`repro.service.retry.RetryPolicy`).
+    """
+
+
+class DeadlockDetected(ServiceError):
+    """The lock manager found a wait-for cycle involving this request.
+
+    The requester is the chosen victim: it holds its other locks until
+    it releases them, so it must back off (drop everything it holds)
+    and retry.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed the request (queue full or queue wait
+    timed out). The client should back off before resubmitting."""
+
+
+class ServiceReadOnly(ServiceError):
+    """The durable-storage circuit breaker is open: updates are
+    rejected fast while reads continue to be served."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or closed and accepts no new requests."""
 
 
 class ParseError(ReproError):

@@ -17,6 +17,7 @@ from repro.faults.registry import (
     ErrorFault,
     Fault,
     FaultRegistry,
+    LatencyFault,
     SimulatedCrash,
     TornWrite,
     TransientError,
@@ -28,6 +29,7 @@ __all__ = [
     "ErrorFault",
     "Fault",
     "FaultRegistry",
+    "LatencyFault",
     "SimulatedCrash",
     "TornWrite",
     "TransientError",

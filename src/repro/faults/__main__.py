@@ -1,7 +1,54 @@
-"""``python -m repro.faults`` — run the crash matrix and exit nonzero
-on any divergence or unreached fault point."""
+"""``python -m repro.faults`` — crash matrix by default, chaos soak
+with ``--soak``. Both exit nonzero on any divergence."""
 
-from repro.faults.harness import main
+from __future__ import annotations
+
+import argparse
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description=(
+            "Fault-injection harnesses: the single-failure crash "
+            "matrix (default) or the concurrent chaos soak (--soak)."
+        ),
+    )
+    parser.add_argument("--soak", action="store_true",
+                        help="run the concurrent chaos soak instead of "
+                             "the crash matrix")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="soak worker threads (default 8)")
+    parser.add_argument("--ops", type=int, default=30,
+                        help="ops per worker (default 30)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    parser.add_argument("--jsonl", default=None,
+                        help="event-log JSONL path (default: inside "
+                             "the soak's temp workdir)")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="soak without the fault schedule "
+                             "(pure concurrency check)")
+    args = parser.parse_args(argv)
+
+    if not args.soak:
+        from repro.faults.harness import main as matrix_main
+
+        return matrix_main()
+
+    from repro.faults.soak import SoakConfig, run_soak
+
+    report = run_soak(SoakConfig(
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        seed=args.seed,
+        jsonl=args.jsonl,
+        faults=not args.no_faults,
+    ))
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -24,6 +24,9 @@ matrix with a hole in it is the bug that ships.
 from __future__ import annotations
 
 import os
+import random
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -34,6 +37,7 @@ __all__ = [
     "TornWrite",
     "TransientError",
     "ErrorFault",
+    "LatencyFault",
     "FaultRegistry",
     "FAULTS",
 ]
@@ -103,19 +107,24 @@ class TransientError(Fault):
 
     Exercises retry-with-backoff paths: the caller should succeed once
     the transient condition clears, without duplicating the write.
+    The countdown is guarded by a lock so that concurrent firings
+    consume exactly ``times`` failures in total.
     """
 
     def __init__(self, times: int = 1,
                  make: Callable[[], OSError] | None = None) -> None:
         self.times = times
         self.remaining = times
+        self._lock = threading.Lock()
         self._make = make or (lambda: OSError("injected transient I/O "
                                               "error"))
 
     def trigger(self, point: str, **context) -> None:
-        if self.remaining > 0:
+        with self._lock:
+            if self.remaining <= 0:
+                return
             self.remaining -= 1
-            raise self._make()
+        raise self._make()
 
     def __repr__(self) -> str:
         return f"TransientError(times={self.times})"
@@ -134,15 +143,60 @@ class ErrorFault(Fault):
                  make: Callable[[], Exception] | None = None) -> None:
         self.times = times
         self.remaining = times
+        self._lock = threading.Lock()
         self._make = make or (lambda: RuntimeError("injected failure"))
 
     def trigger(self, point: str, **context) -> None:
-        if self.remaining > 0:
+        with self._lock:
+            if self.remaining <= 0:
+                return
             self.remaining -= 1
-            raise self._make()
+        raise self._make()
 
     def __repr__(self) -> str:
         return f"ErrorFault(times={self.times})"
+
+
+class LatencyFault(Fault):
+    """Stall the point instead of failing it: sleep ``delay`` seconds
+    plus a uniformly drawn jitter in ``[0, jitter]``.
+
+    Stretches critical sections so that lock contention, deadline
+    expiry and queue build-up actually happen under test. The jitter
+    stream comes from a dedicated seeded :class:`random.Random` so a
+    soak run's *schedule pressure* is reproducible even though thread
+    interleaving is not. ``times=None`` stalls every firing;
+    an integer bounds how many firings stall.
+    """
+
+    def __init__(self, delay: float, jitter: float = 0.0, *,
+                 times: int | None = None, seed: int = 0) -> None:
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter must be >= 0")
+        self.delay = delay
+        self.jitter = jitter
+        self.times = times
+        self.remaining = times
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+
+    def trigger(self, point: str, **context) -> None:
+        with self._lock:
+            if self.remaining is not None:
+                if self.remaining <= 0:
+                    return
+                self.remaining -= 1
+            pause = self.delay
+            if self.jitter:
+                pause += self._rng.uniform(0.0, self.jitter)
+        # Sleep outside the lock: concurrent victims stall in parallel,
+        # the way real device latency hits them.
+        if pause > 0:
+            time.sleep(pause)
+
+    def __repr__(self) -> str:
+        extra = f", times={self.times}" if self.times is not None else ""
+        return f"LatencyFault({self.delay}, jitter={self.jitter}{extra})"
 
 
 @dataclass
@@ -169,9 +223,19 @@ class FaultPointInfo:
 
 
 class FaultRegistry:
-    """The catalogue of fault points and whatever is armed at them."""
+    """The catalogue of fault points and whatever is armed at them.
+
+    Thread-safe: arming, disarming and firing may happen concurrently
+    (the chaos soak harness flips faults from a controller thread while
+    worker threads are mid-write). A single re-entrant lock guards the
+    catalogue and hit counters; armed faults *trigger outside the
+    lock* so a stalling fault (:class:`LatencyFault`) never serialises
+    unrelated fire sites or deadlocks against a fault that itself
+    touches the registry.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._points: dict[str, _Point] = {}
 
     # -- catalogue ----------------------------------------------------------
@@ -181,26 +245,30 @@ class FaultRegistry:
                  durable: bool = False) -> None:
         """Declare a fault point (idempotent; modules register at
         import time)."""
-        if name not in self._points:
-            self._points[name] = _Point(
-                name, description,
-                supports_torn_write=supports_torn_write,
-                durable=durable,
-            )
+        with self._lock:
+            if name not in self._points:
+                self._points[name] = _Point(
+                    name, description,
+                    supports_torn_write=supports_torn_write,
+                    durable=durable,
+                )
 
     def points(self) -> tuple[FaultPointInfo, ...]:
         """The registered catalogue, in registration order."""
-        return tuple(
-            FaultPointInfo(p.name, p.description, p.supports_torn_write,
-                           p.durable, p.hits)
-            for p in self._points.values()
-        )
+        with self._lock:
+            return tuple(
+                FaultPointInfo(p.name, p.description,
+                               p.supports_torn_write, p.durable, p.hits)
+                for p in self._points.values()
+            )
 
     def __contains__(self, name: str) -> bool:
-        return name in self._points
+        with self._lock:
+            return name in self._points
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._points)
+        with self._lock:
+            return iter(tuple(self._points))
 
     def _point(self, name: str) -> _Point:
         try:
@@ -215,14 +283,17 @@ class FaultRegistry:
 
     def arm(self, name: str, fault: Fault) -> None:
         """Arm ``fault`` at the named point (replacing any prior)."""
-        self._point(name).armed = fault
+        with self._lock:
+            self._point(name).armed = fault
 
     def disarm(self, name: str) -> None:
-        self._point(name).armed = None
+        with self._lock:
+            self._point(name).armed = None
 
     def disarm_all(self) -> None:
-        for point in self._points.values():
-            point.armed = None
+        with self._lock:
+            for point in self._points.values():
+                point.armed = None
 
     def injected(self, name: str, fault: Fault) -> "_Injection":
         """Context manager: arm on entry, disarm on exit."""
@@ -236,20 +307,25 @@ class FaultRegistry:
         Fire sites for torn-write-capable points pass ``handle`` and
         ``data``; the armed fault decides what to do with them.
         """
-        point = self._points.get(name)
-        if point is None:
-            raise KeyError(f"fire at unregistered fault point {name!r}")
-        point.hits += 1
-        if point.armed is not None:
-            point.armed.trigger(name, **context)
+        with self._lock:
+            point = self._points.get(name)
+            if point is None:
+                raise KeyError(
+                    f"fire at unregistered fault point {name!r}")
+            point.hits += 1
+            armed = point.armed
+        if armed is not None:
+            armed.trigger(name, **context)
 
     def hits(self, name: str) -> int:
         """How many times the named point has fired."""
-        return self._point(name).hits
+        with self._lock:
+            return self._point(name).hits
 
     def reset_hits(self) -> None:
-        for point in self._points.values():
-            point.hits = 0
+        with self._lock:
+            for point in self._points.values():
+                point.hits = 0
 
 
 class _Injection:

@@ -1,0 +1,551 @@
+"""Chaos soak: concurrent mixed traffic against a live fault schedule.
+
+The crash matrix (PR 2) proves every *single* failure point recovers
+to exactly the committed prefix. This harness is its concurrency
+analogue: N worker threads drive mixed traffic — reads, single
+updates, atomic sequences, read-modify-writes, checkpoints — through
+:class:`repro.service.DatabaseService` while a controller thread
+cycles fault phases underneath (injected latency inside the storage
+critical sections, transient I/O errors, a full storage outage that
+trips the circuit breaker, apply-time failures that exercise the
+compensating-abort path). Some requests carry deadlines tight enough
+to be cancelled mid-propagation on purpose.
+
+At the end the harness asserts the system degraded *gracefully* and
+stayed *consistent*:
+
+1. **Zero divergence** — the live state equals a sequential replay of
+   the service's committed-operation log over an identically seeded
+   fresh instance (:func:`repro.faults.harness.states_diff`, the same
+   oracle the crash matrix uses). Every shed, cancelled, refused or
+   failed request left no trace.
+2. **Durability agrees** — strict recovery from the snapshot + WAL
+   reproduces the live state too.
+3. **The breaker breathed** — ``breaker.open`` and ``breaker.closed``
+   action records are present in the JSONL event log (a forced-outage
+   epilogue guarantees the transition happens even if the random
+   schedule missed it).
+4. **Nothing hung** — every worker joined within the wall-clock
+   budget; deadlocks were resolved by detection + retry, not by the
+   operator's Ctrl-C.
+
+Run it: ``python -m repro.faults --soak`` (see ``--help`` for knobs).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.derivation import Derivation
+from repro.core.schema import FunctionDef
+from repro.core.types import TypeFunctionality, ObjectType, compose_functionalities
+from repro.errors import (
+    OperationCancelled,
+    PersistenceError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceReadOnly,
+)
+from repro.faults.harness import states_diff
+from repro.faults.registry import (
+    FAULTS,
+    ErrorFault,
+    LatencyFault,
+    TransientError,
+)
+from repro.fdb import persistence
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.updates import (
+    Update,
+    UpdateSequence,
+    apply_sequence,
+    apply_update,
+)
+from repro.fdb.values import is_null
+from repro.fdb.wal import recover
+from repro.obs.events import FileSink, read_jsonl
+from repro.obs.hooks import OBS
+from repro.service import CircuitBreaker, DatabaseService, RetryPolicy
+from repro.workloads.generator import (
+    WorkloadConfig,
+    random_instance,
+    random_updates,
+)
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak", "soak_database"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Knobs for one soak run. Defaults match the CI smoke job."""
+
+    threads: int = 8
+    ops_per_thread: int = 30
+    seed: int = 0
+    rows_per_function: int = 10
+    value_pool: int = 12
+    faults: bool = True
+    phase_seconds: float = 0.08
+    lock_timeout: float = 0.25
+    queue_timeout: float = 0.5
+    max_concurrent: int = 6
+    max_queue: int = 32
+    tight_deadline: float = 0.003
+    loose_deadline: float = 2.0
+    wall_clock_limit: float = 120.0
+    workdir: str | None = None
+    jsonl: str | None = None  # default: <workdir>/soak-events.jsonl
+
+
+@dataclass
+class SoakReport:
+    """Everything a CI job needs to pass or explain a failure."""
+
+    config: SoakConfig
+    duration: float = 0.0
+    counts: dict = field(default_factory=dict)
+    committed: int = 0
+    divergence: str | None = None
+    recovery_divergence: str | None = None
+    accounting_error: str | None = None
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    breaker_trips: int = 0
+    breaker_resets: int = 0
+    hung_workers: int = 0
+    jsonl_path: str = ""
+    notes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.divergence is None
+            and self.recovery_divergence is None
+            and self.accounting_error is None
+            and self.hung_workers == 0
+            and self.breaker_opens > 0
+            and self.breaker_closes > 0
+        )
+
+    def lines(self) -> list[str]:
+        out = [
+            f"soak: {self.config.threads} threads x "
+            f"{self.config.ops_per_thread} ops, seed "
+            f"{self.config.seed}, {self.duration:.2f}s",
+            "ops: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.counts.items())
+            ),
+            f"committed: {self.committed}",
+            f"breaker: {self.breaker_trips} trips, "
+            f"{self.breaker_resets} resets "
+            f"({self.breaker_opens} open / {self.breaker_closes} "
+            f"closed events in {self.jsonl_path})",
+        ]
+        out.append(
+            "consistency: "
+            + ("ok (state == sequential replay of committed ops)"
+               if self.divergence is None
+               else f"DIVERGED: {self.divergence}")
+        )
+        out.append(
+            "recovery: "
+            + ("ok (snapshot + WAL reproduce live state)"
+               if self.recovery_divergence is None
+               else f"DIVERGED: {self.recovery_divergence}")
+        )
+        if self.accounting_error:
+            out.append(f"accounting: {self.accounting_error}")
+        if self.hung_workers:
+            out.append(f"HUNG WORKERS: {self.hung_workers}")
+        out.extend(self.notes)
+        out.append("soak: " + ("ok" if self.ok else "FAILED"))
+        return out
+
+
+# -- the soak instance --------------------------------------------------------
+
+
+def soak_database(seed: int, rows_per_function: int = 10,
+                  value_pool: int = 12) -> FunctionalDatabase:
+    """A deterministic multi-cluster instance.
+
+    Two independent derivation clusters (chains ``a1 . a2 -> va`` and
+    ``b1 . b2 -> vb``) plus a lone base ``c``: reads and writes on
+    different clusters are concurrent, writes within one contend, and
+    the lone base gives the breaker epilogue a quiet corner.
+    """
+    db = FunctionalDatabase()
+    mm = TypeFunctionality.MANY_MANY
+
+    def chain(prefix: str, derived_name: str) -> None:
+        types = [ObjectType(f"{prefix.upper()}{i}") for i in range(3)]
+        functions = []
+        for i in range(2):
+            definition = FunctionDef(
+                f"{prefix}{i + 1}", types[i], types[i + 1], mm
+            )
+            db.declare_base(definition)
+            functions.append(definition)
+        db.declare_derived(
+            FunctionDef(
+                derived_name, types[0], types[2],
+                compose_functionalities(f.functionality for f in functions),
+            ),
+            Derivation.of(*functions),
+        )
+
+    chain("a", "va")
+    chain("b", "vb")
+    c0, c1 = ObjectType("C0"), ObjectType("C1")
+    db.declare_base(FunctionDef("c", c0, c1, mm))
+    random_instance(db, rows_per_function, seed=seed,
+                    value_pool=value_pool)
+    return db
+
+
+# -- workload -----------------------------------------------------------------
+
+
+def _plan_worker_ops(db: FunctionalDatabase, worker: int,
+                     config: SoakConfig) -> list[tuple]:
+    """Pre-generate one worker's op list against the *initial* state
+    (no unlocked table walks once threads are live). Each op carries
+    its own deadline decided up front, so a run's pressure profile is
+    a function of the seed."""
+    rng = random.Random(config.seed * 7919 + worker)
+    stream = random_updates(
+        db, config.ops_per_thread,
+        WorkloadConfig(seed=config.seed * 104729 + worker,
+                       value_pool=config.value_pool,
+                       fresh_value_rate=0.4),
+    )
+    read_targets = tuple(db.base_names) + tuple(db.derived_names)
+    ops: list[tuple] = []
+    for index in range(config.ops_per_thread):
+        roll = rng.random()
+        if roll < 0.1:
+            deadline = config.tight_deadline
+        elif roll < 0.9:
+            deadline = config.loose_deadline
+        else:
+            deadline = None
+        kind_roll = rng.random()
+        if worker == 0 and index and index % 10 == 0:
+            ops.append(("checkpoint", None, deadline))
+        elif kind_roll < 0.30:
+            name = rng.choice(read_targets)
+            ops.append(("read", name, deadline))
+        elif kind_roll < 0.45:
+            # Read-modify-write on a contended chain base: the shared
+            # -> exclusive upgrade is the deadlock driver.
+            ops.append(("rmw", rng.choice(("a1", "b1")), deadline))
+        elif kind_roll < 0.55 and len(stream) >= 2:
+            first = stream.pop(rng.randrange(len(stream)))
+            second = stream.pop(rng.randrange(len(stream)))
+            ops.append(("seq",
+                        UpdateSequence((first, second),
+                                       label=f"w{worker}.{index}"),
+                        deadline))
+        elif stream:
+            ops.append(("write", stream.pop(rng.randrange(len(stream))),
+                        deadline))
+        else:
+            name = rng.choice(read_targets)
+            ops.append(("read", name, deadline))
+    return ops
+
+
+_OUTCOMES = ("applied", "noop", "shed", "readonly", "cancelled",
+             "contended", "failed_apply", "storage_failed", "closed",
+             "other")
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, ServiceOverloaded):
+        return "shed"
+    if isinstance(exc, ServiceReadOnly):
+        return "readonly"
+    if isinstance(exc, OperationCancelled):
+        return "cancelled"
+    from repro.errors import DeadlockDetected, LockTimeout, ServiceClosed
+
+    if isinstance(exc, (LockTimeout, DeadlockDetected)):
+        return "contended"
+    if isinstance(exc, ServiceClosed):
+        return "closed"
+    if isinstance(exc, (PersistenceError, OSError)):
+        return "storage_failed"
+    if isinstance(exc, RuntimeError):
+        return "failed_apply"  # the apply-phase ErrorFault
+    return "other"
+
+
+def _run_worker(service: DatabaseService, ops: list[tuple],
+                snapshot_path: Path, counts: dict,
+                counts_lock: threading.Lock, errors: list) -> None:
+    local = dict.fromkeys(_OUTCOMES, 0)
+    for kind, payload, deadline in ops:
+        try:
+            if kind == "read":
+                name = payload
+                service.read((name,),
+                             lambda db, n=name: db.extension(n),
+                             deadline=deadline)
+                local["applied"] += 1
+            elif kind == "rmw":
+                name = payload
+
+                def build(db, n=name):
+                    # Only plain (non-null) pairs: NVC facts carry
+                    # indexed nulls, which are not REP targets here.
+                    pairs = sorted(
+                        p for p in db.table(n).pairs()
+                        if not (is_null(p[0]) or is_null(p[1]))
+                    )
+                    if not pairs:
+                        return None
+                    x, y = pairs[0]
+                    return Update.rep(n, (x, y), (x, f"{y}~r"))
+
+                applied = service.read_modify_write((name,), build,
+                                                    deadline=deadline)
+                local["applied" if applied is not None else "noop"] += 1
+            elif kind == "checkpoint":
+                service.checkpoint(snapshot_path)
+                local["applied"] += 1
+            else:  # "write" | "seq"
+                service.execute(payload, deadline=deadline)
+                local["applied"] += 1
+        except ReproError as exc:
+            local[_classify(exc)] += 1
+        except (RuntimeError, OSError) as exc:
+            local[_classify(exc)] += 1
+        except BaseException as exc:  # pragma: no cover - harness bug
+            errors.append(exc)
+            raise
+    with counts_lock:
+        for key, value in local.items():
+            counts[key] = counts.get(key, 0) + value
+
+
+# -- fault phases -------------------------------------------------------------
+
+
+def _phase_schedule(config: SoakConfig) -> list[tuple[str, list[tuple]]]:
+    """(name, [(point, fault), ...]) cycles for the controller."""
+    seed = config.seed
+    return [
+        ("quiet", []),
+        ("latency", [
+            ("storage.append.payload",
+             LatencyFault(0.002, jitter=0.004, seed=seed)),
+            ("storage.atomic.payload",
+             LatencyFault(0.002, jitter=0.004, seed=seed + 1)),
+        ]),
+        ("transient", [
+            ("wal.append.before", TransientError(times=2)),
+        ]),
+        ("quiet", []),
+        ("outage", [
+            ("wal.append.before", TransientError(times=10 ** 6)),
+        ]),
+        ("apply_error", [
+            ("wal.apply.before", ErrorFault(times=3)),
+        ]),
+    ]
+
+
+def _controller(config: SoakConfig, stop: threading.Event) -> None:
+    schedule = _phase_schedule(config)
+    index = 0
+    while not stop.is_set():
+        name, arms = schedule[index % len(schedule)]
+        for point, fault in arms:
+            FAULTS.arm(point, fault)
+        if OBS.enabled:
+            OBS.action("soak.phase", phase=name)
+        stop.wait(config.phase_seconds)
+        for point, _ in arms:
+            FAULTS.disarm(point)
+        index += 1
+    FAULTS.disarm_all()
+
+
+# -- the run ------------------------------------------------------------------
+
+
+def _force_breaker_cycle(service: DatabaseService,
+                         report: SoakReport) -> None:
+    """Deterministically produce one OPEN and one CLOSED transition if
+    the random schedule did not: arm a hard outage, write until the
+    breaker trips, disarm, write until it closes. The successful
+    writes land in the committed log like any others."""
+    if service.breaker.trips == 0:
+        FAULTS.arm("wal.append.before", TransientError(times=10 ** 6))
+        try:
+            for attempt in range(20):
+                try:
+                    service.insert("c", "C0_ep", f"C1_ep{attempt}",
+                                   deadline=5.0)
+                except (PersistenceError, OSError, ServiceReadOnly):
+                    pass
+                if service.breaker.trips > 0:
+                    break
+            else:
+                report.notes.append(
+                    "note: forced outage never tripped the breaker"
+                )
+        finally:
+            FAULTS.disarm("wal.append.before")
+    if service.breaker.resets == 0:
+        for attempt in range(50):
+            try:
+                service.insert("c", "C0_reset", f"C1_reset{attempt}",
+                               deadline=5.0)
+            except ServiceReadOnly:
+                time.sleep(service.breaker.reset_timeout / 2)
+                continue
+            break
+        else:
+            report.notes.append(
+                "note: breaker never closed after forced outage"
+            )
+
+
+def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
+    """One full soak run; see the module docstring for the checks."""
+    workdir = Path(config.workdir or
+                   tempfile.mkdtemp(prefix="fdb-soak-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    jsonl = Path(config.jsonl or workdir / "soak-events.jsonl")
+    snapshot_path = workdir / "snapshot.json"
+    wal_path = workdir / "updates.wal"
+    report = SoakReport(config=config, jsonl_path=str(jsonl))
+
+    db = soak_database(config.seed, config.rows_per_function,
+                       config.value_pool)
+    # Baseline snapshot so strict recovery works even if no worker
+    # checkpoint lands before a failure.
+    persistence.save(db, snapshot_path, wal_applied=0)
+
+    service = DatabaseService(
+        db,
+        log=wal_path,
+        lock_timeout=config.lock_timeout,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay=0.004, max_delay=0.05,
+            jitter=0.004,
+            retryable=RetryPolicy().retryable + (PersistenceError,),
+        ),
+        max_concurrent=config.max_concurrent,
+        max_queue=config.max_queue,
+        queue_timeout=config.queue_timeout,
+        breaker=CircuitBreaker(failure_threshold=3, reset_timeout=0.1),
+        seed=config.seed,
+    )
+
+    plans = [_plan_worker_ops(db, worker, config)
+             for worker in range(config.threads)]
+
+    sink = FileSink(jsonl)
+    was_enabled = OBS.enabled
+    OBS.events.add_sink(sink)
+    OBS.enable()
+    started = time.monotonic()
+    counts: dict[str, int] = {}
+    counts_lock = threading.Lock()
+    harness_errors: list = []
+    stop_controller = threading.Event()
+    controller = None
+    try:
+        if config.faults:
+            controller = threading.Thread(
+                target=_controller, args=(config, stop_controller),
+                name="soak-controller", daemon=True,
+            )
+            controller.start()
+        workers = [
+            threading.Thread(
+                target=_run_worker,
+                args=(service, plans[i], snapshot_path, counts,
+                      counts_lock, harness_errors),
+                name=f"soak-worker-{i}", daemon=True,
+            )
+            for i in range(config.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        budget = started + config.wall_clock_limit
+        for worker in workers:
+            worker.join(max(budget - time.monotonic(), 0.1))
+        report.hung_workers = sum(1 for w in workers if w.is_alive())
+        stop_controller.set()
+        if controller is not None:
+            controller.join(config.phase_seconds * 2 + 1.0)
+        FAULTS.disarm_all()
+        if report.hung_workers == 0 and not harness_errors:
+            _force_breaker_cycle(service, report)
+        service.drain(timeout=10.0)
+    finally:
+        stop_controller.set()
+        FAULTS.disarm_all()
+        if not was_enabled:
+            OBS.disable()
+        OBS.events.remove_sink(sink)
+    report.duration = time.monotonic() - started
+    report.counts = counts
+    for exc in harness_errors:
+        report.notes.append(f"harness error: {exc!r}")
+
+    # -- verification --------------------------------------------------------
+    committed = service.committed_ops()
+    report.committed = len(committed)
+    report.breaker_trips = service.breaker.trips
+    report.breaker_resets = service.breaker.resets
+
+    expected = soak_database(config.seed, config.rows_per_function,
+                             config.value_pool)
+    for op in committed:
+        if isinstance(op, UpdateSequence):
+            apply_sequence(expected, op)
+        else:
+            apply_update(expected, op)
+    report.divergence = states_diff(expected, db)
+
+    try:
+        recovered = recover(snapshot_path, wal_path, policy="strict")
+        report.recovery_divergence = states_diff(recovered.db, db)
+    except (PersistenceError, OSError) as exc:
+        report.recovery_divergence = f"recovery failed: {exc}"
+
+    # Accounting: applied ops from workers plus the epilogue's writes
+    # must equal the committed log plus worker reads/checkpoints
+    # (which commit nothing); everything else committed nothing.
+    stats = service.stats()
+    records = read_jsonl(jsonl)
+    report.breaker_opens = sum(
+        1 for r in records if r.kind == "action" and r.name == "breaker.open"
+    )
+    report.breaker_closes = sum(
+        1 for r in records
+        if r.kind == "action" and r.name == "breaker.closed"
+    )
+    total_ops = sum(counts.values())
+    planned = sum(len(plan) for plan in plans)
+    if report.hung_workers == 0 and total_ops != planned:
+        report.accounting_error = (
+            f"workers reported {total_ops} outcomes for {planned} "
+            f"planned ops"
+        )
+    report.notes.append(
+        f"service: {stats['retries']} retries, "
+        f"{stats['deadlocks']} deadlocks, "
+        f"{stats['lock_timeouts']} lock timeouts, "
+        f"{stats['shed']} shed"
+    )
+    return report

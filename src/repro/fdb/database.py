@@ -21,6 +21,7 @@ consistent with those derivations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -101,6 +102,13 @@ class FunctionalDatabase:
         self._derived: dict[str, DerivedFunction] = {}
         self.nulls = NullFactory()
         self.ncs = NCRegistry(self.table)
+        # One open transaction per database: the snapshot/restore model
+        # covers the whole instance, so overlapping snapshots (from a
+        # second thread, or a nested ``with db.transaction():``) would
+        # silently clobber each other on rollback. Guarded state lives
+        # on the db so every Transaction object sees the same owner.
+        self._txn_guard = threading.Lock()
+        self._txn_owner: int | None = None
 
     # -- schema construction ------------------------------------------------
 

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro import cancel
 from repro.core.derivation import Derivation, Op
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.facts import Fact, FactRef
@@ -182,13 +183,21 @@ def iter_chains(
             )
 
     if not OBS.enabled:
-        yield from extend(0, (), None, True)
+        if not cancel.cancellation_active():
+            # Fast path byte-identical to the pre-service engine: no
+            # per-chain work when neither OBS nor a deadline is live.
+            yield from extend(0, (), None, True)
+            return
+        for chain in extend(0, (), None, True):
+            cancel.checkpoint()
+            yield chain
         return
     # Instrumented path: count enumerations and every chain yielded.
     # Per-yield counting stays correct when a consumer abandons the
     # generator early (exists_nvc stops at the first NVC).
     OBS.inc("fdb.chains.enumerations")
     for chain in extend(0, (), None, True):
+        cancel.checkpoint()
         OBS.inc("fdb.chains.enumerated")
         yield chain
 

@@ -29,6 +29,7 @@ from typing import Callable
 
 from repro.errors import ConstraintViolation, SchemaError
 from repro.fdb.database import FunctionalDatabase
+from repro.fdb.transaction import atomic
 from repro.fdb.updates import Update, apply_update
 from repro.fdb.values import Value, is_null
 
@@ -221,7 +222,7 @@ class ConstraintSet:
     def guarded(self, db: FunctionalDatabase, update: Update) -> None:
         """Apply ``update`` atomically; roll back and raise
         :class:`ConstraintViolation` if any constraint breaks."""
-        with db.transaction():
+        with atomic(db):
             apply_update(db, update)
             violations = self.check(db)
             if violations:

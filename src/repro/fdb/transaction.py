@@ -20,7 +20,9 @@ transaction are stale after a rollback; re-fetch through
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import nullcontext
 from types import TracebackType
 
 from repro.errors import TransactionError
@@ -30,7 +32,7 @@ from repro.fdb.nc import NCRegistry
 from repro.fdb.values import NullFactory
 from repro.obs.hooks import OBS
 
-__all__ = ["Transaction"]
+__all__ = ["Transaction", "atomic"]
 
 
 FAULTS.register(
@@ -80,14 +82,38 @@ class Transaction:
     def __enter__(self) -> "Transaction":
         if self._snapshot is not None:
             raise TransactionError("transaction already entered")
-        obs_on = OBS.enabled
-        if obs_on:
-            OBS.inc("fdb.txn.begun")
-            started = time.perf_counter()
-        self._snapshot = _snapshot_state(self._db)
-        if obs_on:
-            OBS.observe("fdb.txn.snapshot_seconds",
-                        time.perf_counter() - started)
+        db = self._db
+        me = threading.get_ident()
+        with db._txn_guard:
+            owner = db._txn_owner
+            if owner is not None:
+                if owner == me:
+                    raise TransactionError(
+                        "nested transaction: this thread already holds "
+                        "an open transaction on this database (use "
+                        "repro.fdb.transaction.atomic() for scopes that "
+                        "may run inside a transaction)"
+                    )
+                raise TransactionError(
+                    "concurrent transaction: another thread holds an "
+                    "open transaction on this database (route updates "
+                    "through repro.service.DatabaseService to serialise "
+                    "writers)"
+                )
+            db._txn_owner = me
+        try:
+            obs_on = OBS.enabled
+            if obs_on:
+                OBS.inc("fdb.txn.begun")
+                started = time.perf_counter()
+            self._snapshot = _snapshot_state(db)
+            if obs_on:
+                OBS.observe("fdb.txn.snapshot_seconds",
+                            time.perf_counter() - started)
+        except BaseException:
+            with db._txn_guard:
+                db._txn_owner = None
+            raise
         return self
 
     def __exit__(
@@ -100,14 +126,31 @@ class Transaction:
         if snapshot is None:
             raise TransactionError("transaction never entered")
         self._snapshot = None
-        if exc_type is None:
+        try:
+            if exc_type is None:
+                if OBS.enabled:
+                    OBS.inc("fdb.txn.committed")
+                FAULTS.fire("txn.commit")
+                return False
             if OBS.enabled:
-                OBS.inc("fdb.txn.committed")
-            FAULTS.fire("txn.commit")
-            return False
-        if OBS.enabled:
-            OBS.inc("fdb.txn.rolled_back")
-            OBS.event("txn.rollback", reason=exc_type.__name__)
-        FAULTS.fire("txn.rollback.before-restore")
-        _restore_state(self._db, snapshot)
-        return False  # re-raise
+                OBS.inc("fdb.txn.rolled_back")
+                OBS.event("txn.rollback", reason=exc_type.__name__)
+            FAULTS.fire("txn.rollback.before-restore")
+            _restore_state(self._db, snapshot)
+            return False  # re-raise
+        finally:
+            with self._db._txn_guard:
+                self._db._txn_owner = None
+
+
+def atomic(db: FunctionalDatabase):
+    """An atomic scope that composes: a fresh :class:`Transaction`, or
+    a no-op when the calling thread already holds this database's open
+    transaction (the enclosing transaction's rollback covers the inner
+    scope). Multi-step operations (``REP``, update sequences,
+    constraint guards) use this so they are atomic stand-alone *and*
+    legal inside a wider transaction such as the WAL's write-ahead
+    wrapper."""
+    if db._txn_owner == threading.get_ident():
+        return nullcontext()
+    return Transaction(db)

@@ -40,11 +40,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import cancel
 from repro.errors import UpdateError
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.evaluate import iter_chains, truth_of_derived
 from repro.fdb.logic import Truth
 from repro.fdb.nvc import clean_up_nvc, create_nvc, exists_nvc
+from repro.fdb.transaction import atomic
 from repro.fdb.values import Value, format_value
 from repro.obs.hooks import OBS
 
@@ -155,6 +157,9 @@ def derived_delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> Non
         OBS.inc("fdb.updates.derived_delete")
         OBS.event("chains.matched", function=name, count=len(chains))
     for chain in chains:
+        # Cancellation boundary: each chain's side-effects (a delete or
+        # an NC) are complete before the next checkpoint may abort.
+        cancel.checkpoint()
         if obs_on:
             OBS.event("chain.evaluated", chain=str(chain))
         conjuncts = chain.conjuncts()
@@ -198,6 +203,7 @@ def _update_cause() -> str:
 
 def insert(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """INS(f, <x, y>)."""
+    cancel.checkpoint()
     if OBS.enabled:
         OBS.inc("fdb.updates.insert")
         with OBS.span("update.insert", key=name, cause=_update_cause(),
@@ -227,6 +233,7 @@ def _dispatch_insert(db: FunctionalDatabase, name: str,
 
 def delete(db: FunctionalDatabase, name: str, x: Value, y: Value) -> None:
     """DEL(f, <x, y>)."""
+    cancel.checkpoint()
     if OBS.enabled:
         OBS.inc("fdb.updates.delete")
         with OBS.span("update.delete", key=name, cause=_update_cause(),
@@ -254,16 +261,20 @@ def replace(
     """REP(f, <x1, y1>, <x2, y2>): atomic delete of the old pair and
     insert of the new one (Section 3 lists replace as the third update
     type; its semantics follow from the other two)."""
+    # atomic(), not db.transaction(): a REP arriving through the WAL's
+    # write-ahead wrapper already runs inside that wrapper's
+    # transaction, and a second snapshot would be misuse.
+    cancel.checkpoint()
     if OBS.enabled:
         OBS.inc("fdb.updates.replace")
         with OBS.span("update.replace", key=name, cause=_update_cause(),
                       slow_detail=lambda: _update_detail(db, name),
                       function=name):
-            with db.transaction():
+            with atomic(db):
                 delete(db, name, *old)
                 insert(db, name, *new)
         return
-    with db.transaction():
+    with atomic(db):
         delete(db, name, *old)
         insert(db, name, *new)
 
@@ -352,6 +363,6 @@ class UpdateSequence:
 def apply_sequence(db: FunctionalDatabase,
                    sequence: UpdateSequence) -> None:
     """Execute a general update request atomically."""
-    with db.transaction():
+    with atomic(db):
         for update in sequence:
             apply_update(db, update)

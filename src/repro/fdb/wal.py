@@ -57,12 +57,14 @@ asserts recovery reproduces exactly the committed prefix.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from repro import cancel
 from repro.errors import PersistenceError
 from repro.faults.registry import FAULTS
 from repro.fdb import persistence, storage
@@ -240,23 +242,29 @@ class UpdateLog:
         self.backoff = backoff
         self._next_seq: int | None = None  # lazy: scanned on first use
         self._cache: tuple[int, int] | None = None  # (file size, count)
+        self._seq_lock = threading.Lock()
 
     # -- appending ----------------------------------------------------------
 
     def append(self, update: Update | UpdateSequence) -> int:
         """Durably append one update record; returns its sequence
         number."""
+        # Cancellation boundary: *before* the sequence number is
+        # claimed. Once the record write starts, the append runs to
+        # completion (or fails on its own terms) — a deadline must not
+        # be able to leave a claimed-but-unwritten sequence number.
+        cancel.checkpoint()
         seq = self._claim_seq()
         line = _frame({"seq": seq, "entry": _encode_entry(update)})
         if not OBS.enabled:
-            self._write_line(line)
+            self._write_claimed(seq, line)
             self._note_appended(committed=1)
             return seq
         # Instrumented path: count appends and time the full durable
         # write (open + write + flush + fsync), the WAL's ack cost.
         OBS.inc("fdb.wal.appends")
         started = time.perf_counter()
-        self._write_line(line)
+        self._write_claimed(seq, line)
         OBS.observe("fdb.wal.append_seconds",
                     time.perf_counter() - started)
         OBS.event("wal.append", entry=str(update))
@@ -264,10 +272,14 @@ class UpdateLog:
         return seq
 
     def append_abort(self, seq: int) -> None:
-        """Compensate a record that was logged but never applied."""
+        """Compensate a record that was logged but never applied.
+
+        Never checkpointed for cancellation: compensation must run even
+        (especially) when the request that needs it is past deadline.
+        """
         abort_seq = self._claim_seq()
         line = _frame({"seq": abort_seq, "abort_of": seq})
-        self._write_line(line)
+        self._write_claimed(abort_seq, line)
         if OBS.enabled:
             OBS.inc("fdb.wal.aborts")
             OBS.event("wal.abort", aborted_seq=seq)
@@ -275,11 +287,30 @@ class UpdateLog:
         self._note_appended(committed=-1)
 
     def _claim_seq(self) -> int:
-        if self._next_seq is None:
-            self._next_seq = self._scan("salvage").max_seq + 1
-        seq = self._next_seq
-        self._next_seq += 1
-        return seq
+        with self._seq_lock:
+            if self._next_seq is None:
+                self._next_seq = self._scan("salvage").max_seq + 1
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def _write_claimed(self, seq: int, line: str) -> None:
+        """Write a record whose sequence number is already claimed,
+        unclaiming it if the write never lands.
+
+        Without the rollback, a failed write (retries exhausted during
+        a storage outage) would leave ``_next_seq`` advanced past a
+        record that does not exist, and the next successful append
+        would commit a sequence *gap* — which strict recovery rightly
+        refuses to replay.
+        """
+        try:
+            self._write_line(line)
+        except BaseException:
+            with self._seq_lock:
+                if self._next_seq == seq + 1:
+                    self._next_seq = seq
+            raise
 
     def _write_line(self, line: str) -> None:
         """The durable write, with transient-error retry."""
@@ -518,12 +549,14 @@ class UpdateLog:
         """
         if next_seq is None or next_seq <= 1:
             storage.atomic_write(self.path, "")
-            self._next_seq = 1
+            with self._seq_lock:
+                self._next_seq = 1
         else:
             header = _frame({"seq": next_seq - 1,
                              "header": {"next_seq": next_seq}})
             storage.atomic_write(self.path, header + "\n")
-            self._next_seq = next_seq
+            with self._seq_lock:
+                self._next_seq = next_seq
         self._cache = (self.path.stat().st_size, 0)
 
     def __len__(self) -> int:
@@ -591,7 +624,7 @@ class LoggedDatabase:
             FAULTS.fire("wal.abort.append")
             try:
                 self.log.append_abort(seq)
-            except OSError:
+            except (OSError, PersistenceError):
                 # Disk went away mid-compensation; replay will re-apply
                 # the entry (its intent was durable and deterministic).
                 # Count it so operators can see the window was hit.

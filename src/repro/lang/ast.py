@@ -31,6 +31,7 @@ __all__ = [
     "Stats",
     "Trace",
     "SlowLogCmd",
+    "DeadlineCmd",
     "Resolve",
     "Save",
     "Load",
@@ -212,6 +213,20 @@ class SlowLogCmd(Statement):
 
     mode: str  # "show" | "query" | "update" | "off" | "clear"
     threshold: float | None = None
+
+
+@dataclass(frozen=True)
+class DeadlineCmd(Statement):
+    """``deadline [SECONDS | off]`` — per-statement execution deadline.
+
+    ``deadline 0.5`` bounds every subsequent statement to half a
+    second of wall clock (updates that overrun abort cleanly via the
+    transaction machinery); ``deadline off`` removes the bound; bare
+    ``deadline`` reports the current setting.
+    """
+
+    mode: str  # "set" | "off" | "show"
+    seconds: float | None = None
 
 
 @dataclass(frozen=True)

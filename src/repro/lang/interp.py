@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.cancel import deadline_scope
 from repro.errors import ConstraintViolation, DesignError, ReproError
 from repro.core.design_aid import AutoDesigner, Designer, DesignSession
 from repro.core.dot import design_to_dot
@@ -78,6 +79,7 @@ Inspection:
   slowlog query 0.5      capture queries slower than 0.5 s
   slowlog update 0.5     capture updates slower than 0.5 s
   slowlog off | clear    disable thresholds / drop records
+  deadline 0.5 | off     bound each statement to 0.5 s of wall clock
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -123,6 +125,7 @@ class Interpreter:
         self._pending: list[Update] | None = None  # open begin-block
         self._design_dirty = False
         self._notice = on_notice
+        self.deadline_seconds: float | None = None
 
     # -- public API ----------------------------------------------------------
 
@@ -150,7 +153,14 @@ class Interpreter:
             raise DesignError(
                 f"no handler for statement {type(statement).__name__}"
             )
-        return handler(statement)
+        if (self.deadline_seconds is None
+                or isinstance(statement, ast.DeadlineCmd)):
+            return handler(statement)
+        # An overrunning update raises DeadlineExceeded from inside the
+        # engine's transaction scope, so the rollback has already run
+        # by the time the error surfaces here.
+        with deadline_scope(self.deadline_seconds):
+            return handler(statement)
 
     # -- design ------------------------------------------------------------------
 
@@ -597,6 +607,18 @@ class Interpreter:
             return ["slowlog inactive -- set a threshold with "
                     "'slowlog query 0.5' or 'slowlog update 0.5'"]
         return render_slowlog(slowlog.snapshot()).splitlines()
+
+    def _run_deadlinecmd(self, statement: ast.DeadlineCmd) -> list[str]:
+        if statement.mode == "set":
+            self.deadline_seconds = statement.seconds
+            return [f"deadline: statements limited to "
+                    f"{statement.seconds}s"]
+        if statement.mode == "off":
+            self.deadline_seconds = None
+            return ["deadline off"]
+        if self.deadline_seconds is None:
+            return ["deadline off -- set one with 'deadline 0.5'"]
+        return [f"deadline: {self.deadline_seconds}s per statement"]
 
     # -- maintenance -----------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "trace" ("on" | "off" | "show" [ "--dot" STRING ])
                 | "slowlog" [ ("query"|"update") NUMBER
                             | "off" | "clear" ]
+                | "deadline" [ NUMBER | "off" ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -124,6 +125,7 @@ class _Parser:
             "stats": lambda: self._nullary(ast.Stats),
             "trace": self._parse_trace,
             "slowlog": self._parse_slowlog,
+            "deadline": self._parse_deadline,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -445,6 +447,18 @@ class _Parser:
             mode = self._advance().text
             return ast.SlowLogCmd(mode, self._parse_number())
         return ast.SlowLogCmd("show")
+
+    def _parse_deadline(self) -> ast.DeadlineCmd:
+        self._advance()  # deadline
+        if self._at_name("off"):
+            self._advance()
+            return ast.DeadlineCmd("off")
+        if self.current.kind == "NUMBER":
+            seconds = self._parse_number()
+            if seconds <= 0:
+                raise self._error("deadline must be positive")
+            return ast.DeadlineCmd("set", seconds)
+        return ast.DeadlineCmd("show")
 
     # -- values ------------------------------------------------------------------------------
 

@@ -9,7 +9,9 @@ cycle), exactly the interaction Section 2.3 narrates.
 
 Run ``fdb-repl`` (installed by the package) or
 ``python -m repro.lang.repl``. Pass a script path to execute it before
-entering the loop; ``--batch`` exits after the script.
+entering the loop; ``--batch`` exits after the script;
+``--deadline SECONDS`` bounds every statement's wall clock (same as
+the ``deadline`` command).
 """
 
 from __future__ import annotations
@@ -113,7 +115,19 @@ def main(argv: list[str] | None = None) -> int:
     batch = "--batch" in args
     if batch:
         args.remove("--batch")
+    deadline: float | None = None
+    if "--deadline" in args:
+        at = args.index("--deadline")
+        try:
+            deadline = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("--deadline requires a number of seconds",
+                  file=sys.stderr)
+            return 2
+        del args[at:at + 2]
     repl = Repl()
+    if deadline is not None:
+        repl.interpreter.deadline_seconds = deadline
     for path in args:
         repl.run_script(Path(path).read_text(encoding="utf-8"))
     if not batch:

@@ -1,0 +1,477 @@
+"""The thread-safe execution layer over :class:`FunctionalDatabase`.
+
+The engine beneath is strictly single-caller: one ``DEL`` on a derived
+function fans out NC/NVC side-effects, and :class:`Transaction`'s
+snapshot/restore covers the *whole* instance (all tables plus the
+global NC and null counters). :class:`DatabaseService` makes that
+engine safe to share:
+
+**Locking.** Functions partition into *derivation clusters* — the
+connected components of the graph joining every derived function to
+the bases of its derivations. All of an update's side-effects stay
+inside its cluster: a base update touches its own table and NCs whose
+conjuncts are facts of sibling bases in some derivation (same
+component by construction); a derived update walks chains of exactly
+those bases. Reads take their clusters shared; writes take theirs
+exclusive, so readers of disjoint clusters never contend and a reader
+never observes a half-propagated NC set.
+
+**Write serialisation.** Writers additionally hold the global
+``__write__`` resource. This is not timidity but the rollback model:
+a transaction abort restores *every* table and the *global* counters,
+which would clobber a concurrent writer's committed work; and the
+null/NC indices a replay allocates must match the live run's, which
+only a total commit order guarantees. Writes to different clusters
+therefore serialise, while reads run concurrently with each other and
+with writes to other clusters. The payoff is the soak harness's
+oracle: final state ≡ *exact* sequential replay of the committed-op
+log, byte for byte, indexed nulls included.
+
+**Degradation.** Admission (bounded queue, shedding) in front;
+deadlines (cooperative cancellation through chain enumeration,
+propagation and WAL appends) within; retry with capped backoff around
+lock timeouts, deadlock victims and transient storage errors; a
+circuit breaker that converts a dead log device into fast
+:class:`ServiceReadOnly` rejections instead of a convoy; and a drain
+that stops admissions, waits the executing tail out, and leaves the
+database consistent.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.cancel import Deadline, deadline_scope
+from repro.errors import DeadlockDetected, LockTimeout, PersistenceError
+from repro.fdb import wal as wal_module
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.logic import Truth
+from repro.fdb.transaction import Transaction
+from repro.fdb.updates import Update, UpdateSequence, apply_update
+from repro.fdb.values import Value
+from repro.obs.hooks import OBS
+from repro.service.admission import AdmissionGate
+from repro.service.breaker import CircuitBreaker
+from repro.service.locks import EXCLUSIVE, SHARED, LockManager
+from repro.service.retry import DEFAULT_RETRYABLE, RetryPolicy
+
+__all__ = ["DatabaseService", "WRITE_RESOURCE"]
+
+# Sorts before every "fn:..." cluster resource, so the lock manager's
+# sorted acquisition order is: write token first, then clusters.
+WRITE_RESOURCE = "__write__"
+
+_WRITE_RETRYABLE = DEFAULT_RETRYABLE + (PersistenceError,)
+
+
+def _clusters(db: FunctionalDatabase) -> dict[str, str]:
+    """function name -> cluster resource, by union-find over each
+    derived function joined with the bases of its derivations."""
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[name] != root:  # path compression
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for name in db.base_names:
+        find(name)
+    for derived in db.derived_functions():
+        find(derived.name)
+        for derivation in derived.derivations:
+            for step in derivation.steps:
+                union(derived.name, step.function.name)
+    return {name: f"fn:{find(name)}" for name in parent}
+
+
+def _touched(update: Update | UpdateSequence) -> set[str]:
+    if isinstance(update, UpdateSequence):
+        return {simple.function for simple in update}
+    return {update.function}
+
+
+class DatabaseService:
+    """Concurrent front door for one :class:`FunctionalDatabase`.
+
+    With ``log`` attached, writes go through the write-ahead wrapper
+    (:class:`repro.fdb.wal.LoggedDatabase`) and the circuit breaker
+    guards the storage path; without one, writes still serialise and
+    roll back on failure, but nothing is durable.
+    """
+
+    def __init__(
+        self,
+        db: FunctionalDatabase,
+        *,
+        log: wal_module.UpdateLog | str | Path | None = None,
+        lock_timeout: float = 1.0,
+        default_deadline: float | None = None,
+        retry: RetryPolicy | None = None,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 1.0,
+        breaker: CircuitBreaker | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.logged: wal_module.LoggedDatabase | None = None
+        if log is not None:
+            self.logged = wal_module.LoggedDatabase(db, log)
+        self.locks = LockManager(default_timeout=lock_timeout)
+        self.lock_timeout = lock_timeout
+        self.default_deadline = default_deadline
+        self.retry = retry or RetryPolicy(retryable=_WRITE_RETRYABLE)
+        self.gate = AdmissionGate(max_concurrent=max_concurrent,
+                                  max_queue=max_queue,
+                                  queue_timeout=queue_timeout)
+        self.breaker = breaker or CircuitBreaker()
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._cluster_of = _clusters(db)
+        # Commit-ordered log of every update this service applied;
+        # appended while the writer still holds __write__, so replaying
+        # it sequentially reproduces the live state exactly.
+        self.committed: list[Update | UpdateSequence] = []
+        self._committed_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "reads": 0, "writes": 0, "retries": 0, "deadlocks": 0,
+            "lock_timeouts": 0, "cancelled": 0, "checkpoints": 0,
+        }
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += by
+
+    def _deadline(self, deadline: Deadline | float | None) -> Deadline | None:
+        if deadline is None:
+            if self.default_deadline is None:
+                return None
+            return Deadline(self.default_deadline)
+        if isinstance(deadline, Deadline):
+            return deadline
+        return Deadline(deadline)
+
+    def cluster_of(self, name: str) -> str:
+        """The lock resource guarding ``name`` (exposed for tests)."""
+        try:
+            return self._cluster_of[name]
+        except KeyError:
+            # A function declared after service construction; map it
+            # now. Schema changes are rare and single-threaded by
+            # convention, so rebuilding the whole map is fine.
+            self._cluster_of = _clusters(self.db)
+            return self._cluster_of[name]
+
+    def _clusters_for(self, names: Iterable[str]) -> set[str]:
+        return {self.cluster_of(name) for name in names}
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, names: Iterable[str],
+             fn: Callable[[FunctionalDatabase], object], *,
+             deadline: Deadline | float | None = None) -> object:
+        """Run ``fn(db)`` while the clusters of ``names`` are held
+        shared. ``fn`` must not mutate."""
+        limit = self._deadline(deadline)
+        self.gate.enter(deadline=limit)
+        try:
+            self._bump("reads")
+            if OBS.enabled:
+                OBS.inc("service.reads")
+            with self.locks.held(self._clusters_for(names), SHARED,
+                                 timeout=self.lock_timeout,
+                                 deadline=limit):
+                with deadline_scope(limit):
+                    return fn(self.db)
+        finally:
+            self.gate.leave()
+
+    def truth_of(self, name: str, x: Value, y: Value, *,
+                 deadline: Deadline | float | None = None) -> Truth:
+        return self.read(
+            (name,), lambda db: db.truth_of(name, x, y),
+            deadline=deadline,
+        )
+
+    def extension(self, name: str, *,
+                  deadline: Deadline | float | None = None):
+        return self.read(
+            (name,), lambda db: db.extension(name), deadline=deadline,
+        )
+
+    # -- writes -------------------------------------------------------------
+
+    def execute(self, update: Update | UpdateSequence, *,
+                deadline: Deadline | float | None = None) -> None:
+        """Apply one update (or atomic sequence), durably when a log
+        is attached. Retries lock timeouts, deadlock victimhood and
+        transient storage failures under the service's
+        :class:`RetryPolicy`; raises the final error when the policy
+        gives up."""
+        limit = self._deadline(deadline)
+        clusters = self._clusters_for(_touched(update))
+        self.gate.enter(deadline=limit)
+        try:
+            self._bump("writes")
+            if OBS.enabled:
+                OBS.inc("service.writes")
+            self.retry.run(
+                lambda: self._write_once(update, clusters, limit),
+                rng=self._locked_rng(),
+                deadline=limit,
+                on_retry=self._on_retry,
+            )
+        finally:
+            self.gate.leave()
+
+    def _locked_rng(self) -> random.Random:
+        # random.Random is internally consistent enough for jitter, but
+        # seed-reproducibility wants serialized draws.
+        return _LockedRandom(self._rng, self._rng_lock)
+
+    def _on_retry(self, attempt: int, exc: BaseException) -> None:
+        self._bump("retries")
+        if OBS.enabled:
+            OBS.inc("service.retries")
+            OBS.event("service.retry", attempt=attempt,
+                      error=type(exc).__name__)
+        if isinstance(exc, DeadlockDetected):
+            self._bump("deadlocks")
+            # The victim contract: drop everything before backing off.
+            self.locks.release_all()
+        elif isinstance(exc, LockTimeout):
+            self._bump("lock_timeouts")
+
+    def _write_once(self, update: Update | UpdateSequence,
+                    clusters: set[str], limit: Deadline | None) -> None:
+        gated = self.logged is not None
+        if gated:
+            self.breaker.allow()
+        storage_verdict = False
+        try:
+            with self.locks.held({WRITE_RESOURCE} | clusters, EXCLUSIVE,
+                                 timeout=self.lock_timeout,
+                                 deadline=limit):
+                with deadline_scope(limit):
+                    if self.logged is not None:
+                        try:
+                            self.logged.execute(update)
+                        except (OSError, PersistenceError) as exc:
+                            storage_verdict = True
+                            self.breaker.record_failure(exc)
+                            raise
+                        storage_verdict = True
+                        self.breaker.record_success()
+                    else:
+                        with Transaction(self.db):
+                            if isinstance(update, UpdateSequence):
+                                for simple in update:
+                                    apply_update(self.db, simple)
+                            else:
+                                apply_update(self.db, update)
+                # Still holding __write__: commit order == list order.
+                with self._committed_lock:
+                    self.committed.append(update)
+        finally:
+            if gated and not storage_verdict:
+                self.breaker.release_probe()
+
+    def insert(self, name: str, x: Value, y: Value, *,
+               deadline: Deadline | float | None = None) -> None:
+        self.execute(Update.ins(name, x, y), deadline=deadline)
+
+    def delete(self, name: str, x: Value, y: Value, *,
+               deadline: Deadline | float | None = None) -> None:
+        self.execute(Update.delete(name, x, y), deadline=deadline)
+
+    def replace(self, name: str, old: tuple[Value, Value],
+                new: tuple[Value, Value], *,
+                deadline: Deadline | float | None = None) -> None:
+        self.execute(Update.rep(name, old, new), deadline=deadline)
+
+    # -- read-modify-write --------------------------------------------------
+
+    def read_modify_write(
+        self,
+        names: Iterable[str],
+        build: Callable[[FunctionalDatabase], Update | UpdateSequence | None],
+        *,
+        deadline: Deadline | float | None = None,
+    ) -> Update | UpdateSequence | None:
+        """Read under shared locks, build an update from what was seen,
+        upgrade to exclusive, apply atomically.
+
+        The upgrade is the textbook deadlock generator (two holders of
+        the same shared cluster upgrading at once wait on each other);
+        the lock manager detects the cycle and this method's retry
+        drops everything and redoes the *read*, so the update is always
+        built from state it still holds the locks for. Returns the
+        update applied, or None when ``build`` declined."""
+        limit = self._deadline(deadline)
+        name_list = tuple(names)
+        self.gate.enter(deadline=limit)
+        try:
+            self._bump("writes")
+            if OBS.enabled:
+                OBS.inc("service.rmw")
+            return self.retry.run(
+                lambda: self._rmw_once(name_list, build, limit),
+                rng=self._locked_rng(),
+                deadline=limit,
+                on_retry=self._on_retry,
+            )
+        finally:
+            self.gate.leave()
+
+    def _rmw_once(self, names: tuple[str, ...], build,
+                  limit: Deadline | None):
+        clusters = self._clusters_for(names)
+        me = threading.get_ident()
+        try:
+            with self.locks.held(clusters, SHARED,
+                                 timeout=self.lock_timeout,
+                                 deadline=limit):
+                with deadline_scope(limit):
+                    update = build(self.db)
+                if update is None:
+                    return None
+                extra = self._clusters_for(_touched(update)) - clusters
+                # Upgrade: exclusive on top of our shared holds. This
+                # breaks the sorted-order discipline on purpose — the
+                # resulting deadlocks are detected, not prevented, and
+                # the retry redoes the read.
+                gated = self.logged is not None
+                if gated:
+                    self.breaker.allow()
+                storage_verdict = False
+                try:
+                    with self.locks.held(
+                        {WRITE_RESOURCE} | clusters | extra, EXCLUSIVE,
+                        timeout=self.lock_timeout, deadline=limit,
+                    ):
+                        with deadline_scope(limit):
+                            if self.logged is not None:
+                                try:
+                                    self.logged.execute(update)
+                                except (OSError, PersistenceError) as exc:
+                                    storage_verdict = True
+                                    self.breaker.record_failure(exc)
+                                    raise
+                                storage_verdict = True
+                                self.breaker.record_success()
+                            else:
+                                with Transaction(self.db):
+                                    if isinstance(update, UpdateSequence):
+                                        for simple in update:
+                                            apply_update(self.db, simple)
+                                    else:
+                                        apply_update(self.db, update)
+                        with self._committed_lock:
+                            self.committed.append(update)
+                    return update
+                finally:
+                    if gated and not storage_verdict:
+                        self.breaker.release_probe()
+        except BaseException:
+            # A deadlock victim (or timeout) may have left partial
+            # holds from the inner held(); drop everything we own.
+            self.locks.release_all(me)
+            raise
+
+    # -- checkpoint ---------------------------------------------------------
+
+    def checkpoint(self, snapshot_path: str | Path) -> None:
+        """Fold the WAL into a snapshot while holding the write token
+        (no writer can be mid-append), leaving readers undisturbed."""
+        if self.logged is None:
+            raise PersistenceError("no update log attached")
+        self.gate.enter()
+        try:
+            self._bump("checkpoints")
+            self.breaker.allow()
+            verdict = False
+            try:
+                with self.locks.held((WRITE_RESOURCE,), EXCLUSIVE,
+                                     timeout=self.lock_timeout):
+                    try:
+                        wal_module.checkpoint(self.logged, snapshot_path)
+                    except (OSError, PersistenceError) as exc:
+                        verdict = True
+                        self.breaker.record_failure(exc)
+                        raise
+                    verdict = True
+                    self.breaker.record_success()
+            finally:
+                if not verdict:
+                    self.breaker.release_probe()
+        finally:
+            self.gate.leave()
+
+    # -- shutdown -----------------------------------------------------------
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop admitting, wait for the executing tail. Idempotent."""
+        self.gate.close()
+        if OBS.enabled:
+            OBS.action("service.drain", timeout=timeout)
+        return self.gate.wait_idle(timeout)
+
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> bool:
+        """Drain (optionally) and mark the service closed."""
+        drained = self.drain(timeout) if drain else True
+        if not drain:
+            self.gate.close()
+        if OBS.enabled:
+            OBS.action("service.closed", drained=drained)
+        return drained
+
+    @property
+    def closed(self) -> bool:
+        return self.gate.closed
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            snapshot = dict(self._stats)
+        snapshot["shed"] = self.gate.shed
+        snapshot["breaker_state"] = self.breaker.state
+        snapshot["breaker_trips"] = self.breaker.trips
+        snapshot["breaker_resets"] = self.breaker.resets
+        snapshot["committed"] = len(self.committed)
+        return snapshot
+
+    def committed_ops(self) -> tuple[Update | UpdateSequence, ...]:
+        """A stable copy of the commit-ordered operation log; replay
+        it with :func:`repro.fdb.updates.apply_update` /
+        :func:`apply_sequence` over an identically seeded instance to
+        reproduce the live state exactly."""
+        with self._committed_lock:
+            return tuple(self.committed)
+
+
+class _LockedRandom:
+    """Serialises jitter draws from the service's seeded RNG."""
+
+    def __init__(self, rng: random.Random, lock: threading.Lock) -> None:
+        self._rng = rng
+        self._lock = lock
+
+    def uniform(self, a: float, b: float) -> float:
+        with self._lock:
+            return self._rng.uniform(a, b)

@@ -188,3 +188,109 @@ class TestCheckpointCrashWindow:
         assert report.already_checkpointed == 1
         assert report.entries_applied == 0
         assert states_diff(logged.db, report.db) is None
+
+
+class TestLatencyFault:
+    def test_stalls_then_passes_through(self):
+        import time
+
+        from repro.faults import LatencyFault
+
+        fault = LatencyFault(delay=0.02, times=2)
+        start = time.monotonic()
+        fault.trigger("storage.append.payload")
+        fault.trigger("storage.append.payload")
+        stalled = time.monotonic() - start
+        assert stalled >= 0.04
+        start = time.monotonic()
+        fault.trigger("storage.append.payload")  # budget spent: no-op
+        assert time.monotonic() - start < 0.02
+
+    def test_armed_at_storage_point_slows_wal_append(self, tmp_path):
+        import time
+
+        from repro.faults import LatencyFault
+
+        db = pupil_database()
+        log = UpdateLog(tmp_path / "wal.jsonl")
+        logged = LoggedDatabase(db, log)
+        FAULTS.arm("storage.append.payload", LatencyFault(delay=0.03,
+                                                          times=1))
+        start = time.monotonic()
+        logged.execute(Update.ins("teach", "gauss", "cs"))
+        assert time.monotonic() - start >= 0.03
+        # The write itself still committed.
+        assert db.table("teach").get("gauss", "cs") is not None
+
+
+class TestRegistryThreadSafety:
+    def test_transient_budget_exact_under_contention(self):
+        import threading
+
+        budget = 16
+        threads = 8
+        per_thread = 10
+        hits_before = FAULTS.hits("wal.append.before")
+        FAULTS.arm("wal.append.before", TransientError(times=budget))
+        raised = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            mine = 0
+            barrier.wait()
+            for _ in range(per_thread):
+                try:
+                    FAULTS.fire("wal.append.before")
+                except OSError:
+                    mine += 1
+            with lock:
+                raised.append(mine)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(10.0)
+        # The shared budget is consumed exactly once per raise: no
+        # double-decrement, no lost update.
+        assert sum(raised) == budget
+        assert (FAULTS.hits("wal.append.before") - hits_before
+                == threads * per_thread)
+
+    def test_concurrent_arm_disarm_is_safe(self):
+        import threading
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    FAULTS.arm("wal.append.after",
+                               TransientError(times=1))
+                    FAULTS.disarm("wal.append.after")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def fire():
+            try:
+                while not stop.is_set():
+                    try:
+                        FAULTS.fire("wal.append.after")
+                    except OSError:
+                        pass
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=churn),
+                threading.Thread(target=fire)]
+        for t in pool:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in pool:
+            t.join(5.0)
+        assert errors == []

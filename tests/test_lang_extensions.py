@@ -238,3 +238,45 @@ class TestDotStatement:
         text = (tmp_path / "design.dot").read_text(encoding="utf-8")
         assert "pupil = teach o class_list" in text
         assert "style=dashed" in text
+
+
+class TestDeadlineCommand:
+    def test_parse_forms(self):
+        assert parse_statement("deadline") == ast.DeadlineCmd("show")
+        assert parse_statement("deadline off") == ast.DeadlineCmd("off")
+        assert parse_statement("deadline 0.5") == ast.DeadlineCmd(
+            "set", 0.5)
+
+    def test_parse_rejects_nonpositive(self):
+        with pytest.raises(ParseError):
+            parse_statement("deadline 0")
+
+    def test_set_show_off_roundtrip(self):
+        _, out = run(PUPIL_SETUP + "deadline; deadline 0.5; deadline;"
+                                   " deadline off; deadline;")
+        assert out[-5] == "deadline off -- set one with 'deadline 0.5'"
+        assert out[-4] == "deadline: statements limited to 0.5s"
+        assert out[-3] == "deadline: 0.5s per statement"
+        assert out[-2] == "deadline off"
+        assert out[-1] == "deadline off -- set one with 'deadline 0.5'"
+
+    def test_expired_deadline_aborts_statement_cleanly(self):
+        interp, out = run(PUPIL_SETUP)
+        interp.deadline_seconds = 1e-9
+        result = interp.execute("insert teach(gauss, cs)")
+        assert result and result[0].startswith("error: deadline")
+        # The update was aborted before any mutation; turning the
+        # deadline off restores normal service.
+        interp.deadline_seconds = None
+        from repro.fdb.logic import Truth
+
+        assert interp.db.truth_of("teach", "gauss", "cs") is Truth.FALSE
+        interp.execute("insert teach(gauss, cs)")
+        assert interp.db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+
+    def test_deadline_command_itself_exempt(self):
+        interp, _ = run(PUPIL_SETUP)
+        interp.deadline_seconds = 1e-9
+        # 'deadline off' must run even under an expired budget.
+        assert interp.execute("deadline off") == ["deadline off"]
+        assert interp.deadline_seconds is None

@@ -1,0 +1,466 @@
+"""Tests for the concurrent service layer: retry policy, circuit
+breaker, admission control, deadlines and the service facade."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cancel import Deadline
+from repro.errors import (
+    DeadlineExceeded,
+    DeadlockDetected,
+    LockTimeout,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceReadOnly,
+)
+from repro.faults import FAULTS, TransientError
+from repro.fdb.logic import Truth
+from repro.fdb.updates import Update, UpdateSequence
+from repro.fdb.wal import UpdateLog
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionGate,
+    CircuitBreaker,
+    DatabaseService,
+    RetryPolicy,
+    WRITE_RESOURCE,
+)
+from repro.workloads.university import pupil_database
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    FAULTS.disarm_all()
+    yield
+    FAULTS.disarm_all()
+
+
+class TestRetryPolicy:
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).run(fn)
+        assert len(calls) == 1
+
+    def test_retryable_retries_until_success(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) < 3:
+                raise LockTimeout("busy")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        assert policy.run(fn) == "done"
+        assert len(calls) == 3
+
+    def test_attempts_exhausted_raises_last_error(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise DeadlockDetected("cycle")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(DeadlockDetected):
+            policy.run(fn)
+        assert len(calls) == 3
+
+    def test_on_retry_sees_each_failure(self):
+        seen = []
+
+        def fn():
+            raise LockTimeout("busy")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(LockTimeout):
+            policy.run(fn, on_retry=lambda n, exc: seen.append(n))
+        assert seen == [0, 1]
+
+    def test_expired_deadline_stops_retries(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            raise LockTimeout("busy")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(LockTimeout):
+            policy.run(fn, deadline=Deadline(expires_at=0.0))
+        assert len(calls) == 1
+
+    def test_backoff_caps_and_jitters(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0,
+                             max_delay=0.03, jitter=0.005)
+        assert policy.delay(0) == 0.01
+        assert policy.delay(5) == 0.03  # capped
+        rng = random.Random(7)
+        jittered = policy.delay(0, rng)
+        assert 0.01 <= jittered <= 0.015
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_fails_fast(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60.0)
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure(OSError("disk gone"))
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        with pytest.raises(ServiceReadOnly):
+            breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(OSError())
+        breaker.record_success()
+        breaker.record_failure(OSError())
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure(OSError())
+        assert breaker.state == OPEN
+        clock[0] = 2.0
+        breaker.allow()  # probe admitted
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.resets == 1
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure(OSError())
+        clock[0] = 2.0
+        breaker.allow()
+        breaker.record_failure(OSError())
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        with pytest.raises(ServiceReadOnly):
+            breaker.allow()
+
+    def test_half_open_quota_bounds_probes(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 half_open_max=1, clock=lambda: clock[0])
+        breaker.record_failure(OSError())
+        clock[0] = 2.0
+        breaker.allow()  # the probe slot
+        with pytest.raises(ServiceReadOnly):
+            breaker.allow()
+        breaker.release_probe()  # probe ended with no storage verdict
+        breaker.allow()  # slot available again
+
+
+class TestAdmissionGate:
+    def test_sheds_when_queue_full(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        gate.enter()
+        with pytest.raises(ServiceOverloaded):
+            gate.enter()
+        assert gate.shed == 1
+        gate.leave()
+        gate.enter()  # slot free again
+
+    def test_queued_request_sheds_on_timeout(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=1,
+                             queue_timeout=0.05)
+        gate.enter()
+        start = time.monotonic()
+        with pytest.raises(ServiceOverloaded):
+            gate.enter()
+        assert time.monotonic() - start >= 0.05
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=1,
+                             queue_timeout=5.0)
+        gate.enter()
+        admitted = threading.Event()
+
+        def queued():
+            gate.enter()
+            admitted.set()
+            gate.leave()
+
+        worker = threading.Thread(target=queued)
+        worker.start()
+        try:
+            time.sleep(0.05)
+            gate.leave()
+            assert admitted.wait(5.0)
+        finally:
+            worker.join(5.0)
+
+    def test_closed_gate_rejects_and_wakes_queued(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=1,
+                             queue_timeout=5.0)
+        gate.enter()
+        failed = threading.Event()
+
+        def queued():
+            try:
+                gate.enter()
+            except ServiceClosed:
+                failed.set()
+
+        worker = threading.Thread(target=queued)
+        worker.start()
+        try:
+            time.sleep(0.05)
+            gate.close()
+            assert failed.wait(5.0)
+            with pytest.raises(ServiceClosed):
+                gate.enter()
+        finally:
+            worker.join(5.0)
+
+    def test_wait_idle_is_the_drain_barrier(self):
+        gate = AdmissionGate(max_concurrent=2)
+        gate.enter()
+        assert not gate.wait_idle(timeout=0.05)
+        gate.leave()
+        assert gate.wait_idle(timeout=0.05)
+
+
+class TestServiceBasics:
+    def test_write_then_read(self, tmp_path):
+        service = DatabaseService(pupil_database(),
+                                  log=tmp_path / "wal.jsonl")
+        service.insert("teach", "gauss", "cs")
+        assert service.truth_of("teach", "gauss", "cs") is Truth.TRUE
+        assert len(service.committed_ops()) == 1
+        assert service.stats()["writes"] == 1
+        assert service.stats()["reads"] == 1
+
+    def test_clusters_join_derived_and_bases(self):
+        service = DatabaseService(pupil_database())
+        # pupil is derived from teach ∘ ... : same cluster.
+        assert service.cluster_of("pupil") == service.cluster_of("teach")
+
+    def test_write_resource_sorts_first(self):
+        service = DatabaseService(pupil_database())
+        assert WRITE_RESOURCE < service.cluster_of("teach")
+
+    def test_sequence_is_atomic_through_service(self, tmp_path):
+        service = DatabaseService(pupil_database(),
+                                  log=tmp_path / "wal.jsonl")
+        service.execute(UpdateSequence((
+            Update.ins("teach", "gauss", "cs"),
+            Update.delete("teach", "euclid", "math"),
+        )))
+        assert service.truth_of("teach", "gauss", "cs") is Truth.TRUE
+        assert service.truth_of("teach", "euclid", "math") is Truth.FALSE
+
+    def test_undurable_service_rolls_back_failures(self, monkeypatch):
+        from repro.service import service as service_module
+
+        db = pupil_database()
+        service = DatabaseService(db)
+        real_apply = service_module.apply_update
+        calls = []
+
+        def failing_apply(target, update):
+            calls.append(update)
+            if len(calls) == 2:
+                raise RuntimeError("boom mid-sequence")
+            return real_apply(target, update)
+
+        monkeypatch.setattr(service_module, "apply_update",
+                            failing_apply)
+        with pytest.raises(RuntimeError):
+            service.execute(UpdateSequence((
+                Update.ins("teach", "gauss", "cs"),
+                Update.ins("teach", "noether", "algebra"),
+            )))
+        # The first insert of the sequence was rolled back.
+        assert db.truth_of("teach", "gauss", "cs") is Truth.FALSE
+        assert service.committed_ops() == ()
+
+    def test_read_modify_write_applies_built_update(self, tmp_path):
+        service = DatabaseService(pupil_database(),
+                                  log=tmp_path / "wal.jsonl")
+
+        def build(db):
+            pairs = sorted(db.table("teach").pairs())
+            x, y = pairs[0]
+            return Update.rep("teach", (x, y), (x, "revised"))
+
+        applied = service.read_modify_write(("teach",), build)
+        assert applied is not None
+        x = sorted(service.db.table("teach").pairs())[0][0]
+        assert service.truth_of("teach", x, "revised") is Truth.TRUE
+
+    def test_read_modify_write_decline(self):
+        service = DatabaseService(pupil_database())
+        assert service.read_modify_write(("teach",),
+                                         lambda db: None) is None
+        assert service.committed_ops() == ()
+
+    def test_drain_then_closed(self):
+        service = DatabaseService(pupil_database())
+        assert service.drain() is True
+        assert service.closed
+        with pytest.raises(ServiceClosed):
+            service.insert("teach", "gauss", "cs")
+
+
+class TestServiceDeadlines:
+    def test_expired_deadline_cancels_write_cleanly(self, tmp_path):
+        db = pupil_database()
+        log_path = tmp_path / "wal.jsonl"
+        service = DatabaseService(db, log=log_path)
+        with pytest.raises(DeadlineExceeded):
+            service.insert("teach", "gauss", "cs",
+                           deadline=Deadline(expires_at=0.0))
+        # Nothing was applied and nothing was logged.
+        assert db.truth_of("teach", "gauss", "cs") is Truth.FALSE
+        assert len(UpdateLog(log_path)) == 0
+        assert service.committed_ops() == ()
+        # The service is healthy afterwards.
+        service.insert("teach", "gauss", "cs")
+        assert db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+
+    def test_default_deadline_applies(self):
+        service = DatabaseService(pupil_database(),
+                                  default_deadline=30.0)
+        # Simply exercises the default path; a generous default
+        # never fires.
+        service.insert("teach", "gauss", "cs")
+
+    def test_expired_deadline_cancels_read(self):
+        service = DatabaseService(pupil_database())
+        with pytest.raises(DeadlineExceeded):
+            # 'pupil' is derived: its extension enumerates chains,
+            # which is where the cancellation checkpoints live.
+            service.extension("pupil", deadline=Deadline(expires_at=0.0))
+
+
+class TestServiceReadOnlyMode:
+    def test_breaker_trips_to_read_only_and_recovers(self, tmp_path):
+        db = pupil_database()
+        service = DatabaseService(
+            db,
+            log=tmp_path / "wal.jsonl",
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2,
+                                   reset_timeout=0.05),
+        )
+        FAULTS.arm("wal.append.before", TransientError(times=10 ** 6))
+        for _ in range(2):
+            with pytest.raises((OSError, Exception)):
+                service.insert("teach", "gauss", "cs")
+        assert service.breaker.state == OPEN
+        # Writes now fail fast...
+        with pytest.raises(ServiceReadOnly):
+            service.insert("teach", "gauss", "cs")
+        # ...while reads keep flowing.
+        assert service.truth_of("teach", "euclid", "math") is Truth.TRUE
+        # Storage heals; after the reset timeout a probe closes it.
+        FAULTS.disarm_all()
+        time.sleep(0.1)
+        service.insert("teach", "gauss", "cs")
+        assert service.breaker.state == CLOSED
+        assert service.breaker.resets == 1
+        assert db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+
+
+class TestServiceConcurrency:
+    def test_shedding_through_the_facade(self):
+        service = DatabaseService(pupil_database(), max_concurrent=1,
+                                  max_queue=0)
+        inside = threading.Event()
+        release = threading.Event()
+
+        def slow_read(db):
+            inside.set()
+            release.wait(5.0)
+            return None
+
+        worker = threading.Thread(
+            target=lambda: service.read(("teach",), slow_read))
+        worker.start()
+        try:
+            assert inside.wait(5.0)
+            with pytest.raises(ServiceOverloaded):
+                service.truth_of("teach", "euclid", "math")
+        finally:
+            release.set()
+            worker.join(5.0)
+        assert service.stats()["shed"] == 1
+
+    def test_concurrent_readers_of_one_cluster(self):
+        service = DatabaseService(pupil_database(), max_concurrent=4)
+        barrier = threading.Barrier(3, timeout=5.0)
+        results = []
+        lock = threading.Lock()
+
+        def read(db):
+            barrier.wait()  # proves all three are inside together
+            return db.truth_of("teach", "euclid", "math")
+
+        def worker():
+            value = service.read(("teach",), read)
+            with lock:
+                results.append(value)
+
+        pool = [threading.Thread(target=worker) for _ in range(3)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(5.0)
+        assert results == [Truth.TRUE] * 3
+
+    def test_dual_rmw_resolves_via_retry(self, tmp_path):
+        """Two read-modify-writes on the same cluster race the shared →
+        exclusive upgrade; the loser is a deadlock victim and retries."""
+        service = DatabaseService(
+            pupil_database(), log=tmp_path / "wal.jsonl",
+            lock_timeout=0.5,
+            retry=RetryPolicy(max_attempts=6, base_delay=0.001,
+                              jitter=0.001),
+        )
+        barrier = threading.Barrier(2, timeout=5.0)
+        errors = []
+
+        def build(db):
+            try:
+                barrier.wait()  # both hold the shared lock here
+            except threading.BrokenBarrierError:
+                pass  # the retry pass runs alone
+            pairs = sorted(db.table("teach").pairs())
+            x, y = pairs[0]
+            return Update.rep("teach", (x, y), (x, f"{y}+"))
+
+        def worker():
+            try:
+                service.read_modify_write(("teach",), build)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(2)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(10.0)
+        assert errors == []
+        assert len(service.committed_ops()) == 2
+        stats = service.stats()
+        assert stats["deadlocks"] + stats["lock_timeouts"] >= 1

@@ -1,0 +1,233 @@
+"""Tests for the reader–writer lock manager.
+
+Deterministic where possible: the manager accepts explicit ``owner``
+ids, so most scenarios run single-threaded. Real threads appear only
+where a parked waiter is part of the scenario (deadlock cycles need an
+owner recorded in the wait-for graph).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockDetected, LockTimeout
+from repro.service import EXCLUSIVE, SHARED, LockManager
+
+
+def _wait_for(predicate, timeout=5.0):
+    expires = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > expires:
+            raise AssertionError("condition never became true")
+        time.sleep(0.005)
+
+
+class TestGrants:
+    def test_shared_holders_coexist(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=1)
+        locks.acquire("r", SHARED, owner=2)
+        assert set(locks.holders("r")["shared"]) == {1, 2}
+        locks.release("r", SHARED, owner=1)
+        locks.release("r", SHARED, owner=2)
+        assert locks.holders("r")["shared"] == ()
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        locks.acquire("r", EXCLUSIVE, owner=1)
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", SHARED, owner=2, timeout=0.05)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=1)
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=2, timeout=0.05)
+
+    def test_exclusive_blocks_exclusive(self):
+        locks = LockManager()
+        locks.acquire("r", EXCLUSIVE, owner=1)
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=2, timeout=0.05)
+
+    def test_disjoint_resources_do_not_contend(self):
+        locks = LockManager()
+        locks.acquire("a", EXCLUSIVE, owner=1)
+        locks.acquire("b", EXCLUSIVE, owner=2, timeout=0.05)
+
+    def test_reentrant_holds_need_matching_releases(self):
+        locks = LockManager()
+        locks.acquire("r", EXCLUSIVE, owner=1)
+        locks.acquire("r", EXCLUSIVE, owner=1)
+        locks.release("r", EXCLUSIVE, owner=1)
+        # Still held after one release.
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=2, timeout=0.05)
+        locks.release("r", EXCLUSIVE, owner=1)
+        locks.acquire("r", EXCLUSIVE, owner=2, timeout=0.05)
+
+    def test_sole_holder_upgrade_allowed(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=1)
+        locks.acquire("r", EXCLUSIVE, owner=1)  # the RMW step
+        assert locks.holders("r")["exclusive"] == (1,)
+        # And a second reader is now blocked by the upgrade.
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", SHARED, owner=2, timeout=0.05)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=1)
+        locks.acquire("r", SHARED, owner=2)
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=1, timeout=0.05)
+
+
+class TestMisuse:
+    def test_release_not_held_raises(self):
+        locks = LockManager()
+        with pytest.raises(RuntimeError):
+            locks.release("r", SHARED, owner=1)
+        locks.acquire("r", SHARED, owner=1)
+        with pytest.raises(RuntimeError):
+            locks.release("r", EXCLUSIVE, owner=1)
+
+    def test_unknown_mode_rejected(self):
+        locks = LockManager()
+        with pytest.raises(ValueError):
+            locks.acquire("r", "upgradable", owner=1)
+
+    def test_release_all_drops_everything(self):
+        locks = LockManager()
+        locks.acquire("a", SHARED, owner=1)
+        locks.acquire("b", EXCLUSIVE, owner=1)
+        locks.release_all(owner=1)
+        locks.acquire("a", EXCLUSIVE, owner=2, timeout=0.05)
+        locks.acquire("b", EXCLUSIVE, owner=2, timeout=0.05)
+
+
+class TestHeld:
+    def test_held_acquires_sorted_and_releases(self):
+        locks = LockManager()
+        with locks.held(["b", "a", "b"], EXCLUSIVE, owner=1):
+            assert locks.holders("a")["exclusive"] == (1,)
+            assert locks.holders("b")["exclusive"] == (1,)
+        assert locks.holders("a")["exclusive"] == ()
+        assert locks.holders("b")["exclusive"] == ()
+
+    def test_held_failure_releases_partial_takes(self):
+        locks = LockManager()
+        locks.acquire("b", EXCLUSIVE, owner=2)
+        with pytest.raises(LockTimeout):
+            with locks.held(["a", "b"], EXCLUSIVE, owner=1,
+                            timeout=0.05):
+                pass  # pragma: no cover - never reached
+        # "a" was taken first (sorted order) and released on failure.
+        locks.acquire("a", EXCLUSIVE, owner=3, timeout=0.05)
+
+
+class TestDeadlockDetection:
+    def test_ab_ba_cycle_detected(self):
+        locks = LockManager()
+        locks.acquire("a", EXCLUSIVE, owner=100)
+
+        parked = threading.Event()
+        outcome: list[str] = []
+
+        def other():
+            locks.acquire("b", EXCLUSIVE)
+            parked.set()
+            try:
+                # Parks: "a" is held by owner 100 (never released
+                # until we are done); the 2 s timeout bounds the test.
+                locks.acquire("a", EXCLUSIVE, timeout=2.0)
+                outcome.append("acquired")
+            except LockTimeout:
+                outcome.append("timeout")
+            finally:
+                locks.release_all()
+
+        worker = threading.Thread(target=other)
+        worker.start()
+        try:
+            assert parked.wait(5.0)
+            _wait_for(lambda: worker.ident in locks._waiting)
+            # Owner 100 asking for "b" closes the cycle:
+            # 100 -> worker (holds b) -> 100 (holds a).
+            with pytest.raises(DeadlockDetected):
+                locks.acquire("b", EXCLUSIVE, owner=100, timeout=2.0)
+            # The victim contract resolves it.
+            locks.release_all(owner=100)
+        finally:
+            worker.join(5.0)
+        assert outcome == ["acquired"]
+
+    def test_dual_upgrade_deadlocks(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=100)
+
+        started = threading.Event()
+
+        def upgrader():
+            locks.acquire("r", SHARED)
+            started.set()
+            try:
+                locks.acquire("r", EXCLUSIVE, timeout=2.0)
+            except (LockTimeout, DeadlockDetected):
+                pass
+            finally:
+                locks.release_all()
+
+        worker = threading.Thread(target=upgrader)
+        worker.start()
+        try:
+            assert started.wait(5.0)
+            _wait_for(lambda: worker.ident in locks._waiting)
+            with pytest.raises(DeadlockDetected):
+                locks.acquire("r", EXCLUSIVE, owner=100, timeout=2.0)
+            locks.release_all(owner=100)
+        finally:
+            worker.join(5.0)
+
+    def test_no_false_positive_on_plain_contention(self):
+        locks = LockManager()
+        locks.acquire("r", EXCLUSIVE, owner=100)
+        # Owner 100 is not waiting on anything: no cycle, so the
+        # contender times out instead of being declared a victim.
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=2, timeout=0.05)
+
+
+class TestTimeouts:
+    def test_timeout_respects_deadline(self):
+        from repro.cancel import Deadline
+
+        locks = LockManager(default_timeout=30.0)
+        locks.acquire("r", EXCLUSIVE, owner=1)
+        start = time.monotonic()
+        with pytest.raises(LockTimeout):
+            locks.acquire("r", EXCLUSIVE, owner=2,
+                          deadline=Deadline(0.05))
+        assert time.monotonic() - start < 5.0
+
+    def test_waiter_wakes_on_release(self):
+        locks = LockManager()
+        locks.acquire("r", EXCLUSIVE, owner=100)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire("r", EXCLUSIVE, timeout=5.0)
+            acquired.set()
+            locks.release_all()
+
+        worker = threading.Thread(target=waiter)
+        worker.start()
+        try:
+            time.sleep(0.05)
+            locks.release("r", EXCLUSIVE, owner=100)
+            assert acquired.wait(5.0)
+        finally:
+            worker.join(5.0)

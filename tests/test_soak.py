@@ -1,0 +1,46 @@
+"""The chaos soak, sized for CI: 8 workers, a live fault schedule,
+zero tolerated divergence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.soak import SoakConfig, run_soak
+
+
+class TestSoak:
+    def test_soak_with_faults_converges(self, tmp_path):
+        report = run_soak(SoakConfig(
+            threads=8,
+            ops_per_thread=12,
+            seed=0,
+            workdir=tmp_path,
+            jsonl=tmp_path / "events.jsonl",
+        ))
+        assert report.divergence is None
+        assert report.recovery_divergence is None
+        assert report.hung_workers == 0
+        assert report.breaker_opens > 0
+        assert report.breaker_closes > 0
+        assert report.ok, "\n".join(report.lines())
+        # The event log is real JSONL with the breaker narration.
+        names = [json.loads(line).get("name")
+                 for line in (tmp_path / "events.jsonl").read_text(
+                     encoding="utf-8").splitlines() if line.strip()]
+        assert "breaker.open" in names
+        assert "breaker.closed" in names
+
+    def test_soak_without_faults_is_pure_concurrency(self, tmp_path):
+        report = run_soak(SoakConfig(
+            threads=6,
+            ops_per_thread=10,
+            seed=2,
+            faults=False,
+            workdir=tmp_path,
+            jsonl=tmp_path / "events.jsonl",
+        ))
+        assert report.divergence is None
+        assert report.recovery_divergence is None
+        assert report.hung_workers == 0
+        # Every planned operation resolved to some outcome.
+        assert report.accounting_error is None

@@ -82,3 +82,69 @@ class TestMisuse:
         with transaction:
             pupil_db.insert("teach", "noether", "algebra")
         assert len(pupil_db.table("teach")) == 4
+
+
+class TestConcurrencyGuard:
+    def test_nested_transaction_rejected(self, pupil_db):
+        with pupil_db.transaction():
+            with pytest.raises(TransactionError, match="nested"):
+                with pupil_db.transaction():
+                    pass  # pragma: no cover - never reached
+
+    def test_concurrent_thread_rejected(self, pupil_db):
+        import threading
+
+        errors: list[BaseException] = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with pupil_db.transaction():
+                entered.set()
+                release.wait(5.0)
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        try:
+            assert entered.wait(5.0)
+            try:
+                with pupil_db.transaction():
+                    pass  # pragma: no cover - never reached
+            except TransactionError as exc:
+                errors.append(exc)
+        finally:
+            release.set()
+            worker.join(5.0)
+        assert len(errors) == 1
+        assert "concurrent" in str(errors[0])
+
+    def test_guard_released_after_commit_and_rollback(self, pupil_db):
+        with pupil_db.transaction():
+            pupil_db.insert("teach", "gauss", "cs")
+        with pytest.raises(RuntimeError):
+            with pupil_db.transaction():
+                raise RuntimeError("boom")
+        # Both exits released the guard; a fresh transaction works.
+        with pupil_db.transaction():
+            pupil_db.insert("teach", "noether", "algebra")
+
+    def test_atomic_reenters_open_transaction(self, pupil_db):
+        from repro.fdb.transaction import atomic
+
+        with pupil_db.transaction():
+            # Nested atomic scopes are no-ops instead of errors...
+            with atomic(pupil_db):
+                pupil_db.insert("teach", "gauss", "cs")
+            pupil_db.insert("teach", "noether", "algebra")
+            raise_rollback = True
+        assert pupil_db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+        assert raise_rollback
+
+    def test_atomic_standalone_is_a_transaction(self, pupil_db):
+        from repro.fdb.transaction import atomic
+
+        with pytest.raises(RuntimeError):
+            with atomic(pupil_db):
+                pupil_db.insert("teach", "gauss", "cs")
+                raise RuntimeError("boom")
+        assert pupil_db.truth_of("teach", "gauss", "cs") is Truth.FALSE
