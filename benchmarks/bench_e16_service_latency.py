@@ -1,0 +1,184 @@
+"""E16 — service-level request latency under mixed concurrent traffic.
+
+The paper's update machinery is single-threaded; the service layer
+wraps it in admission control, cluster locks and retry. This bench
+measures what a *caller* of that stack sees: per-operation-family
+latency percentiles (p50/p95/p99 from the ``service.red.*``
+log-bucketed histograms), plus the overload signals — requests shed at
+the gate and retries burned on lock contention — under a seeded
+mixed read/write/read-modify-write workload on worker threads.
+
+The timed rounds run with instrumentation off (the production fast
+path); the percentile/shed/retry numbers come from one instrumented
+replay of the same traffic outside the clock, exactly the E10 idiom.
+Contention-dependent counters (retries, sheds, lock timeouts,
+deadlocks, upgrades, SLO/breaker transitions) vary run to run by
+scheduling, so they are stripped from the attached snapshot — the
+regression comparison keys on the deterministic work counters only —
+and reported as informational lines instead.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.bench.scale import scaled
+from repro.errors import ServiceError
+from repro.fdb.updates import Update
+from repro.service import DatabaseService
+from repro.workloads.university import pupil_database
+
+WORKERS = scaled(4, minimum=2)
+OPS_PER_WORKER = scaled(60, minimum=12)
+
+# Counter prefixes whose values depend on thread scheduling, not on
+# the workload: never let them into the compared snapshot.
+VOLATILE_PREFIXES = (
+    "service.retries",
+    "service.shed",
+    "service.lock.timeouts",
+    "service.lock.deadlocks",
+    "service.lock.upgrades",
+    "service.breaker.",
+    "slo.",
+    "fdb.wal.retries",
+)
+
+
+def _traffic(service: DatabaseService, worker: int, ops: int) -> None:
+    """One worker's seeded op mix: 50% point reads, 40% unique
+    inserts, 10% read-modify-write. Shed requests are expected under
+    a small gate and simply counted."""
+    rng = random.Random(1000 + worker)
+    for i in range(ops):
+        roll = rng.random()
+        try:
+            if roll < 0.5:
+                service.truth_of("teach", "euclid", "math")
+            elif roll < 0.9:
+                service.execute(
+                    Update.ins("teach", f"w{worker}t{i}", f"c{worker}_{i}")
+                )
+            else:
+                service.read_modify_write(
+                    ("class_list",),
+                    lambda db, w=worker, j=i: Update.ins(
+                        "class_list", f"rmw{w}_{j}", f"s{w}_{j}"
+                    ),
+                )
+        except ServiceError:
+            pass  # shed / read-only / timeout: the overload path itself
+
+
+def _run_traffic(log_dir: Path, tag: str) -> DatabaseService:
+    service = DatabaseService(
+        pupil_database(),
+        log=log_dir / f"wal_{tag}.jsonl",
+        max_concurrent=max(2, WORKERS // 2),
+        max_queue=WORKERS * OPS_PER_WORKER,
+    )
+    threads = [
+        threading.Thread(target=_traffic, args=(service, w, OPS_PER_WORKER))
+        for w in range(WORKERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return service
+
+
+def _filtered_snapshot() -> dict:
+    from repro.obs.export import snapshot
+
+    data = snapshot()
+    counters = data.get("metrics", {}).get("counters", {})
+    data["metrics"]["counters"] = {
+        name: value for name, value in counters.items()
+        if not name.startswith(VOLATILE_PREFIXES)
+    }
+    return data
+
+
+def test_bench_service_mixed_traffic(benchmark, report):
+    from repro.obs.hooks import OBS
+
+    tags = iter(range(10_000))
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = Path(tmp)
+
+        def run():
+            service = _run_traffic(log_dir, f"t{next(tags)}")
+            service.close()
+            return service
+
+        was_enabled, was_tracing = OBS.enabled, OBS.tracing
+        OBS.disable()  # timed rounds take the production fast path
+        try:
+            benchmark(run)
+        finally:
+            if was_enabled:
+                OBS.enable(tracing=was_tracing)
+
+        # Instrumented replay of the same traffic, outside the clock.
+        with OBS.collecting():
+            service = _run_traffic(log_dir, "replay")
+            committed = len(service.committed_ops())
+            stats = service.stats()
+            service.close()
+            metrics = OBS.metrics.snapshot()
+            data = _filtered_snapshot()
+
+    report.line(
+        f"E16 -- service request latency ({WORKERS} workers x "
+        f"{OPS_PER_WORKER} ops, 50/40/10 read/execute/rmw mix)"
+    )
+    report.line()
+    histograms = metrics.get("histograms", {})
+    counters = metrics.get("counters", {})
+    families = sorted(
+        name.split(".")[2] for name in counters
+        if name.startswith("service.red.") and name.endswith(".requests")
+    )
+    rows = []
+    latency = {}
+    for family in families:
+        hist = histograms.get(f"service.red.{family}.duration_seconds", {})
+        latency[family] = {
+            "requests": counters.get(f"service.red.{family}.requests", 0),
+            "errors": counters.get(f"service.red.{family}.errors", 0),
+            "p50_seconds": hist.get("p50"),
+            "p95_seconds": hist.get("p95"),
+            "p99_seconds": hist.get("p99"),
+        }
+        rows.append((
+            family,
+            str(latency[family]["requests"]),
+            str(latency[family]["errors"]),
+            *(f"{hist.get(p) * 1000:.3f}ms" if hist.get(p) is not None
+              else "-" for p in ("p50", "p95", "p99")),
+        ))
+    report.table(("family", "requests", "errors", "p50", "p95", "p99"),
+                 rows)
+    report.line()
+    report.line(
+        f"committed: {committed} ops; overload signals (informational, "
+        f"not compared): shed={stats['shed']} "
+        f"retries={stats.get('retries', 0)} "
+        f"lock_timeouts={stats.get('lock_timeouts', 0)} "
+        f"deadlocks={stats.get('deadlocks', 0)}"
+    )
+    report.line(
+        f"slo: healthy={stats['slo_healthy']} "
+        f"raised={stats['slo_alerts_raised']} "
+        f"cleared={stats['slo_alerts_cleared']}"
+    )
+    assert committed > 0, "replay committed nothing"
+    for family in ("read", "execute"):
+        assert latency.get(family, {}).get("requests"), \
+            f"no {family} traffic recorded"
+    data["service_latency"] = latency
+    report.attach(data)

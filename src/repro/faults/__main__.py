@@ -29,6 +29,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-faults", action="store_true",
                         help="soak without the fault schedule "
                              "(pure concurrency check)")
+    parser.add_argument("--scrape-dir", default=None,
+                        help="directory for the mid-soak /metrics and "
+                             "/health scrape snapshots (default: the "
+                             "soak workdir)")
+    parser.add_argument("--no-endpoint", action="store_true",
+                        help="soak without the live metrics endpoint "
+                             "(skips the scrape checks)")
     args = parser.parse_args(argv)
 
     if not args.soak:
@@ -44,6 +51,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         jsonl=args.jsonl,
         faults=not args.no_faults,
+        serve_endpoint=not args.no_endpoint,
+        scrape_dir=args.scrape_dir,
     ))
     for line in report.lines():
         print(line)

@@ -28,6 +28,15 @@ stayed *consistent*:
 4. **Nothing hung** — every worker joined within the wall-clock
    budget; deadlocks were resolved by detection + retry, not by the
    operator's Ctrl-C.
+5. **Telemetry is truthful** — every ``service.request`` span that
+   started also ended, and the spans stamped ``committed=True`` match
+   the committed-op log one for one; a forced outage epilogue raised
+   *and* cleared an SLO alert (``slo.alert_raised`` /
+   ``slo.alert_cleared`` actions in the JSONL).
+6. **Exposition is well-formed** — ``/metrics`` scraped over real
+   HTTP mid-soak parses as valid Prometheus text format and
+   ``/health`` returns a boolean verdict; the snapshots are kept as
+   artifacts.
 
 Run it: ``python -m repro.faults --soak`` (see ``--help`` for knobs).
 """
@@ -68,8 +77,10 @@ from repro.fdb.updates import (
 )
 from repro.fdb.values import is_null
 from repro.fdb.wal import recover
+from repro.obs.endpoint import ExpositionError, parse_prometheus
 from repro.obs.events import FileSink, read_jsonl
 from repro.obs.hooks import OBS
+from repro.obs.slo import ERROR_RATE, Objective
 from repro.service import CircuitBreaker, DatabaseService, RetryPolicy
 from repro.workloads.generator import (
     WorkloadConfig,
@@ -100,6 +111,15 @@ class SoakConfig:
     wall_clock_limit: float = 120.0
     workdir: str | None = None
     jsonl: str | None = None  # default: <workdir>/soak-events.jsonl
+    # Telemetry: serve /metrics + /health + /slo during the run and
+    # scrape them mid-soak, saving snapshots under scrape_dir (default:
+    # <workdir>). The SLO windows are short so the forced breach/clear
+    # epilogue completes within a CI smoke budget.
+    serve_endpoint: bool = True
+    scrape_dir: str | None = None
+    slo_window: float = 1.5
+    slo_fast_fraction: float = 1 / 3
+    slo_error_threshold: float = 0.35
 
 
 @dataclass
@@ -119,6 +139,14 @@ class SoakReport:
     breaker_resets: int = 0
     hung_workers: int = 0
     jsonl_path: str = ""
+    span_error: str | None = None
+    slo_error: str | None = None
+    scrape_error: str | None = None
+    slo_raised: int = 0
+    slo_cleared: int = 0
+    request_spans: int = 0
+    committed_spans: int = 0
+    scrape_paths: list = field(default_factory=list)
     notes: list = field(default_factory=list)
 
     @property
@@ -127,6 +155,9 @@ class SoakReport:
             self.divergence is None
             and self.recovery_divergence is None
             and self.accounting_error is None
+            and self.span_error is None
+            and self.slo_error is None
+            and self.scrape_error is None
             and self.hung_workers == 0
             and self.breaker_opens > 0
             and self.breaker_closes > 0
@@ -158,6 +189,22 @@ class SoakReport:
                if self.recovery_divergence is None
                else f"DIVERGED: {self.recovery_divergence}")
         )
+        out.append(
+            f"spans: {self.committed_spans} committed / "
+            f"{self.request_spans} request spans"
+            + ("" if self.span_error is None
+               else f" — BROKEN: {self.span_error}")
+        )
+        out.append(
+            f"slo: {self.slo_raised} raised / {self.slo_cleared} "
+            f"cleared"
+            + ("" if self.slo_error is None
+               else f" — BROKEN: {self.slo_error}")
+        )
+        if self.scrape_paths:
+            out.append("scrapes: " + ", ".join(self.scrape_paths))
+        if self.scrape_error:
+            out.append(f"scrape: BROKEN: {self.scrape_error}")
         if self.accounting_error:
             out.append(f"accounting: {self.accounting_error}")
         if self.hung_workers:
@@ -417,6 +464,131 @@ def _force_breaker_cycle(service: DatabaseService,
             )
 
 
+def _force_slo_cycle(service: DatabaseService, report: SoakReport,
+                     config: SoakConfig) -> None:
+    """Deterministically breach and then clear the error-rate SLO:
+    arm a hard storage outage and hammer writes (breaker rejections
+    are errors burning the budget) until the monitor alerts, then
+    disarm and feed successes until the fast window is healthy again.
+    The successful writes land in the committed log like any others."""
+    slo = service.slo
+    raised_before = slo.raised
+    FAULTS.arm("wal.append.before", TransientError(times=10 ** 6))
+    budget = time.monotonic() + 10.0
+    sequence = 0
+    try:
+        while time.monotonic() < budget:
+            try:
+                service.insert("c", "C0_slo", f"C1_slo{sequence}",
+                               deadline=2.0)
+            except (PersistenceError, OSError, ServiceReadOnly):
+                pass
+            sequence += 1
+            slo.evaluate()
+            if not slo.healthy:
+                break
+            time.sleep(0.01)
+        else:
+            report.slo_error = (
+                "forced outage never raised an SLO alert "
+                f"(alerts={list(slo.alerts)})"
+            )
+            return
+    finally:
+        FAULTS.disarm("wal.append.before")
+    if slo.raised == raised_before:
+        report.slo_error = "alert active but raise was never recorded"
+        return
+    # Clear: successes push the fast-window error rate back under the
+    # threshold once the breach ages past the fast horizon.
+    budget = time.monotonic() + 10.0 + config.slo_window
+    while time.monotonic() < budget:
+        try:
+            service.insert("c", "C0_slo_ok", f"C1_slo_ok{sequence}",
+                           deadline=2.0)
+        except (PersistenceError, OSError, ServiceReadOnly):
+            time.sleep(service.breaker.reset_timeout / 2)
+        sequence += 1
+        slo.evaluate()
+        if slo.healthy:
+            return
+        time.sleep(0.02)
+    report.slo_error = (
+        f"SLO alert never cleared after recovery "
+        f"(alerts={list(slo.alerts)})"
+    )
+
+
+def _scrape(service: DatabaseService, dest: Path, label: str,
+            report: SoakReport) -> None:
+    """Scrape ``/metrics`` and ``/health`` over real HTTP, validate
+    the exposition, and keep the snapshots as CI artifacts."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = service.endpoint.url if service.endpoint else None
+    if url is None:
+        report.scrape_error = f"{label}: endpoint not running"
+        return
+    try:
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+            body = resp.read().decode("utf-8")
+        parse_prometheus(body)
+        metrics_path = dest / f"metrics-{label}.prom"
+        metrics_path.write_text(body, encoding="utf-8")
+        report.scrape_paths.append(str(metrics_path))
+        try:
+            with urllib.request.urlopen(url + "/health",
+                                        timeout=5) as resp:
+                health_body = resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # 503 == unhealthy-but-well-formed; still validated below.
+            health_body = exc.read().decode("utf-8")
+        verdict = json.loads(health_body)
+        if not isinstance(verdict.get("healthy"), bool):
+            raise ExpositionError(
+                "health body lacks a boolean 'healthy' key"
+            )
+        health_path = dest / f"health-{label}.json"
+        health_path.write_text(health_body, encoding="utf-8")
+        report.scrape_paths.append(str(health_path))
+    except (OSError, ValueError, ExpositionError) as exc:
+        report.scrape_error = f"{label}: {exc}"
+
+
+def _span_invariants(records, committed_count: int,
+                     report: SoakReport) -> None:
+    """Every committed op must be covered by a *complete*
+    ``service.request`` span whose end record is stamped
+    ``committed=True`` — and the stamped count must equal the
+    committed log exactly."""
+    starts: set[int] = set()
+    ends: dict[int, dict] = {}
+    for record in records:
+        if record.name != "service.request":
+            continue
+        if record.kind == "span.start" and record.span_id is not None:
+            starts.add(record.span_id)
+        elif record.kind == "span.end" and record.span_id is not None:
+            ends[record.span_id] = record.attrs
+    report.request_spans = len(ends)
+    report.committed_spans = sum(
+        1 for attrs in ends.values()
+        if attrs.get("committed") == "True"
+    )
+    dangling = starts - set(ends)
+    if dangling:
+        report.span_error = (
+            f"{len(dangling)} request spans started but never ended"
+        )
+    elif report.committed_spans != committed_count:
+        report.span_error = (
+            f"{report.committed_spans} committed request spans for "
+            f"{committed_count} committed ops"
+        )
+
+
 def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
     """One full soak run; see the module docstring for the checks."""
     workdir = Path(config.workdir or
@@ -446,6 +618,14 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         max_queue=config.max_queue,
         queue_timeout=config.queue_timeout,
         breaker=CircuitBreaker(failure_threshold=3, reset_timeout=0.1),
+        objectives=(
+            Objective(
+                "soak-error-rate", ERROR_RATE,
+                config.slo_error_threshold,
+                window=config.slo_window,
+                fast_fraction=config.slo_fast_fraction,
+            ),
+        ),
         seed=config.seed,
     )
 
@@ -480,6 +660,15 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         ]
         for worker in workers:
             worker.start()
+        scrape_dir = Path(config.scrape_dir or workdir)
+        scrape_dir.mkdir(parents=True, exist_ok=True)
+        if config.serve_endpoint:
+            service.serve_metrics()
+            # Mid-soak scrape over real HTTP, with workers live: the
+            # exposition must be well-formed while the registry is
+            # being hammered, not just at rest.
+            time.sleep(min(0.25, config.wall_clock_limit / 10))
+            _scrape(service, scrape_dir, "mid", report)
         budget = started + config.wall_clock_limit
         for worker in workers:
             worker.join(max(budget - time.monotonic(), 0.1))
@@ -490,10 +679,14 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         FAULTS.disarm_all()
         if report.hung_workers == 0 and not harness_errors:
             _force_breaker_cycle(service, report)
+            _force_slo_cycle(service, report, config)
+        if config.serve_endpoint and report.scrape_error is None:
+            _scrape(service, scrape_dir, "final", report)
         service.drain(timeout=10.0)
     finally:
         stop_controller.set()
         FAULTS.disarm_all()
+        service.stop_metrics()
         if not was_enabled:
             OBS.disable()
         OBS.events.remove_sink(sink)
@@ -535,6 +728,22 @@ def run_soak(config: SoakConfig = SoakConfig()) -> SoakReport:
         1 for r in records
         if r.kind == "action" and r.name == "breaker.closed"
     )
+    report.slo_raised = sum(
+        1 for r in records
+        if r.kind == "action" and r.name == "slo.alert_raised"
+    )
+    report.slo_cleared = sum(
+        1 for r in records
+        if r.kind == "action" and r.name == "slo.alert_cleared"
+    )
+    if report.hung_workers == 0:
+        _span_invariants(records, len(committed), report)
+        if report.slo_error is None and (
+                report.slo_raised == 0 or report.slo_cleared == 0):
+            report.slo_error = (
+                f"event log shows {report.slo_raised} slo.alert_raised"
+                f" / {report.slo_cleared} slo.alert_cleared actions"
+            )
     total_ops = sum(counts.values())
     planned = sum(len(plan) for plan in plans)
     if report.hung_workers == 0 and total_ops != planned:

@@ -606,7 +606,8 @@ class LoggedDatabase:
 
     def execute(self, update: Update | UpdateSequence) -> None:
         _validate(self.db, update)
-        seq = self.log.append(update)
+        with OBS.span("wal.commit"):
+            seq = self.log.append(update)
         try:
             with Transaction(self.db):
                 FAULTS.fire("wal.apply.before")

@@ -230,6 +230,21 @@ class DeadlineCmd(Statement):
 
 
 @dataclass(frozen=True)
+class Monitor(Statement):
+    """``monitor [serve [PORT] | stop]`` — the service-health dashboard
+    and the live metrics endpoint.
+
+    Bare ``monitor`` prints the RED / lock-contention / admission /
+    breaker dashboard from the process-wide metrics; ``serve`` starts
+    the Prometheus exposition endpoint (ephemeral port unless given)
+    and reports its URL; ``stop`` shuts the endpoint down.
+    """
+
+    mode: str  # "show" | "serve" | "stop"
+    port: int | None = None
+
+
+@dataclass(frozen=True)
 class Resolve(Statement):
     """``resolve`` — run FD-driven null resolution."""
 

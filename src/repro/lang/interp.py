@@ -80,6 +80,9 @@ Inspection:
   slowlog update 0.5     capture updates slower than 0.5 s
   slowlog off | clear    disable thresholds / drop records
   deadline 0.5 | off     bound each statement to 0.5 s of wall clock
+  monitor                service-health dashboard (RED, locks, breaker)
+  monitor serve [port]   start the live /metrics endpoint (Prometheus)
+  monitor stop           stop the endpoint
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -126,6 +129,7 @@ class Interpreter:
         self._design_dirty = False
         self._notice = on_notice
         self.deadline_seconds: float | None = None
+        self.monitor_endpoint = None  # MetricsEndpoint from 'monitor serve'
 
     # -- public API ----------------------------------------------------------
 
@@ -607,6 +611,38 @@ class Interpreter:
             return ["slowlog inactive -- set a threshold with "
                     "'slowlog query 0.5' or 'slowlog update 0.5'"]
         return render_slowlog(slowlog.snapshot()).splitlines()
+
+    def _run_monitor(self, statement: ast.Monitor) -> list[str]:
+        if statement.mode == "serve":
+            from repro.obs.endpoint import MetricsEndpoint
+
+            if (self.monitor_endpoint is not None
+                    and self.monitor_endpoint.running):
+                return [f"monitor: endpoint already serving at "
+                        f"{self.monitor_endpoint.url}"]
+            OBS.enable(tracing=OBS.tracing)  # a scrape of zeros helps nobody
+            self.monitor_endpoint = MetricsEndpoint(
+                OBS.metrics, port=statement.port or 0
+            )
+            self.monitor_endpoint.start()
+            return [f"monitor: serving {self.monitor_endpoint.url}/metrics "
+                    f"(and /health); 'monitor stop' shuts it down"]
+        if statement.mode == "stop":
+            if self.monitor_endpoint is None:
+                return ["monitor: no endpoint running"]
+            self.monitor_endpoint.stop()
+            self.monitor_endpoint = None
+            return ["monitor: endpoint stopped"]
+        from repro.obs.export import render_monitor
+
+        output = []
+        if not OBS.enabled:
+            output.append("(observability disabled -- counts below are "
+                          "stale; 'trace on' enables collection)")
+        output.extend(
+            render_monitor(OBS.metrics.snapshot()).splitlines()
+        )
+        return output
 
     def _run_deadlinecmd(self, statement: ast.DeadlineCmd) -> list[str]:
         if statement.mode == "set":

@@ -11,6 +11,7 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "slowlog" [ ("query"|"update") NUMBER
                             | "off" | "clear" ]
                 | "deadline" [ NUMBER | "off" ]
+                | "monitor" [ "serve" [ NUMBER ] | "stop" ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -126,6 +127,7 @@ class _Parser:
             "trace": self._parse_trace,
             "slowlog": self._parse_slowlog,
             "deadline": self._parse_deadline,
+            "monitor": self._parse_monitor,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -459,6 +461,24 @@ class _Parser:
                 raise self._error("deadline must be positive")
             return ast.DeadlineCmd("set", seconds)
         return ast.DeadlineCmd("show")
+
+    def _parse_monitor(self) -> ast.Monitor:
+        self._advance()  # monitor
+        if self._at_name("stop"):
+            self._advance()
+            return ast.Monitor("stop")
+        if self._at_name("serve"):
+            self._advance()
+            port: int | None = None
+            if self.current.kind == "NUMBER":
+                value = self._parse_number()
+                port = int(value)
+                if port != value or not 0 <= port <= 65535:
+                    raise self._error(
+                        "monitor serve takes a port in 0..65535"
+                    )
+            return ast.Monitor("serve", port)
+        return ast.Monitor("show")
 
     # -- values ------------------------------------------------------------------------------
 

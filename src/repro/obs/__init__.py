@@ -7,8 +7,11 @@ package makes that cascade *reportable* — as counters and histograms
 (:mod:`repro.obs.tracing`), per-function/per-derivation cost profiles
 (:mod:`repro.obs.profile`), a structured event log with pluggable
 sinks and causal links (:mod:`repro.obs.events`), slow-path
-attribution (:mod:`repro.obs.slowlog`), and JSON/text renderings of
-all of it (:mod:`repro.obs.export`).
+attribution (:mod:`repro.obs.slowlog`), JSON/text renderings of
+all of it (:mod:`repro.obs.export`), declarative service-level
+objectives with burn-rate alerting (:mod:`repro.obs.slo`), and a live
+stdlib HTTP exposition endpoint serving Prometheus text format
+(:mod:`repro.obs.endpoint`).
 
 Everything hangs off the process-wide :data:`OBS` context
 (:mod:`repro.obs.hooks`), which is **disabled by default**: hot paths
@@ -35,19 +38,33 @@ from repro.obs.events import (
     read_jsonl,
     span_records,
 )
+from repro.obs.endpoint import (
+    ExpositionError,
+    MetricsEndpoint,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.obs.hooks import OBS, Instrumentation
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricError,
     MetricsRegistry,
+)
+from repro.obs.slo import (
+    Objective,
+    SLOMonitor,
+    Verdict,
+    default_objectives,
 )
 from repro.obs.profile import ProfileEntry, Profiler
 from repro.obs.slowlog import SlowLog, SlowRecord
 from repro.obs.tracing import Span, SpanEvent, Tracer
 from repro.obs.export import (
     render_metrics,
+    render_monitor,
     render_profile,
     render_slowlog,
     render_stats,
@@ -62,8 +79,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricError",
     "MetricsRegistry",
+    "Objective",
+    "Verdict",
+    "SLOMonitor",
+    "default_objectives",
+    "MetricsEndpoint",
+    "ExpositionError",
+    "render_prometheus",
+    "parse_prometheus",
     "ProfileEntry",
     "Profiler",
     "Span",
@@ -85,6 +111,7 @@ __all__ = [
     "to_json",
     "write_json",
     "render_metrics",
+    "render_monitor",
     "render_profile",
     "render_slowlog",
     "render_stats",

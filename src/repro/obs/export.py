@@ -15,7 +15,8 @@ from pathlib import Path
 from repro.obs.hooks import OBS, Instrumentation
 
 __all__ = ["snapshot", "to_json", "write_json", "render_metrics",
-           "render_profile", "render_slowlog", "render_stats"]
+           "render_monitor", "render_profile", "render_slowlog",
+           "render_stats"]
 
 
 def snapshot(obs: Instrumentation | None = None) -> dict:
@@ -71,6 +72,127 @@ def render_metrics(metrics: dict) -> str:
             )
     if not lines:
         return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def _slo_value(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
+def render_monitor(metrics: dict, *, slo: dict | None = None,
+                   top: int = 5) -> str:
+    """The service-health dashboard the REPL's ``monitor`` command
+    prints: RED per operation family, lock contention (waiters,
+    upgrades, deadlocks, timeouts, worst wait/hold clusters),
+    admission saturation, breaker state, and — when an
+    :meth:`repro.obs.slo.SLOMonitor.snapshot` is passed — the SLO
+    verdicts.
+
+    ``metrics`` is a :meth:`MetricsRegistry.snapshot` dict; everything
+    here degrades to "(no ... )" placeholders when the corresponding
+    instruments have never fired, so the dashboard is safe to print
+    against a cold registry.
+    """
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    lines: list[str] = []
+
+    # -- RED: one row per service.red.<family>.* triple -----------------
+    families = sorted(
+        name.split(".")[2] for name in counters
+        if name.startswith("service.red.") and name.endswith(".requests")
+    )
+    lines.append("requests (RED):")
+    if not families:
+        lines.append("  (no service requests recorded)")
+    else:
+        rows = []
+        for family in families:
+            dur = histograms.get(
+                f"service.red.{family}.duration_seconds", {}
+            )
+            rows.append((
+                family,
+                str(counters.get(f"service.red.{family}.requests", 0)),
+                str(counters.get(f"service.red.{family}.errors", 0)),
+                _seconds(dur.get("p50")),
+                _seconds(dur.get("p95")),
+                _seconds(dur.get("p99")),
+            ))
+        headers = ("family", "requests", "errors", "p50", "p95", "p99")
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines.append(
+            "  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        for row in rows:
+            lines.append(
+                "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+
+    # -- lock contention ------------------------------------------------
+    lines.append("locks:")
+    lines.append(
+        "  waiters={:g} upgrades={} deadlocks={} timeouts={}".format(
+            gauges.get("service.lock.waiters", 0),
+            counters.get("service.lock.upgrades", 0),
+            counters.get("service.lock.deadlocks", 0),
+            counters.get("service.lock.timeouts", 0),
+        )
+    )
+    for kind in ("wait", "hold"):
+        prefix = f"service.lock.{kind}."
+        per_cluster = sorted(
+            ((name[len(prefix):], h) for name, h in histograms.items()
+             if name.startswith(prefix)),
+            key=lambda item: -(item[1].get("p95") or 0.0),
+        )
+        if per_cluster:
+            worst = ", ".join(
+                f"{cluster} p95={_seconds(h.get('p95'))} "
+                f"(n={h.get('count')})"
+                for cluster, h in per_cluster[:top]
+            )
+            lines.append(f"  worst {kind}: {worst}")
+
+    # -- admission + breaker --------------------------------------------
+    lines.append(
+        "admission: active={:g} queued={:g} shed={}".format(
+            gauges.get("service.active", 0),
+            gauges.get("service.queued", 0),
+            counters.get("service.shed", 0),
+        )
+    )
+    state_names = {0: "closed", 1: "half_open", 2: "open"}
+    code = gauges.get("service.breaker.state")
+    lines.append(
+        "breaker: "
+        + ("(no transitions recorded)" if code is None
+           else f"{state_names.get(int(code), '?')} (code {int(code)})")
+    )
+
+    # -- SLO verdicts ---------------------------------------------------
+    if slo is not None:
+        status = "healthy" if slo.get("healthy") else "ALERTING"
+        lines.append(
+            f"slo: {status} "
+            f"(raised={slo.get('alerts_raised', 0)} "
+            f"cleared={slo.get('alerts_cleared', 0)}, "
+            f"{slo.get('window_samples', 0)} samples in window)"
+        )
+        for verdict in slo.get("objectives", []):
+            marker = "ALERT" if verdict.get("alerting") else (
+                "ok" if verdict.get("ok") else "warn"
+            )
+            lines.append(
+                f"  [{marker:5}] "
+                f"{verdict.get('objective', verdict.get('name'))}"
+                f"  slow={_slo_value(verdict.get('slow_value'))}"
+                f" fast={_slo_value(verdict.get('fast_value'))}"
+            )
     return "\n".join(lines)
 
 

@@ -149,6 +149,14 @@ class _SpanScope:
     def span(self) -> Span | None:
         return self._span
 
+    @property
+    def attrs(self) -> dict:
+        """The scope's live attribute dict. Mutations made while the
+        scope is open land on the ``span.end`` record — how the service
+        stamps ``committed=True`` on a request span only once the write
+        actually committed."""
+        return self._attrs
+
 
 class _NullScope:
     """The do-nothing span scope handed out while disabled."""
@@ -164,6 +172,10 @@ class _NullScope:
     @property
     def span(self) -> None:
         return None
+
+    @property
+    def attrs(self) -> dict:
+        return {}  # fresh throwaway: writes must not leak between sites
 
 
 _NULL_SCOPE = _NullScope()
@@ -181,6 +193,7 @@ class Instrumentation:
         self.events = EventLog()
         self.slowlog = SlowLog()
         self._update_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
         # (span_id, cause) pairs for the event log when span trees are
         # not being built; per thread/task, like the tracer's stack.
         self._span_ctx: ContextVar[tuple] = ContextVar(
@@ -208,6 +221,7 @@ class Instrumentation:
         self.slowlog.reset()
         self._span_ctx.set(())
         self._update_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
 
     @contextmanager
     def collecting(self, *, tracing: bool = False, fresh: bool = True):
@@ -232,6 +246,13 @@ class Instrumentation:
         """Allocate the next update id (``u1``, ``u2``, ...) — the
         ``cause`` tag every propagation record of that update carries."""
         return f"u{next(self._update_ids)}"
+
+    def new_request_id(self) -> str:
+        """Allocate the next service request id (``r1``, ``r2``, ...)
+        — the tag a request's whole span tree carries, so admission
+        wait, lock acquisition, retry attempts, engine execution and
+        WAL commit all join back to one caller-visible operation."""
+        return f"r{next(self._request_ids)}"
 
     def current_cause(self) -> str | None:
         """The update id the innermost active span is attributed to
@@ -262,6 +283,12 @@ class Instrumentation:
     def observe(self, name: str, value: float) -> None:
         if self.enabled:
             self.metrics.histogram(name).observe(value)
+
+    def observe_log(self, name: str, value: float) -> None:
+        """Observe into a log-bucketed histogram (accurate tails over
+        unbounded streams — the service RED durations)."""
+        if self.enabled:
+            self.metrics.log_histogram(name).observe(value)
 
     def gauge(self, name: str, value: float) -> None:
         if self.enabled:

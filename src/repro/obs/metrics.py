@@ -2,13 +2,18 @@
 
 The runtime reports on its own work as structured data — how many
 chains an update enumerated, how many NCs it created, how long a WAL
-append took. Three instrument kinds cover everything the engine needs:
+append took. Four instrument kinds cover everything the engine needs:
 
 * :class:`Counter` — a monotonically increasing event count
   (``fdb.updates.delete``, ``fdb.nc.created``);
 * :class:`Gauge` — a point-in-time level (``design.graph_edges``);
-* :class:`Histogram` — a distribution of observed values, typically
-  seconds (``fdb.wal.append_seconds``).
+* :class:`Histogram` — a distribution of observed values with a
+  seeded-reservoir sample buffer for percentiles — cheap and exact
+  over short bursts (``fdb.wal.append_seconds``);
+* :class:`LogHistogram` — a log-bucketed (HDR-style) distribution
+  whose percentiles stay accurate over *unbounded* streams, with
+  mergeable buckets — what the service layer's request-duration
+  RED instruments use.
 
 A :class:`MetricsRegistry` maps dotted metric names to instruments and
 renders the whole collection as a plain, JSON-ready dict. Instruments
@@ -20,13 +25,16 @@ default lives on :data:`repro.obs.hooks.OBS`).
 
 from __future__ import annotations
 
+import math
+import os
+import random
 import threading
 from typing import Iterator
 
 from repro.errors import ReproError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "MetricError"]
+__all__ = ["Counter", "Gauge", "Histogram", "LogHistogram",
+           "MetricsRegistry", "MetricError"]
 
 
 class MetricError(ReproError):
@@ -98,19 +106,36 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value})"
 
 
+def _reservoir_rng(name: str) -> random.Random:
+    """A per-instrument RNG seeded from ``REPRO_SEED`` and the metric
+    name, so reservoir contents are reproducible across runs of the
+    same workload (``random.Random`` hashes string seeds with SHA-512,
+    which is stable across processes, unlike ``hash``)."""
+    seed = os.environ.get("REPRO_SEED", "0")
+    return random.Random(f"{seed}:{name}")
+
+
 class Histogram:
     """A distribution of observed values.
 
     Count, total, min and max are exact over every observation; mean
-    derives from them. Percentiles come from a bounded sample buffer
-    (the first ``sample_limit`` observations) — deterministic, cheap,
-    and accurate for the short bursts the benches and the REPL produce.
-    Long-running processes get exact aggregates and approximate tails,
-    which is the right trade for a diagnostic (not billing) signal.
+    derives from them. Percentiles come from a bounded *reservoir*
+    sample (Vitter's Algorithm R): the first ``sample_limit``
+    observations fill the buffer, after which each observation ``i``
+    replaces a uniformly random slot with probability
+    ``sample_limit / i`` — so the buffer is always a uniform sample of
+    the whole stream and long-run percentiles stay representative
+    instead of freezing on the warm-up burst. The trade: percentiles
+    are now estimates with sampling error (≈1/sqrt(sample_limit)
+    relative rank error) and depend on the ``REPRO_SEED``-derived RNG
+    rather than arrival order — deterministic for a fixed seed and
+    workload, but not "the first N values". Aggregates (count, total,
+    min, max, mean) remain exact. For guaranteed tail accuracy over
+    unbounded streams use :class:`LogHistogram`.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "sample_limit", "_lock")
+                 "sample_limit", "_rng", "_lock")
 
     def __init__(self, name: str, sample_limit: int = 1024) -> None:
         self.name = name
@@ -120,6 +145,7 @@ class Histogram:
         self.min: float | None = None
         self.max: float | None = None
         self._samples: list[float] = []
+        self._rng = _reservoir_rng(name)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -134,6 +160,10 @@ class Histogram:
                 self.max = value
             if len(self._samples) < self.sample_limit:
                 self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.sample_limit:
+                    self._samples[slot] = value
 
     @property
     def mean(self) -> float:
@@ -160,6 +190,7 @@ class Histogram:
             self.min = None
             self.max = None
             self._samples.clear()
+            self._rng = _reservoir_rng(self.name)
 
     def snapshot(self) -> dict:
         return {
@@ -176,6 +207,153 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count})"
 
 
+class LogHistogram:
+    """A log-bucketed (HDR-style) distribution over unbounded streams.
+
+    Observations land in geometric buckets: bucket ``i`` covers
+    ``[base**i, base**(i+1))``, kept as a sparse ``index -> count``
+    dict, so memory is O(dynamic range), not O(observations), and the
+    value reported for any percentile is off by at most a factor of
+    ``base`` (the default ``2**(1/8) ≈ 1.09`` bounds relative error at
+    ~9%, usually much less since the geometric bucket midpoint is
+    reported). Unlike the sampling :class:`Histogram`, the tails never
+    degrade: the p99.9 of the ten-millionth observation is as accurate
+    as the p50 of the hundredth. Buckets from two instruments (e.g.
+    per-worker registries) merge by addition — :meth:`merge` — which a
+    sampling buffer cannot do losslessly.
+
+    Values at or below ``min_value`` (default 1 µs — below clock
+    resolution for the latency signals this backs) share the floor
+    bucket. Count/total/min/max are exact, as in :class:`Histogram`.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "base",
+                 "min_value", "_buckets", "_log_base", "_lock")
+
+    def __init__(self, name: str, *, base: float = 2.0 ** 0.125,
+                 min_value: float = 1e-6) -> None:
+        if base <= 1.0:
+            raise MetricError(
+                f"log histogram {name!r} needs base > 1, got {base}"
+            )
+        if min_value <= 0:
+            raise MetricError(
+                f"log histogram {name!r} needs min_value > 0"
+            )
+        self.name = name
+        self.base = base
+        self.min_value = min_value
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._buckets: dict[int, int] = {}
+        self._log_base = math.log(base)
+        self._lock = threading.Lock()
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            value = self.min_value
+        return math.floor(math.log(value) / self._log_base + 1e-12)
+
+    def bucket_bound(self, index: int) -> float:
+        """The exclusive upper bound of bucket ``index``."""
+        return self.base ** (index + 1)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            index = self._index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s buckets into this instrument (the two must
+        share ``base``; merging differently-shaped grids would silently
+        misplace every count)."""
+        if other.base != self.base:
+            raise MetricError(
+                f"cannot merge {other.name!r} (base {other.base}) into "
+                f"{self.name!r} (base {self.base})"
+            )
+        with other._lock:
+            buckets = dict(other._buckets)
+            count, total = other.count, other.total
+            other_min, other_max = other.min, other.max
+        with self._lock:
+            self.count += count
+            self.total += total
+            if other_min is not None and (self.min is None
+                                          or other_min < self.min):
+                self.min = other_min
+            if other_max is not None and (self.max is None
+                                          or other_max > self.max):
+                self.max = other_max
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) by cumulative bucket rank;
+        reports the geometric midpoint of the holding bucket, clamped
+        to the exact observed min/max so the envelope stays truthful."""
+        if not 0 <= p <= 100:
+            raise MetricError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = max(1, math.ceil(p / 100 * self.count))
+            seen = 0
+            for index in sorted(self._buckets):
+                seen += self._buckets[index]
+                if seen >= rank:
+                    mid = self.base ** (index + 0.5)
+                    assert self.min is not None and self.max is not None
+                    return min(max(mid, self.min), self.max)
+            return self.max if self.max is not None else 0.0
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ascending — the
+        shape a Prometheus histogram exposition wants."""
+        with self._lock:
+            cumulative = 0
+            out: list[tuple[float, int]] = []
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                out.append((self.bucket_bound(index), cumulative))
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._buckets.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"LogHistogram({self.name!r}, n={self.count})"
+
+
 class MetricsRegistry:
     """All instruments of one process, by dotted name.
 
@@ -187,7 +365,9 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            str, Counter | Gauge | Histogram | LogHistogram
+        ] = {}
         self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type):
@@ -217,13 +397,18 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def log_histogram(self, name: str) -> LogHistogram:
+        return self._get(name, LogHistogram)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+    def __iter__(
+        self,
+    ) -> Iterator[Counter | Gauge | Histogram | LogHistogram]:
         return iter(tuple(self._metrics.values()))
 
     def reset(self) -> None:
@@ -247,7 +432,7 @@ class MetricsRegistry:
                 counters[name] = instrument.snapshot()
             elif isinstance(instrument, Gauge):
                 gauges[name] = instrument.snapshot()
-            else:
+            else:  # Histogram and LogHistogram share the snapshot shape
                 histograms[name] = instrument.snapshot()
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}

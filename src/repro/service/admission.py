@@ -60,13 +60,17 @@ class AdmissionGate:
         limit = self.queue_timeout
         if deadline is not None:
             limit = min(limit, max(deadline.remaining(), 0.0))
-        expires = time.monotonic() + limit
+        started = time.monotonic()
+        expires = started + limit
         with self._cond:
             if self._closed:
                 raise ServiceClosed("service is draining; no new requests")
             if self._active < self.max_concurrent:
                 self._active += 1
                 self._publish()
+                if OBS.enabled:
+                    OBS.observe_log("service.admission.wait_seconds",
+                                    time.monotonic() - started)
                 return
             if self._queued >= self.max_queue:
                 self.shed += 1
@@ -88,6 +92,11 @@ class AdmissionGate:
                         )
                     if self._active < self.max_concurrent:
                         self._active += 1
+                        if OBS.enabled:
+                            OBS.observe_log(
+                                "service.admission.wait_seconds",
+                                time.monotonic() - started,
+                            )
                         return
                     remaining = expires - time.monotonic()
                     if remaining <= 0:

@@ -34,11 +34,15 @@ import time
 from repro.errors import ServiceReadOnly
 from repro.obs.hooks import OBS
 
-__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN", "STATE_CODE"]
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+# Numeric codes for the ``service.breaker.state`` gauge: a dashboard
+# can alert on ``> 0`` (degraded) or ``== 2`` (failing fast).
+STATE_CODE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 
 
 class CircuitBreaker:
@@ -169,4 +173,5 @@ class CircuitBreaker:
         self._state = state
         if OBS.enabled:
             OBS.inc(f"service.breaker.{state}")
+            OBS.gauge("service.breaker.state", STATE_CODE[state])
             OBS.action(f"breaker.{state}", reason=reason)

@@ -67,6 +67,10 @@ class LockManager:
         self._exclusive: dict[str, tuple[int, int]] = {}
         # owner -> (resource, mode) it is currently parked on
         self._waiting: dict[int, tuple[str, str]] = {}
+        # (resource, owner, mode) -> grant time, for hold histograms;
+        # populated only while OBS is enabled, popped defensively so a
+        # mid-run toggle cannot leak entries.
+        self._held_since: dict[tuple[str, int, str], float] = {}
 
     # -- grant rules --------------------------------------------------------
 
@@ -133,12 +137,19 @@ class LockManager:
         expires = time.monotonic() + limit
         started = time.monotonic()
         with self._cond:
+            if (OBS.enabled and mode == EXCLUSIVE
+                    and me in self._shared.get(resource, ())):
+                OBS.inc("service.lock.upgrades")
             while True:
                 if self._may_grant(resource, mode, me):
                     self._grant(resource, mode, me)
                     if OBS.enabled:
-                        OBS.observe("service.lock.wait_seconds",
-                                    time.monotonic() - started)
+                        waited = time.monotonic() - started
+                        OBS.observe("service.lock.wait_seconds", waited)
+                        OBS.observe_log(
+                            f"service.lock.wait.{mode}.{resource}",
+                            waited,
+                        )
                     return
                 if self._deadlocked(me, resource, mode):
                     if OBS.enabled:
@@ -161,21 +172,39 @@ class LockManager:
                         f"within {limit:.3f}s"
                     )
                 self._waiting[me] = (resource, mode)
+                if OBS.enabled:
+                    OBS.gauge("service.lock.waiters", len(self._waiting))
                 try:
                     self._cond.wait(min(remaining, 0.05))
                 finally:
                     self._waiting.pop(me, None)
+                    if OBS.enabled:
+                        OBS.gauge("service.lock.waiters",
+                                  len(self._waiting))
 
     def _grant(self, resource: str, mode: str, owner: int) -> None:
         if mode == SHARED:
             holders = self._shared.setdefault(resource, {})
+            fresh = owner not in holders
             holders[owner] = holders.get(owner, 0) + 1
         else:
             current = self._exclusive.get(resource)
-            if current is not None and current[0] == owner:
+            fresh = current is None or current[0] != owner
+            if not fresh:
                 self._exclusive[resource] = (owner, current[1] + 1)
             else:
                 self._exclusive[resource] = (owner, 1)
+        if fresh and OBS.enabled:
+            self._held_since[(resource, owner, mode)] = time.monotonic()
+
+    def _note_released(self, resource: str, owner: int,
+                       mode: str) -> None:
+        """The owner's last hold on ``resource`` just went away; feed
+        the per-cluster hold-time histogram. Caller holds ``_cond``."""
+        since = self._held_since.pop((resource, owner, mode), None)
+        if since is not None and OBS.enabled:
+            OBS.observe_log(f"service.lock.hold.{mode}.{resource}",
+                            time.monotonic() - since)
 
     def release(self, resource: str, mode: str = SHARED, *,
                 owner: int | None = None) -> None:
@@ -193,6 +222,7 @@ class LockManager:
                 holders[me] -= 1
                 if holders[me] == 0:
                     del holders[me]
+                    self._note_released(resource, me, SHARED)
                 if not holders:
                     del self._shared[resource]
             else:
@@ -206,6 +236,7 @@ class LockManager:
                     self._exclusive[resource] = (me, current[1] - 1)
                 else:
                     del self._exclusive[resource]
+                    self._note_released(resource, me, EXCLUSIVE)
             self._cond.notify_all()
 
     def release_all(self, owner: int | None = None) -> None:
@@ -216,11 +247,13 @@ class LockManager:
                              if me in holders]:
                 holders = self._shared[resource]
                 del holders[me]
+                self._note_released(resource, me, SHARED)
                 if not holders:
                     del self._shared[resource]
             for resource in [r for r, (o, _) in self._exclusive.items()
                              if o == me]:
                 del self._exclusive[resource]
+                self._note_released(resource, me, EXCLUSIVE)
             self._cond.notify_all()
 
     @contextmanager

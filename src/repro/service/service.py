@@ -35,27 +35,47 @@ circuit breaker that converts a dead log device into fast
 :class:`ServiceReadOnly` rejections instead of a convoy; and a drain
 that stops admissions, waits the executing tail out, and leaves the
 database consistent.
+
+**Telemetry.** Every public operation runs as one *request*: a fresh
+request id, a ``service.request`` span under which admission wait
+(``service.admission``), lock acquisition (``service.locks`` —
+acquisition only, not the hold), retry attempts (``service.attempt``),
+engine execution (``service.engine``) and the WAL commit
+(``wal.commit``) nest, emitted as typed event records that
+:func:`repro.obs.events.propagation_dag` joins to the update
+propagation DAG. On completion the request feeds the per-family RED
+instruments (``service.red.<family>.{requests,errors,duration_seconds}``)
+and the service's :class:`repro.obs.slo.SLOMonitor`; the span's end
+record is stamped ``committed=True`` exactly when the operation landed
+in :meth:`DatabaseService.committed_ops` — the invariant the chaos
+soak checks. :meth:`DatabaseService.serve_metrics` exposes all of it
+live over HTTP.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 import threading
 import time
+from contextlib import ExitStack, contextmanager
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.cancel import Deadline, deadline_scope
-from repro.errors import DeadlockDetected, LockTimeout, PersistenceError
+from repro.errors import (DeadlockDetected, LockTimeout, PersistenceError,
+                          ServiceOverloaded)
 from repro.fdb import wal as wal_module
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.logic import Truth
 from repro.fdb.transaction import Transaction
 from repro.fdb.updates import Update, UpdateSequence, apply_update
 from repro.fdb.values import Value
+from repro.obs.endpoint import MetricsEndpoint
 from repro.obs.hooks import OBS
+from repro.obs.slo import Objective, SLOMonitor
 from repro.service.admission import AdmissionGate
-from repro.service.breaker import CircuitBreaker
+from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.locks import EXCLUSIVE, SHARED, LockManager
 from repro.service.retry import DEFAULT_RETRYABLE, RetryPolicy
 
@@ -123,6 +143,7 @@ class DatabaseService:
         max_queue: int = 16,
         queue_timeout: float = 1.0,
         breaker: CircuitBreaker | None = None,
+        objectives: Iterable[Objective] | None = None,
         seed: int = 0,
     ) -> None:
         self.db = db
@@ -137,6 +158,10 @@ class DatabaseService:
                                   max_queue=max_queue,
                                   queue_timeout=queue_timeout)
         self.breaker = breaker or CircuitBreaker()
+        self.slo = SLOMonitor(
+            tuple(objectives) if objectives is not None else None
+        )
+        self.endpoint: MetricsEndpoint | None = None
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
         self._cluster_of = _clusters(db)
@@ -166,6 +191,48 @@ class DatabaseService:
             return deadline
         return Deadline(deadline)
 
+    @contextmanager
+    def _request(self, family: str):
+        """One caller-visible operation, instrumented end to end.
+
+        Opens the ``service.request`` span (fresh request id, operation
+        family) under which admission, lock acquisition, retry attempts
+        and engine spans nest; on the way out feeds the RED instruments
+        (``service.red.<family>.*``) and the SLO monitor, classifying
+        the outcome: shed (:class:`ServiceOverloaded`), error (any
+        other raise), or success. The yielded scope's ``attrs`` dict is
+        live — callers stamp ``committed=True`` once the write landed,
+        and the ``span.end`` record carries it (the chaos soak matches
+        those records against ``committed_ops()``).
+        """
+        started = time.perf_counter()
+        scope = OBS.span(
+            "service.request", key=family,
+            request=OBS.new_request_id() if OBS.enabled else None,
+            family=family, committed=False,
+        )
+        error = shed = False
+        try:
+            with scope:
+                yield scope
+        except ServiceOverloaded:
+            error = shed = True
+            raise
+        except BaseException:
+            error = True
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            self.slo.record(family, elapsed, error=error, shed=shed)
+            if OBS.enabled:
+                OBS.inc(f"service.red.{family}.requests")
+                if error:
+                    OBS.inc(f"service.red.{family}.errors")
+                OBS.observe_log(
+                    f"service.red.{family}.duration_seconds", elapsed
+                )
+            self.slo.maybe_evaluate()
+
     def cluster_of(self, name: str) -> str:
         """The lock resource guarding ``name`` (exposed for tests)."""
         try:
@@ -188,18 +255,27 @@ class DatabaseService:
         """Run ``fn(db)`` while the clusters of ``names`` are held
         shared. ``fn`` must not mutate."""
         limit = self._deadline(deadline)
-        self.gate.enter(deadline=limit)
-        try:
-            self._bump("reads")
-            if OBS.enabled:
-                OBS.inc("service.reads")
-            with self.locks.held(self._clusters_for(names), SHARED,
-                                 timeout=self.lock_timeout,
-                                 deadline=limit):
-                with deadline_scope(limit):
-                    return fn(self.db)
-        finally:
-            self.gate.leave()
+        with self._request("read"):
+            with OBS.span("service.admission"):
+                self.gate.enter(deadline=limit)
+            try:
+                self._bump("reads")
+                if OBS.enabled:
+                    OBS.inc("service.reads")
+                with ExitStack() as stack:
+                    # The span covers *acquisition only*: the stack
+                    # keeps the locks held for the body, so wait time
+                    # and work time stay separable in the trace.
+                    with OBS.span("service.locks", mode=SHARED):
+                        stack.enter_context(self.locks.held(
+                            self._clusters_for(names), SHARED,
+                            timeout=self.lock_timeout, deadline=limit,
+                        ))
+                    with OBS.span("service.engine"):
+                        with deadline_scope(limit):
+                            return fn(self.db)
+            finally:
+                self.gate.leave()
 
     def truth_of(self, name: str, x: Value, y: Value, *,
                  deadline: Deadline | float | None = None) -> Truth:
@@ -225,19 +301,29 @@ class DatabaseService:
         gives up."""
         limit = self._deadline(deadline)
         clusters = self._clusters_for(_touched(update))
-        self.gate.enter(deadline=limit)
-        try:
-            self._bump("writes")
-            if OBS.enabled:
-                OBS.inc("service.writes")
-            self.retry.run(
-                lambda: self._write_once(update, clusters, limit),
-                rng=self._locked_rng(),
-                deadline=limit,
-                on_retry=self._on_retry,
-            )
-        finally:
-            self.gate.leave()
+        with self._request("execute") as req:
+            with OBS.span("service.admission"):
+                self.gate.enter(deadline=limit)
+            try:
+                self._bump("writes")
+                if OBS.enabled:
+                    OBS.inc("service.writes")
+                attempts = itertools.count(1)
+
+                def once() -> None:
+                    with OBS.span("service.attempt",
+                                  attempt=next(attempts)):
+                        self._write_once(update, clusters, limit)
+
+                self.retry.run(
+                    once,
+                    rng=self._locked_rng(),
+                    deadline=limit,
+                    on_retry=self._on_retry,
+                )
+                req.attrs["committed"] = True
+            finally:
+                self.gate.leave()
 
     def _locked_rng(self) -> random.Random:
         # random.Random is internally consistent enough for jitter, but
@@ -264,26 +350,31 @@ class DatabaseService:
             self.breaker.allow()
         storage_verdict = False
         try:
-            with self.locks.held({WRITE_RESOURCE} | clusters, EXCLUSIVE,
-                                 timeout=self.lock_timeout,
-                                 deadline=limit):
+            with ExitStack() as stack:
+                with OBS.span("service.locks", mode=EXCLUSIVE,
+                              resources=len(clusters) + 1):
+                    stack.enter_context(self.locks.held(
+                        {WRITE_RESOURCE} | clusters, EXCLUSIVE,
+                        timeout=self.lock_timeout, deadline=limit,
+                    ))
                 with deadline_scope(limit):
-                    if self.logged is not None:
-                        try:
-                            self.logged.execute(update)
-                        except (OSError, PersistenceError) as exc:
+                    with OBS.span("service.engine"):
+                        if self.logged is not None:
+                            try:
+                                self.logged.execute(update)
+                            except (OSError, PersistenceError) as exc:
+                                storage_verdict = True
+                                self.breaker.record_failure(exc)
+                                raise
                             storage_verdict = True
-                            self.breaker.record_failure(exc)
-                            raise
-                        storage_verdict = True
-                        self.breaker.record_success()
-                    else:
-                        with Transaction(self.db):
-                            if isinstance(update, UpdateSequence):
-                                for simple in update:
-                                    apply_update(self.db, simple)
-                            else:
-                                apply_update(self.db, update)
+                            self.breaker.record_success()
+                        else:
+                            with Transaction(self.db):
+                                if isinstance(update, UpdateSequence):
+                                    for simple in update:
+                                        apply_update(self.db, simple)
+                                else:
+                                    apply_update(self.db, update)
                 # Still holding __write__: commit order == list order.
                 with self._committed_lock:
                     self.committed.append(update)
@@ -324,28 +415,43 @@ class DatabaseService:
         update applied, or None when ``build`` declined."""
         limit = self._deadline(deadline)
         name_list = tuple(names)
-        self.gate.enter(deadline=limit)
-        try:
-            self._bump("writes")
-            if OBS.enabled:
-                OBS.inc("service.rmw")
-            return self.retry.run(
-                lambda: self._rmw_once(name_list, build, limit),
-                rng=self._locked_rng(),
-                deadline=limit,
-                on_retry=self._on_retry,
-            )
-        finally:
-            self.gate.leave()
+        with self._request("rmw") as req:
+            with OBS.span("service.admission"):
+                self.gate.enter(deadline=limit)
+            try:
+                self._bump("writes")
+                if OBS.enabled:
+                    OBS.inc("service.rmw")
+                attempts = itertools.count(1)
+
+                def once():
+                    with OBS.span("service.attempt",
+                                  attempt=next(attempts)):
+                        return self._rmw_once(name_list, build, limit)
+
+                applied = self.retry.run(
+                    once,
+                    rng=self._locked_rng(),
+                    deadline=limit,
+                    on_retry=self._on_retry,
+                )
+                if applied is not None:
+                    req.attrs["committed"] = True
+                return applied
+            finally:
+                self.gate.leave()
 
     def _rmw_once(self, names: tuple[str, ...], build,
                   limit: Deadline | None):
         clusters = self._clusters_for(names)
         me = threading.get_ident()
         try:
-            with self.locks.held(clusters, SHARED,
-                                 timeout=self.lock_timeout,
-                                 deadline=limit):
+            with ExitStack() as read_stack:
+                with OBS.span("service.locks", mode=SHARED):
+                    read_stack.enter_context(self.locks.held(
+                        clusters, SHARED,
+                        timeout=self.lock_timeout, deadline=limit,
+                    ))
                 with deadline_scope(limit):
                     update = build(self.db)
                 if update is None:
@@ -360,27 +466,36 @@ class DatabaseService:
                     self.breaker.allow()
                 storage_verdict = False
                 try:
-                    with self.locks.held(
-                        {WRITE_RESOURCE} | clusters | extra, EXCLUSIVE,
-                        timeout=self.lock_timeout, deadline=limit,
-                    ):
+                    with ExitStack() as write_stack:
+                        with OBS.span("service.locks", mode=EXCLUSIVE,
+                                      upgrade=True):
+                            write_stack.enter_context(self.locks.held(
+                                {WRITE_RESOURCE} | clusters | extra,
+                                EXCLUSIVE,
+                                timeout=self.lock_timeout,
+                                deadline=limit,
+                            ))
                         with deadline_scope(limit):
-                            if self.logged is not None:
-                                try:
-                                    self.logged.execute(update)
-                                except (OSError, PersistenceError) as exc:
+                            with OBS.span("service.engine"):
+                                if self.logged is not None:
+                                    try:
+                                        self.logged.execute(update)
+                                    except (OSError,
+                                            PersistenceError) as exc:
+                                        storage_verdict = True
+                                        self.breaker.record_failure(exc)
+                                        raise
                                     storage_verdict = True
-                                    self.breaker.record_failure(exc)
-                                    raise
-                                storage_verdict = True
-                                self.breaker.record_success()
-                            else:
-                                with Transaction(self.db):
-                                    if isinstance(update, UpdateSequence):
-                                        for simple in update:
-                                            apply_update(self.db, simple)
-                                    else:
-                                        apply_update(self.db, update)
+                                    self.breaker.record_success()
+                                else:
+                                    with Transaction(self.db):
+                                        if isinstance(update,
+                                                      UpdateSequence):
+                                            for simple in update:
+                                                apply_update(self.db,
+                                                             simple)
+                                        else:
+                                            apply_update(self.db, update)
                         with self._committed_lock:
                             self.committed.append(update)
                     return update
@@ -400,27 +515,34 @@ class DatabaseService:
         (no writer can be mid-append), leaving readers undisturbed."""
         if self.logged is None:
             raise PersistenceError("no update log attached")
-        self.gate.enter()
-        try:
-            self._bump("checkpoints")
-            self.breaker.allow()
-            verdict = False
+        with self._request("checkpoint"):
+            with OBS.span("service.admission"):
+                self.gate.enter()
             try:
-                with self.locks.held((WRITE_RESOURCE,), EXCLUSIVE,
-                                     timeout=self.lock_timeout):
-                    try:
-                        wal_module.checkpoint(self.logged, snapshot_path)
-                    except (OSError, PersistenceError) as exc:
+                self._bump("checkpoints")
+                self.breaker.allow()
+                verdict = False
+                try:
+                    with ExitStack() as stack:
+                        with OBS.span("service.locks", mode=EXCLUSIVE):
+                            stack.enter_context(self.locks.held(
+                                (WRITE_RESOURCE,), EXCLUSIVE,
+                                timeout=self.lock_timeout,
+                            ))
+                        try:
+                            wal_module.checkpoint(self.logged,
+                                                  snapshot_path)
+                        except (OSError, PersistenceError) as exc:
+                            verdict = True
+                            self.breaker.record_failure(exc)
+                            raise
                         verdict = True
-                        self.breaker.record_failure(exc)
-                        raise
-                    verdict = True
-                    self.breaker.record_success()
+                        self.breaker.record_success()
+                finally:
+                    if not verdict:
+                        self.breaker.release_probe()
             finally:
-                if not verdict:
-                    self.breaker.release_probe()
-        finally:
-            self.gate.leave()
+                self.gate.leave()
 
     # -- shutdown -----------------------------------------------------------
 
@@ -432,10 +554,12 @@ class DatabaseService:
         return self.gate.wait_idle(timeout)
 
     def close(self, *, drain: bool = True, timeout: float = 10.0) -> bool:
-        """Drain (optionally) and mark the service closed."""
+        """Drain (optionally), stop the metrics endpoint if one is
+        serving, and mark the service closed."""
         drained = self.drain(timeout) if drain else True
         if not drain:
             self.gate.close()
+        self.stop_metrics()
         if OBS.enabled:
             OBS.action("service.closed", drained=drained)
         return drained
@@ -443,6 +567,41 @@ class DatabaseService:
     @property
     def closed(self) -> bool:
         return self.gate.closed
+
+    # -- live exposition ----------------------------------------------------
+
+    def serve_metrics(self, *, host: str = "127.0.0.1",
+                      port: int = 0) -> MetricsEndpoint:
+        """Start (or return, if already serving) the live exposition
+        endpoint: ``/metrics`` (Prometheus text), ``/health`` (breaker
+        + SLO verdict, 200/503) and ``/slo`` (JSON) — see
+        :mod:`repro.obs.endpoint`. Port 0 picks a free port; the bound
+        address is ``self.endpoint.url``. Stopped by :meth:`close` or
+        :meth:`stop_metrics`."""
+        if self.endpoint is None or not self.endpoint.running:
+            self.endpoint = MetricsEndpoint(
+                OBS.metrics, slo=self.slo, health=self._health,
+                host=host, port=port,
+            ).start()
+        return self.endpoint
+
+    def stop_metrics(self) -> None:
+        """Stop the exposition endpoint if one is serving. Idempotent."""
+        if self.endpoint is not None:
+            self.endpoint.stop()
+            self.endpoint = None
+
+    def _health(self) -> dict:
+        """The ``/health`` verdict body (the endpoint folds in SLO
+        alerts): healthy means writes are being accepted — breaker not
+        OPEN and the gate not draining."""
+        breaker = self.breaker.state
+        return {
+            "healthy": breaker != OPEN and not self.closed,
+            "breaker": breaker,
+            "draining": self.closed,
+            "committed": len(self.committed),
+        }
 
     # -- reporting ----------------------------------------------------------
 
@@ -454,6 +613,10 @@ class DatabaseService:
         snapshot["breaker_trips"] = self.breaker.trips
         snapshot["breaker_resets"] = self.breaker.resets
         snapshot["committed"] = len(self.committed)
+        snapshot["slo_healthy"] = self.slo.healthy
+        snapshot["slo_alerts"] = list(self.slo.alerts)
+        snapshot["slo_alerts_raised"] = self.slo.raised
+        snapshot["slo_alerts_cleared"] = self.slo.cleared
         return snapshot
 
     def committed_ops(self) -> tuple[Update | UpdateSequence, ...]:

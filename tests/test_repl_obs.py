@@ -137,7 +137,58 @@ class TestTraceDot:
         assert not out.exists()
 
 
+class TestMonitorCommand:
+    def test_parse_shapes(self):
+        assert parse_statement("monitor") == ast.Monitor("show")
+        assert parse_statement("monitor serve") == ast.Monitor("serve")
+        assert parse_statement("monitor serve 8123") == \
+            ast.Monitor("serve", 8123)
+        assert parse_statement("monitor stop") == ast.Monitor("stop")
+
+    def test_parse_rejects_bad_port(self):
+        with pytest.raises(ParseError):
+            parse_statement("monitor serve 70000")
+        with pytest.raises(ParseError):
+            parse_statement("monitor serve 80.5")
+
+    def test_show_renders_dashboard(self):
+        interpreter = _ready()
+        output = interpreter.execute("monitor")
+        text = "\n".join(output)
+        assert "requests (RED)" in text
+        assert "locks:" in text
+        assert "breaker:" in text
+        # OBS is disabled in this session, and the dashboard says so.
+        assert "observability disabled" in text
+
+    def test_serve_scrape_stop_cycle(self):
+        import urllib.request
+
+        from repro.obs.endpoint import parse_prometheus
+
+        interpreter = _ready()
+        (line,) = interpreter.execute("monitor serve")
+        assert "http://127.0.0.1:" in line
+        assert OBS.enabled  # serving turned collection on
+        endpoint = interpreter.monitor_endpoint
+        assert endpoint is not None and endpoint.running
+        interpreter.execute("insert teach(noether, algebra)")
+        body = urllib.request.urlopen(
+            endpoint.url + "/metrics", timeout=5
+        ).read().decode("utf-8")
+        parse_prometheus(body)
+        assert "fdb_" in body
+        (again,) = interpreter.execute("monitor serve")
+        assert "already serving" in again
+        (stopped,) = interpreter.execute("monitor stop")
+        assert "stopped" in stopped
+        assert interpreter.monitor_endpoint is None
+        (nothing,) = interpreter.execute("monitor stop")
+        assert "no endpoint" in nothing
+
+
 class TestHelp:
     def test_help_documents_the_commands(self):
         assert "slowlog" in HELP_TEXT
         assert "--dot" in HELP_TEXT
+        assert "monitor" in HELP_TEXT

@@ -1,0 +1,190 @@
+"""SLO objectives and the burn-rate monitor.
+
+Covers objective validation and description, the multiwindow alert
+rule (raise only when both the slow and fast windows are violated,
+clear as soon as the fast window recovers), the three measurement
+kinds, and the ``slo.*`` counters/actions the transitions emit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricError
+from repro.obs import OBS, Objective, RingBufferSink, SLOMonitor
+from repro.obs.slo import ERROR_RATE, LATENCY, SHED_RATE, default_objectives
+
+
+def _scrub():
+    OBS.disable()
+    OBS.reset()
+    OBS.metrics.clear()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    _scrub()
+    yield
+    _scrub()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def monitor(objective: Objective) -> tuple[SLOMonitor, FakeClock]:
+    clock = FakeClock()
+    return SLOMonitor((objective,), clock=clock), clock
+
+
+class TestObjective:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(MetricError):
+            Objective("x", "throughput", 1.0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(MetricError):
+            Objective("x", LATENCY, -0.5)
+
+    def test_rejects_bad_fast_fraction(self):
+        with pytest.raises(MetricError):
+            Objective("x", LATENCY, 0.1, fast_fraction=1.5)
+
+    def test_describe_is_human_readable(self):
+        assert Objective("x", LATENCY, 0.050, family="execute",
+                         percentile=99).describe() == \
+            "p99 execute latency < 50ms"
+        assert "error rate < 1%" in Objective(
+            "y", ERROR_RATE, 0.01).describe()
+
+    def test_fast_window_is_a_fraction_of_the_slow(self):
+        objective = Objective("x", LATENCY, 0.1, window=60.0,
+                              fast_fraction=1 / 6)
+        assert objective.fast_window == pytest.approx(10.0)
+
+    def test_defaults_cover_latency_errors_and_shedding(self):
+        kinds = {o.kind for o in default_objectives()}
+        assert kinds == {LATENCY, ERROR_RATE, SHED_RATE}
+
+
+class TestBurnRateRule:
+    def test_raises_only_when_both_windows_violated(self):
+        slo, clock = monitor(Objective(
+            "err", ERROR_RATE, 0.10, window=60.0, fast_fraction=1 / 6))
+        # Errors old enough to be outside the fast window: slow window
+        # is violated, fast is healthy — no alert.
+        for _ in range(10):
+            slo.record("execute", 0.001, error=True)
+        clock.advance(30.0)
+        for _ in range(10):
+            slo.record("execute", 0.001)
+        slo.evaluate()
+        assert slo.healthy
+        # Fresh errors violate the fast window too — now it fires.
+        for _ in range(10):
+            slo.record("execute", 0.001, error=True)
+        slo.evaluate()
+        assert not slo.healthy
+        assert slo.raised == 1
+
+    def test_clears_when_fast_window_recovers(self):
+        slo, clock = monitor(Objective(
+            "err", ERROR_RATE, 0.10, window=60.0, fast_fraction=1 / 6))
+        for _ in range(10):
+            slo.record("execute", 0.001, error=True)
+        slo.evaluate()
+        assert not slo.healthy
+        # The errors age past the fast window; successes replace them.
+        clock.advance(15.0)
+        for _ in range(10):
+            slo.record("execute", 0.001)
+        slo.evaluate()
+        assert slo.healthy
+        assert slo.cleared == 1
+
+    def test_latency_percentile_measurement(self):
+        slo, _ = monitor(Objective(
+            "lat", LATENCY, 0.050, family="execute", percentile=99,
+            window=60.0))
+        for _ in range(98):
+            slo.record("execute", 0.001)
+        slo.record("execute", 0.500)
+        slo.record("execute", 0.500)
+        (verdict,) = slo.evaluate()
+        assert not verdict.ok
+        assert verdict.slow_value == pytest.approx(0.500)
+
+    def test_family_filter_ignores_other_traffic(self):
+        slo, _ = monitor(Objective(
+            "lat", LATENCY, 0.050, family="execute", window=60.0))
+        slo.record("read", 9.0)  # terrible, but not our family
+        (verdict,) = slo.evaluate()
+        assert verdict.ok
+
+    def test_shed_rate_measurement(self):
+        slo, _ = monitor(Objective(
+            "shed", SHED_RATE, 0.10, window=60.0))
+        for i in range(10):
+            slo.record("execute", 0.001, error=(i < 2), shed=(i < 2))
+        (verdict,) = slo.evaluate()
+        assert verdict.slow_value == pytest.approx(0.2)
+        assert not verdict.ok
+
+    def test_empty_window_is_healthy(self):
+        slo, clock = monitor(Objective(
+            "err", ERROR_RATE, 0.10, window=1.0))
+        slo.record("execute", 0.001, error=True)
+        clock.advance(10.0)  # everything aged out
+        (verdict,) = slo.evaluate()
+        assert verdict.ok
+        assert verdict.slow_value is None
+
+    def test_samples_prune_to_the_window_horizon(self):
+        slo, clock = monitor(Objective(
+            "err", ERROR_RATE, 0.10, window=1.0))
+        for _ in range(5):
+            slo.record("execute", 0.001)
+            clock.advance(2.0)
+        slo.record("execute", 0.001)
+        assert slo.snapshot()["window_samples"] == 1
+
+
+class TestTransitionNarration:
+    def test_raise_and_clear_emit_counters_and_actions(self):
+        OBS.enable()
+        sink = OBS.events.add_sink(RingBufferSink())
+        try:
+            slo, clock = monitor(Objective(
+                "err", ERROR_RATE, 0.10, window=60.0,
+                fast_fraction=1 / 6))
+            for _ in range(10):
+                slo.record("execute", 0.001, error=True)
+            slo.evaluate()
+            clock.advance(15.0)
+            for _ in range(10):
+                slo.record("execute", 0.001)
+            slo.evaluate()
+        finally:
+            OBS.events.remove_sink(sink)
+        names = [r.name for r in sink.records if r.kind == "action"]
+        assert "slo.alert_raised" in names
+        assert "slo.alert_cleared" in names
+        assert OBS.metrics.counter("slo.alerts_raised").value == 1
+        assert OBS.metrics.counter("slo.alerts_cleared").value == 1
+        assert OBS.metrics.gauge("slo.alerts_active").value == 0
+
+    def test_snapshot_shape(self):
+        slo, _ = monitor(Objective("err", ERROR_RATE, 0.10))
+        snap = slo.snapshot()
+        assert snap["healthy"] is True
+        assert snap["alerts"] == []
+        (verdict,) = snap["objectives"]
+        assert verdict["name"] == "err"
+        assert "objective" in verdict
