@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.bench                 # full E1–E16 suite
+    python -m repro.bench                 # full E1–E17 suite
     python -m repro.bench e4 e10          # a named subset
     python -m repro.bench --smoke         # scaled-down E4/E10/E15/E16 (CI)
     python -m repro.bench --list          # what exists
@@ -54,11 +54,11 @@ def _repo_root() -> Path:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the E1-E16 benches with metric snapshots and "
+        description="Run the E1-E17 benches with metric snapshots and "
                     "a regression comparison.",
     )
     parser.add_argument("exps", nargs="*",
-                        help="experiment keys (e1..e16); default all")
+                        help="experiment keys (e1..e17); default all")
     parser.add_argument("--smoke", action="store_true",
                         help=f"scaled-down {'/'.join(SMOKE_EXPS)} at "
                              f"scale {SMOKE_SCALE} (CI smoke job)")

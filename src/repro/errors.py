@@ -32,6 +32,11 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceReadOnly",
     "ServiceClosed",
+    "ReplicationError",
+    "StalePrimary",
+    "ReplicationTimeout",
+    "StalenessUnserved",
+    "ReplicaDiverged",
 ]
 
 
@@ -163,6 +168,47 @@ class ServiceReadOnly(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service is draining or closed and accepts no new requests."""
+
+
+class ReplicationError(ServiceError):
+    """A replication-layer operation failed (shipping, failover,
+    catch-up). Subclasses distinguish the caller-visible cases."""
+
+
+class StalePrimary(ReplicationError):
+    """A deposed primary tried to commit after the group moved on.
+
+    Raised by the epoch fence: the writer's term is below the group's
+    current term, so accepting the write would fork the committed
+    history (split brain). The write was rejected *before* it could
+    reach the write-ahead log.
+    """
+
+    def __init__(self, writer_term: int, group_term: int) -> None:
+        super().__init__(
+            f"stale primary: writer holds term {writer_term}, the "
+            f"group is at term {group_term}"
+        )
+        self.writer_term = writer_term
+        self.group_term = group_term
+
+
+class ReplicationTimeout(ReplicationError):
+    """The commit mode's durability quota (sync(k)/quorum acks) was
+    not met within the ack timeout. The update is durable and applied
+    on the primary but was *not* acknowledged to the caller — after a
+    failover it may legitimately be absent."""
+
+
+class StalenessUnserved(ReplicationError):
+    """No replica satisfied the read's bounded-staleness requirement
+    (``max_lag_seq`` / ``max_lag_seconds``)."""
+
+
+class ReplicaDiverged(ReplicationError):
+    """A replica refused a record stream that conflicts with what it
+    already applied (term regression or sequence mismatch) — the
+    catch-up protocol must re-bootstrap it from a checkpoint."""
 
 
 class ParseError(ReproError):

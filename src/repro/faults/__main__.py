@@ -17,6 +17,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--soak", action="store_true",
                         help="run the concurrent chaos soak instead of "
                              "the crash matrix")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="with --soak: run the replication soak "
+                             "(partition / replica-crash / "
+                             "primary-kill failover matrix) against "
+                             "this many replicas instead of the "
+                             "single-node soak")
+    parser.add_argument("--modes", default="sync(1),quorum",
+                        help="replication soak commit modes, "
+                             "comma-separated (default "
+                             "'sync(1),quorum')")
+    parser.add_argument("--scenarios",
+                        default="partition,replica_crash,primary_kill",
+                        help="replication soak scenarios, "
+                             "comma-separated")
     parser.add_argument("--threads", type=int, default=8,
                         help="soak worker threads (default 8)")
     parser.add_argument("--ops", type=int, default=30,
@@ -42,6 +56,32 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.harness import main as matrix_main
 
         return matrix_main()
+
+    if args.replicas > 0:
+        from repro.faults.replication import (
+            ReplicationSoakConfig,
+            run_replication_soak,
+        )
+
+        repl_report = run_replication_soak(ReplicationSoakConfig(
+            replicas=args.replicas,
+            threads=args.threads,
+            ops_per_thread=args.ops,
+            seed=args.seed,
+            jsonl=args.jsonl,
+            modes=tuple(
+                m.strip() for m in args.modes.split(",") if m.strip()
+            ),
+            scenarios=tuple(
+                s.strip() for s in args.scenarios.split(",")
+                if s.strip()
+            ),
+            serve_endpoint=not args.no_endpoint,
+            scrape_dir=args.scrape_dir,
+        ))
+        for line in repl_report.lines():
+            print(line)
+        return 0 if repl_report.ok else 1
 
     from repro.faults.soak import SoakConfig, run_soak
 

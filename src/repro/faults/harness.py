@@ -222,11 +222,15 @@ def run_scenario(point: str, fault: Fault, workdir: Path,
 def run_crash_matrix(base_dir: Path,
                      workload: list[tuple] | None = None
                      ) -> list[CrashOutcome]:
-    """Every registered fault point × its applicable faults, plus one
-    un-faulted control run."""
+    """Every registered single-node fault point × its applicable
+    faults, plus one un-faulted control run. ``repl.*`` points only
+    fire in a replicated topology; the failover matrix in
+    :mod:`repro.faults.replication` owns them."""
     outcomes: list[CrashOutcome] = []
     cell = 0
     for info in FAULTS.points():
+        if info.name.startswith("repl."):
+            continue
         faults: list[Fault] = [CrashFault()]
         if info.supports_torn_write:
             faults.extend(TornWrite(n) for n in _TORN_PREFIXES)

@@ -331,16 +331,23 @@ class FunctionalDatabase:
             "next_null_index": self.nulls.next_index,
         }
 
-    def stats(self) -> dict:
+    def stats(self, *, wal=None) -> dict:
         """Instance counts merged with the process-wide observability
         snapshot (metrics, profile, flags) — what the REPL's ``stats``
         command and the bench JSON exports print. Import is local to
         avoid a cycle (obs.export has no fdb imports, but keeping the
-        front door lazy matches the update/query methods above)."""
+        front door lazy matches the update/query methods above).
+
+        ``wal`` (an :class:`repro.fdb.wal.UpdateLog`, optional) folds
+        that log's :meth:`health <repro.fdb.wal.UpdateLog.health>`
+        verdict — applied sequence, term, torn-tail flag, checksum
+        failures — into the payload under ``"wal"``."""
         from repro.obs.hooks import OBS
 
         snapshot = OBS.snapshot()
         snapshot["instance"] = self.counts()
+        if wal is not None:
+            snapshot["wal"] = wal.health()
         return snapshot
 
     def __str__(self) -> str:

@@ -109,13 +109,16 @@ def _decode_function(data: Any) -> FunctionDef:
 
 
 def to_dict(db: FunctionalDatabase, *,
-            wal_applied: int | None = None) -> dict:
+            wal_applied: int | None = None,
+            term: int | None = None) -> dict:
     """Snapshot a database into a JSON-serializable dict.
 
     ``wal_applied`` stamps the snapshot with the highest write-ahead
     log sequence number it folds in; :func:`repro.fdb.wal.recover`
     uses it to skip log records the snapshot already contains (the
-    crash-between-snapshot-and-truncate case).
+    crash-between-snapshot-and-truncate case). ``term`` stamps the
+    replication epoch the snapshot was taken under, so a replica
+    bootstrapped from it knows which primary generation it extends.
     """
     base = []
     for name in db.base_names:
@@ -170,6 +173,8 @@ def to_dict(db: FunctionalDatabase, *,
     }
     if wal_applied is not None:
         data["wal_applied"] = wal_applied
+    if term is not None:
+        data["term"] = term
     return data
 
 
@@ -247,8 +252,9 @@ def _check_consistency(db: FunctionalDatabase) -> None:
 
 
 def dumps(db: FunctionalDatabase, *, indent: int | None = 2,
-          wal_applied: int | None = None) -> str:
-    return json.dumps(to_dict(db, wal_applied=wal_applied),
+          wal_applied: int | None = None,
+          term: int | None = None) -> str:
+    return json.dumps(to_dict(db, wal_applied=wal_applied, term=term),
                       indent=indent, sort_keys=False)
 
 
@@ -261,11 +267,13 @@ def loads(text: str) -> FunctionalDatabase:
 
 
 def save(db: FunctionalDatabase, path: str | Path, *,
-         wal_applied: int | None = None) -> None:
+         wal_applied: int | None = None,
+         term: int | None = None) -> None:
     """Write a snapshot atomically: a crash mid-save leaves the
     previous snapshot intact, never a torn file."""
     FAULTS.fire("persistence.save.before")
-    storage.atomic_write(path, dumps(db, wal_applied=wal_applied))
+    storage.atomic_write(path, dumps(db, wal_applied=wal_applied,
+                                     term=term))
 
 
 def load(path: str | Path) -> FunctionalDatabase:
@@ -283,6 +291,7 @@ def load_with_meta(path: str | Path) -> tuple[FunctionalDatabase, dict]:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise PersistenceError(f"invalid snapshot JSON: {exc}") from exc
-    meta = {"wal_applied": data.get("wal_applied")} \
+    meta = {"wal_applied": data.get("wal_applied"),
+            "term": data.get("term", 0)} \
         if isinstance(data, dict) else {}
     return from_dict(data), meta

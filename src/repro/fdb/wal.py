@@ -193,6 +193,7 @@ class LogRecord:
     entry: Update | UpdateSequence | None  # None for abort/header
     abort_of: int | None = None
     legacy: bool = False
+    term: int = 0  # replication epoch; 0 before any failover
 
 
 @dataclass(frozen=True)
@@ -215,6 +216,7 @@ class LogScan:
     problems: list[LogProblem] = field(default_factory=list)
     aborted: set[int] = field(default_factory=set)
     base_seq: int = 0  # from a header record, if present
+    base_term: int = 0  # from a header record, if present
     torn_tail: bool = False
     checksum_failures: int = 0
     legacy_records: int = 0
@@ -223,6 +225,11 @@ class LogScan:
     def max_seq(self) -> int:
         seqs = [r.seq for r in self.records if r.seq is not None]
         return max(seqs, default=self.base_seq)
+
+    @property
+    def max_term(self) -> int:
+        terms = [r.term for r in self.records]
+        return max(terms, default=self.base_term)
 
 
 class UpdateLog:
@@ -235,14 +242,25 @@ class UpdateLog:
     """
 
     def __init__(self, path: str | Path, *, fsync: bool = True,
-                 retries: int = 3, backoff: float = 0.005) -> None:
+                 retries: int = 3, backoff: float = 0.005,
+                 term: int = 0) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self.retries = retries
         self.backoff = backoff
+        # Replication epoch stamped into every subsequent record; 0
+        # (the default, and the value of every pre-replication log)
+        # is omitted from the frame so single-node logs stay
+        # byte-identical to v2 before terms existed.
+        self.term = term
         self._next_seq: int | None = None  # lazy: scanned on first use
         self._cache: tuple[int, int] | None = None  # (file size, count)
         self._seq_lock = threading.Lock()
+
+    def _payload(self, payload: dict) -> dict:
+        if self.term:
+            payload["term"] = self.term
+        return payload
 
     # -- appending ----------------------------------------------------------
 
@@ -255,7 +273,9 @@ class UpdateLog:
         # be able to leave a claimed-but-unwritten sequence number.
         cancel.checkpoint()
         seq = self._claim_seq()
-        line = _frame({"seq": seq, "entry": _encode_entry(update)})
+        line = _frame(self._payload(
+            {"seq": seq, "entry": _encode_entry(update)}
+        ))
         if not OBS.enabled:
             self._write_claimed(seq, line)
             self._note_appended(committed=1)
@@ -267,6 +287,7 @@ class UpdateLog:
         self._write_claimed(seq, line)
         OBS.observe("fdb.wal.append_seconds",
                     time.perf_counter() - started)
+        OBS.gauge("fdb.wal.last_seq", seq)
         OBS.event("wal.append", entry=str(update))
         self._note_appended(committed=1)
         return seq
@@ -278,7 +299,9 @@ class UpdateLog:
         (especially) when the request that needs it is past deadline.
         """
         abort_seq = self._claim_seq()
-        line = _frame({"seq": abort_seq, "abort_of": seq})
+        line = _frame(self._payload(
+            {"seq": abort_seq, "abort_of": seq}
+        ))
         self._write_claimed(abort_seq, line)
         if OBS.enabled:
             OBS.inc("fdb.wal.aborts")
@@ -433,12 +456,19 @@ class UpdateLog:
                 line_no, "parse", "record lacks a sequence number"
             ))
             return None
+        term = payload.get("term", 0)
+        if not isinstance(term, int):
+            self._problem(scan, policy, LogProblem(
+                line_no, "parse", f"non-integer term {term!r}"
+            ))
+            return None
         if "header" in payload:
             scan.base_seq = payload["header"].get("next_seq", 1) - 1
-            return LogRecord(line_no, None, None)
+            scan.base_term = payload["header"].get("term", term)
+            return LogRecord(line_no, None, None, term=term)
         if "abort_of" in payload:
             return LogRecord(line_no, seq, None,
-                             abort_of=payload["abort_of"])
+                             abort_of=payload["abort_of"], term=term)
         try:
             entry = _decode_entry(payload["entry"])
         except (KeyError, TypeError, ValueError) as exc:
@@ -448,7 +478,7 @@ class UpdateLog:
             raise PersistenceError(
                 f"undecodable log entry at line {line_no}: {exc}"
             ) from exc
-        return LogRecord(line_no, seq, entry)
+        return LogRecord(line_no, seq, entry, term=term)
 
     @staticmethod
     def _decode_legacy(raw: dict, line_no: int) -> LogRecord | None:
@@ -539,6 +569,135 @@ class UpdateLog:
             self._next_seq = self._scan("salvage").max_seq + 1
         return self._next_seq - 1
 
+    # -- shipping -----------------------------------------------------------
+
+    def records_between(self, lo: int, hi: int) -> list[tuple[int, str]]:
+        """The raw framed lines of every v2 record with sequence
+        number in ``(lo, hi]``, in order — what :class:`WalShipper
+        <repro.replication.shipper.WalShipper>` streams to replicas.
+
+        Header records (checkpoint bookkeeping, meaningless off this
+        node) and damaged lines are skipped; abort records ship, so a
+        replica's log stays a byte-for-byte prefix copy of the
+        primary's record stream. Returns fewer records than requested
+        when a checkpoint already folded part of the range into the
+        snapshot (``base_seq > lo``) — the caller must then fall back
+        to snapshot shipping.
+        """
+        if hi <= lo:
+            return []
+        out: list[tuple[int, str]] = []
+        if not self.path.exists():
+            return out
+        with self.path.open("r", encoding="utf-8") as handle:
+            for raw_line in handle:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # damaged or torn; scan() classifies it
+                if not isinstance(raw, dict) or raw.get("v") != WAL_VERSION:
+                    continue
+                if "header" in raw:
+                    continue
+                seq = raw.get("seq")
+                if isinstance(seq, int) and lo < seq <= hi:
+                    out.append((seq, line))
+        return out
+
+    def shippable_floor(self) -> int:
+        """The highest sequence number already folded away by a
+        checkpoint: records at or below it cannot be shipped from this
+        log and require snapshot catch-up."""
+        return self._scan("salvage").base_seq
+
+    # -- repair -------------------------------------------------------------
+
+    def truncate_to(self, seq: int) -> int:
+        """Atomically drop every record with a sequence number above
+        ``seq`` (the fencing repair: a rejoining deposed primary cuts
+        its unacknowledged tail back to the prefix the new primary's
+        history extends). Returns how many records were dropped."""
+        if not self.path.exists():
+            return 0
+        kept: list[str] = []
+        dropped = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            for raw_line in handle:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    dropped += 1  # torn/damaged lines go with the tail
+                    continue
+                record_seq = raw.get("seq") if isinstance(raw, dict) \
+                    else None
+                if isinstance(record_seq, int) and record_seq > seq:
+                    dropped += 1
+                    continue
+                kept.append(line)
+        if dropped:
+            body = "\n".join(kept) + ("\n" if kept else "")
+            storage.atomic_write(self.path, body)
+            with self._seq_lock:
+                self._next_seq = None  # rescan on next claim
+            self._cache = None
+            if OBS.enabled:
+                OBS.inc("fdb.wal.truncated_records", dropped)
+                OBS.action("wal.truncate_to", seq=seq, dropped=dropped)
+        return dropped
+
+    def discard_torn_tail(self) -> bool:
+        """Drop a torn final line (the mid-write crash signature) from
+        the file itself, so the log can be re-used for appends and
+        shipping without the fragment. Returns whether a tear was
+        removed. Interior damage is untouched — that is corruption,
+        not a tear, and scan()/recover() must report it."""
+        if not self.tail_is_torn:
+            return False
+        text = self.path.read_text(encoding="utf-8")
+        lines = [line for line in text.splitlines() if line.strip()]
+        body = "\n".join(lines[:-1]) + ("\n" if lines[:-1] else "")
+        storage.atomic_write(self.path, body)
+        with self._seq_lock:
+            self._next_seq = None
+        self._cache = None
+        if OBS.enabled:
+            OBS.inc("fdb.wal.torn_tails_discarded")
+            OBS.action("wal.torn_tail_discarded", path=str(self.path))
+        return True
+
+    # -- health -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """One JSON-ready view of the log's durability state: last
+        sequence number, current term, torn-tail flag, committed entry
+        count, and damage tallies from a salvage scan. O(log size) —
+        a diagnostic surface (``stats``/``monitor``), not a hot path."""
+        scan = self._scan("salvage")
+        health = {
+            "path": str(self.path),
+            "last_seq": scan.max_seq,
+            "term": max(self.term, scan.max_term),
+            "tail_torn": scan.torn_tail,
+            "entries": sum(
+                1 for r in scan.records
+                if r.entry is not None
+                and (r.seq is None or r.seq not in scan.aborted)
+            ),
+            "aborted": len(scan.aborted),
+            "checksum_failures": scan.checksum_failures,
+            "problems": len(scan.problems),
+        }
+        if OBS.enabled:
+            OBS.gauge("fdb.wal.last_seq", health["last_seq"])
+            OBS.gauge("fdb.wal.tail_torn", int(health["tail_torn"]))
+        return health
+
     def truncate(self, next_seq: int | None = None) -> None:
         """Atomically empty the log.
 
@@ -552,8 +711,11 @@ class UpdateLog:
             with self._seq_lock:
                 self._next_seq = 1
         else:
-            header = _frame({"seq": next_seq - 1,
-                             "header": {"next_seq": next_seq}})
+            meta: dict = {"next_seq": next_seq}
+            if self.term:
+                meta["term"] = self.term
+            header = _frame(self._payload({"seq": next_seq - 1,
+                                           "header": meta}))
             storage.atomic_write(self.path, header + "\n")
             with self._seq_lock:
                 self._next_seq = next_seq
@@ -604,7 +766,9 @@ class LoggedDatabase:
         self.db = db
         self.log = log if isinstance(log, UpdateLog) else UpdateLog(log)
 
-    def execute(self, update: Update | UpdateSequence) -> None:
+    def execute(self, update: Update | UpdateSequence) -> int:
+        """Validate, log durably, apply; returns the update's WAL
+        sequence number (what replication acks are counted against)."""
         _validate(self.db, update)
         with OBS.span("wal.commit"):
             seq = self.log.append(update)
@@ -632,6 +796,7 @@ class LoggedDatabase:
                 if OBS.enabled:
                     OBS.inc("fdb.wal.abort_failures")
             raise
+        return seq
 
     def insert(self, name: str, x: Value, y: Value) -> None:
         self.execute(Update.ins(name, x, y))
@@ -660,7 +825,43 @@ class RecoveryReport:
     aborted: int = 0
     already_checkpointed: int = 0
     legacy_records: int = 0
+    term: int = 0  # highest replication epoch seen in the log
     notes: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        """The report minus the live database handle, JSON-ready — the
+        shape the soak and CI archive next to the JSONL event logs."""
+        return {
+            "report": "recovery",
+            "entries_applied": self.entries_applied,
+            "torn_tail": self.torn_tail,
+            "policy": self.policy,
+            "records_skipped": self.records_skipped,
+            "checksum_failures": self.checksum_failures,
+            "aborted": self.aborted,
+            "already_checkpointed": self.already_checkpointed,
+            "legacy_records": self.legacy_records,
+            "term": self.term,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoveryReport":
+        """Rebuild an archived report (``db`` is gone: a JSON artifact
+        carries the audit trail, not the live instance)."""
+        return cls(
+            db=None,  # type: ignore[arg-type]
+            entries_applied=data["entries_applied"],
+            torn_tail=data["torn_tail"],
+            policy=data.get("policy", "strict"),
+            records_skipped=data.get("records_skipped", 0),
+            checksum_failures=data.get("checksum_failures", 0),
+            aborted=data.get("aborted", 0),
+            already_checkpointed=data.get("already_checkpointed", 0),
+            legacy_records=data.get("legacy_records", 0),
+            term=data.get("term", 0),
+            notes=tuple(data.get("notes", ())),
+        )
 
     def __str__(self) -> str:
         tear = " (torn tail skipped)" if self.torn_tail else ""
@@ -697,7 +898,8 @@ def checkpoint(logged: LoggedDatabase,
         OBS.inc("fdb.wal.checkpoints")
     FAULTS.fire("wal.checkpoint.before-snapshot")
     folded = logged.log.last_seq()
-    persistence.save(logged.db, snapshot_path, wal_applied=folded)
+    persistence.save(logged.db, snapshot_path, wal_applied=folded,
+                     term=logged.log.term or None)
     FAULTS.fire("wal.checkpoint.after-snapshot")
     if OBS.enabled:
         OBS.action("checkpoint.snapshot_written",
@@ -784,5 +986,6 @@ def recover(snapshot_path: str | Path, log_path: str | Path, *,
         aborted=aborted,
         already_checkpointed=already,
         legacy_records=scan.legacy_records,
+        term=scan.max_term,
         notes=tuple(notes),
     )

@@ -554,7 +554,9 @@ class Interpreter:
 
     def _run_stats(self, statement: ast.Stats) -> list[str]:
         db, output = self._require_db()
-        output.extend(render_stats(db.stats()).splitlines())
+        output.extend(
+            render_stats(db.stats(wal=self.wal)).splitlines()
+        )
         return output
 
     def _run_trace(self, statement: ast.Trace) -> list[str]:

@@ -66,6 +66,7 @@ from repro.obs.export import (
     render_metrics,
     render_monitor,
     render_profile,
+    render_replication,
     render_slowlog,
     render_stats,
     snapshot,
@@ -113,6 +114,7 @@ __all__ = [
     "render_metrics",
     "render_monitor",
     "render_profile",
+    "render_replication",
     "render_slowlog",
     "render_stats",
 ]

@@ -15,8 +15,8 @@ from pathlib import Path
 from repro.obs.hooks import OBS, Instrumentation
 
 __all__ = ["snapshot", "to_json", "write_json", "render_metrics",
-           "render_monitor", "render_profile", "render_slowlog",
-           "render_stats"]
+           "render_monitor", "render_profile", "render_replication",
+           "render_slowlog", "render_stats"]
 
 
 def snapshot(obs: Instrumentation | None = None) -> dict:
@@ -174,6 +174,42 @@ def render_monitor(metrics: dict, *, slo: dict | None = None,
            else f"{state_names.get(int(code), '?')} (code {int(code)})")
     )
 
+    # -- WAL + replication (gauges refreshed by health()/lag()) ---------
+    wal_seq = gauges.get("fdb.wal.last_seq")
+    if wal_seq is not None:
+        lines.append(
+            "wal: applied seq {:g}, {}".format(
+                wal_seq,
+                "TAIL TORN" if gauges.get("fdb.wal.tail_torn")
+                else "tail clean",
+            )
+        )
+    lag_prefix = "replication.lag.seq."
+    lag_rows = sorted(
+        (name[len(lag_prefix):], value)
+        for name, value in gauges.items()
+        if name.startswith(lag_prefix)
+    )
+    if lag_rows or gauges.get("replication.term") is not None:
+        lines.append(
+            "replication: term {:g}, {} shipped / {} applied, "
+            "{} ack timeouts, {} fenced writes, {} promotions, "
+            "{} rejoins".format(
+                gauges.get("replication.term", 0),
+                counters.get("replication.records_shipped", 0),
+                counters.get("replication.records_applied", 0),
+                counters.get("replication.ack_timeouts", 0),
+                counters.get("replication.fenced_writes", 0),
+                counters.get("replication.promotions", 0),
+                counters.get("replication.rejoins", 0),
+            )
+        )
+        for name, lag_seq in lag_rows:
+            seconds = gauges.get(f"replication.lag.seconds.{name}", 0.0)
+            lines.append(
+                f"  lag {name}: {lag_seq:g} seqs / {seconds:g}s"
+            )
+
     # -- SLO verdicts ---------------------------------------------------
     if slo is not None:
         status = "healthy" if slo.get("healthy") else "ALERTING"
@@ -243,6 +279,20 @@ def render_stats(stats: dict) -> str:
         + ("enabled" if flags.get("enabled") else "disabled")
         + (", tracing" if flags.get("tracing") else "")
     )
+    wal = stats.get("wal")
+    if wal:
+        lines.append(
+            f"wal: applied seq {wal.get('last_seq', 0)} "
+            f"(term {wal.get('term', 0)}), "
+            f"{wal.get('entries', 0)} live entries "
+            f"({wal.get('aborted', 0)} aborted), "
+            + ("TAIL TORN" if wal.get("tail_torn") else "tail clean")
+            + f", {wal.get('checksum_failures', 0)} checksum failures"
+        )
+    replication = stats.get("replication")
+    if replication:
+        lines.append(render_replication(replication,
+                                        acked=stats.get("acked")))
     lines.append(render_metrics(stats.get("metrics", {})))
     profile = stats.get("profile", [])
     if profile:
@@ -252,6 +302,38 @@ def render_stats(stats: dict) -> str:
     if slow.get("records"):
         lines.append("slowlog:")
         lines.append(render_slowlog(slow))
+    return "\n".join(lines)
+
+
+def render_replication(replication: dict, *,
+                       acked: int | None = None) -> str:
+    """A :meth:`ReplicationGroup.health
+    <repro.replication.group.ReplicationGroup.health>` verdict as
+    text: role, node, term, commit mode, staleness servability, and
+    one lag row per replica."""
+    head = (
+        f"replication: {replication.get('role', '?')} "
+        f"{replication.get('node', '?')}, term "
+        f"{replication.get('term', 0)}, mode "
+        f"{replication.get('mode', '?')}"
+    )
+    if acked is not None:
+        head += f", {acked} acked commits"
+    if not replication.get("servable", True):
+        head += " — STALENESS UNSERVABLE"
+    lines = [head]
+    for name, info in sorted(replication.get("replicas", {}).items()):
+        row = (
+            f"  {name}: acked seq {info.get('acked_seq', 0)}, "
+            f"lag {info.get('lag_seq', 0)} seqs / "
+            f"{info.get('lag_seconds', 0.0):.3f}s, "
+            f"{info.get('errors', 0)} transport errors"
+        )
+        if info.get("last_error"):
+            row += f" (last: {info['last_error']})"
+        lines.append(row)
+    if not replication.get("replicas"):
+        lines.append("  (no replicas linked)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,52 @@
+"""WAL-shipping replication: primary/replica roles, commit modes,
+epoch-fenced failover, and bounded-staleness reads.
+
+Layering (see docs/REPLICATION.md):
+
+* :mod:`repro.replication.transport` — the carriers (in-process for
+  tests and chaos, length-prefixed sockets for other processes);
+* :mod:`repro.replication.replica` — the follower role, applying
+  shipped v2 WAL records in sequence order onto a
+  checkpoint-bootstrapped copy;
+* :mod:`repro.replication.shipper` — the data plane reading record
+  ranges out of the primary's :class:`repro.fdb.wal.UpdateLog`;
+* :mod:`repro.replication.group` — the control plane: ``async`` /
+  ``sync(k)`` / ``quorum`` commit modes, the monotone term fence,
+  promotion, rejoin repair, catch-up and staleness-bounded reads.
+"""
+
+from repro.replication.group import (
+    CatchUpReport,
+    CommitMode,
+    PromotionReport,
+    RejoinReport,
+    ReplicationGroup,
+)
+from repro.replication.replica import Replica
+from repro.replication.shipper import (
+    ReplicaLink,
+    SnapshotNeeded,
+    WalShipper,
+)
+from repro.replication.transport import (
+    InProcessTransport,
+    ReplicaServer,
+    SocketTransport,
+    Transport,
+)
+
+__all__ = [
+    "CatchUpReport",
+    "CommitMode",
+    "InProcessTransport",
+    "PromotionReport",
+    "RejoinReport",
+    "Replica",
+    "ReplicaLink",
+    "ReplicaServer",
+    "ReplicationGroup",
+    "SnapshotNeeded",
+    "SocketTransport",
+    "Transport",
+    "WalShipper",
+]

@@ -1,0 +1,716 @@
+"""The control plane: commit modes, fencing, failover, catch-up.
+
+A :class:`ReplicationGroup` sits between :class:`DatabaseService
+<repro.service.service.DatabaseService>` and the :class:`WalShipper
+<repro.replication.shipper.WalShipper>`:
+
+* **Commit modes.** ``async`` acknowledges a commit as soon as it is
+  durable on the primary; ``sync(k)`` blocks until ``k`` replicas
+  acknowledge the commit's sequence number; ``quorum`` blocks until a
+  majority of the group (primary included) holds it. On a missed quota
+  the caller gets :exc:`ReplicationTimeout` — the op is durable and
+  applied locally but was *not* acknowledged, and after a failover it
+  may legitimately be absent.
+
+* **Epoch fencing.** Every leadership change bumps a monotone ``term``
+  stamped into subsequent WAL records. The primary's write path calls
+  :meth:`check_primary` with the term token it was issued at attach;
+  once the group has moved on, the check raises :exc:`StalePrimary`
+  *before* the deposed writer can touch its log — split-brain is
+  rejected at the door, not repaired after.
+
+* **Failover.** :meth:`promote` polls the replicas and picks the one
+  with the highest ``applied_seq``. Shipping is sequential per
+  replica, so all replica prefixes are totally ordered and the
+  longest prefix contains every sequence number any replica ever
+  acknowledged — under ``sync(k>=1)``/``quorum`` that includes every
+  op acknowledged to any caller, which is the no-acked-loss guarantee
+  the chaos soak asserts. The fence point (deposed term → highest
+  surviving sequence) is recorded so a rejoining deposed primary can
+  cut its unacknowledged tail back to the shared prefix.
+
+* **Bounded-staleness reads.** :meth:`read` picks the freshest
+  replica within ``max_lag_seq``/``max_lag_seconds`` and runs the
+  callable against its copy; when nothing qualifies the caller gets
+  :exc:`StalenessUnserved` (surfaced as a 503 via ``/health``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    ReplicaDiverged,
+    ReplicationError,
+    ReplicationTimeout,
+    StalenessUnserved,
+    StalePrimary,
+)
+from repro.fdb import persistence
+from repro.obs.hooks import OBS
+from repro.replication.replica import Replica
+from repro.replication.shipper import (
+    ReplicaLink,
+    SnapshotNeeded,
+    WalShipper,
+)
+from repro.replication.transport import InProcessTransport
+
+__all__ = ["CommitMode", "ReplicationGroup", "PromotionReport",
+           "CatchUpReport", "RejoinReport"]
+
+_SYNC = re.compile(r"^sync\((\d+)\)$")
+
+
+@dataclass(frozen=True)
+class CommitMode:
+    """Parsed commit mode: ``async`` | ``sync(k)`` | ``quorum``."""
+
+    kind: str
+    k: int = 0
+
+    @classmethod
+    def parse(cls, text: "CommitMode | str") -> "CommitMode":
+        if isinstance(text, CommitMode):
+            return text
+        if text == "async":
+            return cls("async")
+        if text == "quorum":
+            return cls("quorum")
+        match = _SYNC.match(text)
+        if match:
+            k = int(match.group(1))
+            if k < 1:
+                raise ValueError("sync(k) requires k >= 1")
+            return cls("sync", k)
+        raise ValueError(
+            f"unknown commit mode {text!r} "
+            f"(expected 'async', 'sync(k)' or 'quorum')"
+        )
+
+    def required_acks(self, replicas: int) -> int:
+        """Replica acks needed before a commit is acknowledged."""
+        if self.kind == "async":
+            return 0
+        if self.kind == "sync":
+            return self.k
+        # quorum: majority of the whole group; the primary's own
+        # durable copy counts as one vote.
+        return (replicas + 1) // 2 + 1 - 1
+
+    def __str__(self) -> str:
+        return f"sync({self.k})" if self.kind == "sync" else self.kind
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """What one failover decided, JSON-ready via :meth:`as_dict`."""
+
+    chosen: str
+    applied_seq: int
+    old_term: int
+    new_term: int
+    candidates: tuple[tuple[str, int], ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "report": "promotion",
+            "chosen": self.chosen,
+            "applied_seq": self.applied_seq,
+            "old_term": self.old_term,
+            "new_term": self.new_term,
+            "candidates": [list(item) for item in self.candidates],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PromotionReport":
+        return cls(
+            chosen=data["chosen"],
+            applied_seq=data["applied_seq"],
+            old_term=data["old_term"],
+            new_term=data["new_term"],
+            candidates=tuple(
+                (name, seq) for name, seq in data.get("candidates", ())
+            ),
+        )
+
+    def __str__(self) -> str:
+        return (f"promoted {self.chosen} at seq {self.applied_seq} "
+                f"(term {self.old_term} -> {self.new_term})")
+
+
+@dataclass(frozen=True)
+class CatchUpReport:
+    """How one replica was brought up to date."""
+
+    replica: str
+    mode: str  # "delta" | "snapshot" | "none"
+    from_seq: int
+    to_seq: int
+    term: int
+    snapshot_wal_applied: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "report": "catch_up",
+            "replica": self.replica,
+            "mode": self.mode,
+            "from_seq": self.from_seq,
+            "to_seq": self.to_seq,
+            "term": self.term,
+            "snapshot_wal_applied": self.snapshot_wal_applied,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CatchUpReport":
+        return cls(
+            replica=data["replica"],
+            mode=data["mode"],
+            from_seq=data["from_seq"],
+            to_seq=data["to_seq"],
+            term=data["term"],
+            snapshot_wal_applied=data.get("snapshot_wal_applied"),
+        )
+
+
+@dataclass(frozen=True)
+class RejoinReport:
+    """How a deposed primary was repaired back into the group."""
+
+    replica: str
+    old_term: int
+    fence_seq: int
+    records_dropped: int
+    torn_tail_discarded: bool
+    rebootstrapped: bool
+    catch_up: CatchUpReport
+
+    def as_dict(self) -> dict:
+        return {
+            "report": "rejoin",
+            "replica": self.replica,
+            "old_term": self.old_term,
+            "fence_seq": self.fence_seq,
+            "records_dropped": self.records_dropped,
+            "torn_tail_discarded": self.torn_tail_discarded,
+            "rebootstrapped": self.rebootstrapped,
+            "catch_up": self.catch_up.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RejoinReport":
+        return cls(
+            replica=data["replica"],
+            old_term=data["old_term"],
+            fence_seq=data["fence_seq"],
+            records_dropped=data["records_dropped"],
+            torn_tail_discarded=data["torn_tail_discarded"],
+            rebootstrapped=data["rebootstrapped"],
+            catch_up=CatchUpReport.from_dict(data["catch_up"]),
+        )
+
+
+class ReplicationGroup:
+    """One primary, N replicas, a commit mode, and a monotone term."""
+
+    def __init__(self, mode: CommitMode | str = "async", *,
+                 ack_timeout: float = 5.0,
+                 retry_interval: float = 0.02,
+                 journal: bool = False) -> None:
+        self.mode = CommitMode.parse(mode)
+        self.ack_timeout = ack_timeout
+        self.retry_interval = retry_interval
+        self.journal_enabled = journal
+        self.term = 0
+        self.primary_name = "primary"
+        self.shipper: WalShipper | None = None
+        # Set by the service: a zero-arg callable returning a context
+        # manager that holds the write path still while a consistent
+        # snapshot is dumped for catch-up. Without one, snapshots are
+        # taken unguarded (single-threaded harnesses).
+        self.exclusive = None
+        self._logged = None
+        self._replicas: dict[str, Replica] = {}
+        self._fences: dict[int, int] = {}  # deposed term -> fence seq
+        self._pending_term: int | None = None
+        self._lock = threading.RLock()
+
+    # -- leadership ---------------------------------------------------------
+
+    def attach_primary(self, logged, *, node: str = "primary") -> int:
+        """Bind a :class:`LoggedDatabase` as the group's primary.
+
+        Bumps the term (the first attach is term 1) unless a
+        :meth:`promote` already claimed the next term for this attach.
+        Returns the term token the primary's write path must present
+        to :meth:`check_primary` on every commit. Surviving replica
+        links and the shipped-stream journal carry over from the
+        previous leadership.
+        """
+        with self._lock:
+            if self._pending_term is not None:
+                term = self._pending_term
+                self._pending_term = None
+            else:
+                term = self.term + 1
+            self.term = term
+            self.primary_name = node
+            self._logged = logged
+            logged.log.term = term
+            old = self.shipper
+            self.shipper = WalShipper(
+                logged.log, term=term,
+                journal=self.journal_enabled,
+            )
+            if old is not None:
+                for link in old.links():
+                    self.shipper._links[link.name] = link
+                if old._journal is not None:
+                    self.shipper._journal = old._journal
+                    self.shipper._journal_through = old._journal_through
+            if OBS.enabled:
+                OBS.gauge("replication.term", term)
+                OBS.action("replication.primary_attached",
+                           node=node, term=term)
+            return term
+
+    def check_primary(self, token: int) -> None:
+        """The epoch fence: raise :exc:`StalePrimary` unless ``token``
+        is the group's current term. Called on the primary's write
+        path *before* the WAL append."""
+        with self._lock:
+            current = self.term
+            deposed = (token != current or self._pending_term is not None)
+        if deposed:
+            if OBS.enabled:
+                OBS.inc("replication.fenced_writes")
+                OBS.action("replication.write_fenced",
+                           writer_term=token, group_term=current)
+            raise StalePrimary(token, current)
+
+    # -- membership ---------------------------------------------------------
+
+    def add_replica(self, name: str,
+                    target: "Replica | object") -> CatchUpReport:
+        """Link a replica (a local :class:`Replica` or any transport)
+        and bootstrap it from the primary's current state."""
+        with self._lock:
+            shipper = self._require_shipper()
+            if isinstance(target, Replica):
+                self._replicas[name] = target
+                transport = InProcessTransport(target.handle, name=name)
+            else:
+                transport = target
+            shipper.add(name, transport)
+            if OBS.enabled:
+                OBS.action("replication.replica_added", replica=name)
+        return self.catch_up(name)
+
+    def remove_replica(self, name: str) -> None:
+        with self._lock:
+            if self.shipper is not None:
+                link = self.shipper.remove(name)
+                if link is not None and OBS.enabled:
+                    OBS.action("replication.replica_removed",
+                               replica=name)
+            self._replicas.pop(name, None)
+
+    def replica(self, name: str) -> Replica:
+        with self._lock:
+            try:
+                return self._replicas[name]
+            except KeyError:
+                raise ReplicationError(
+                    f"no local replica named {name!r}"
+                ) from None
+
+    def replica_names(self) -> list[str]:
+        with self._lock:
+            shipper = self.shipper
+            return [link.name for link in shipper.links()] \
+                if shipper else []
+
+    # -- the commit path ----------------------------------------------------
+
+    def note_commit(self, seq: int) -> None:
+        """Journal the committed records up to ``seq`` while the
+        caller still holds the write token — before any checkpoint
+        can fold them out of the log. Shipping happens later, in
+        :meth:`on_commit`, outside the caller's locks."""
+        shipper = self.shipper
+        if shipper is not None:
+            shipper.journal_through(seq)
+
+    def on_commit(self, seq: int) -> dict:
+        """Ship the commit at ``seq`` and wait out the commit mode.
+
+        Always journals and attempts one shipping pass (async mode
+        keeps replicas warm without blocking); under ``sync(k)`` /
+        ``quorum`` it retries lagging replicas until the ack quota is
+        met or ``ack_timeout`` expires (:exc:`ReplicationTimeout`).
+        """
+        shipper = self._require_shipper()
+        shipper.journal_through(seq)
+        links = shipper.links()
+        needed = self.mode.required_acks(len(links))
+        deadline = time.monotonic() + self.ack_timeout
+        first_pass = True
+        while True:
+            acked = 0
+            for link in links:
+                if link.acked_seq >= seq:
+                    acked += 1
+                    continue
+                if not (first_pass or needed):
+                    continue
+                try:
+                    shipper.ship(link, seq)
+                except SnapshotNeeded:
+                    try:
+                        self._snapshot_catch_up(shipper, link)
+                        shipper.ship(link, seq)
+                    except (ConnectionError, TimeoutError,
+                            ReplicationError):
+                        continue
+                except ReplicaDiverged:
+                    raise
+                except (ConnectionError, TimeoutError,
+                        ReplicationError):
+                    continue
+                if link.acked_seq >= seq:
+                    acked += 1
+            self._refresh_gauges()
+            if acked >= needed:
+                return {"seq": seq, "acks": acked,
+                        "mode": str(self.mode)}
+            first_pass = False
+            if time.monotonic() >= deadline:
+                if OBS.enabled:
+                    OBS.inc("replication.ack_timeouts")
+                    OBS.action("replication.ack_timeout", seq=seq,
+                               acks=acked, needed=needed,
+                               mode=str(self.mode))
+                raise ReplicationTimeout(
+                    f"commit seq {seq} got {acked}/{needed} replica "
+                    f"acks within {self.ack_timeout}s ({self.mode})"
+                )
+            time.sleep(self.retry_interval)
+
+    def sync_all(self, timeout: float | None = None) -> dict:
+        """Drain every reachable replica up to the primary's last
+        sequence number (test/soak settling, not a commit-path API)."""
+        shipper = self._require_shipper()
+        target = shipper.log.last_seq()
+        shipper.journal_through(target)
+        deadline = time.monotonic() + (timeout or self.ack_timeout)
+        lagging = {link.name for link in shipper.links()}
+        while lagging:
+            for link in shipper.links():
+                if link.name not in lagging:
+                    continue
+                try:
+                    shipper.ship(link, target)
+                except SnapshotNeeded:
+                    try:
+                        self._snapshot_catch_up(shipper, link)
+                        shipper.ship(link, target)
+                    except (ConnectionError, TimeoutError,
+                            ReplicationError):
+                        continue
+                except (ConnectionError, TimeoutError,
+                        ReplicationError):
+                    continue
+                if link.acked_seq >= target:
+                    lagging.discard(link.name)
+            if not lagging or time.monotonic() >= deadline:
+                break
+            time.sleep(self.retry_interval)
+        self._refresh_gauges()
+        return {"target": target, "lagging": sorted(lagging)}
+
+    # -- catch-up -----------------------------------------------------------
+
+    def catch_up(self, name: str) -> CatchUpReport:
+        """Bring one replica up to the primary's last sequence number,
+        by delta shipping when its position is still in the log and by
+        checkpoint + tail otherwise."""
+        shipper = self._require_shipper()
+        link = shipper.link(name)
+        from_seq = link.acked_seq
+        target = shipper.log.last_seq()
+        mode = "none"
+        snapshot_applied: int | None = None
+        if link.needs_snapshot or from_seq < shipper.log.shippable_floor():
+            snapshot_applied = self._snapshot_catch_up(shipper, link)
+            mode = "snapshot"
+            target = shipper.log.last_seq()
+        if link.acked_seq < target:
+            shipper.ship(link, target)
+            if mode == "none":
+                mode = "delta"
+        report = CatchUpReport(
+            replica=name, mode=mode, from_seq=from_seq,
+            to_seq=link.acked_seq, term=self.term,
+            snapshot_wal_applied=snapshot_applied,
+        )
+        if OBS.enabled:
+            OBS.action("replication.catch_up", **report.as_dict())
+        self._refresh_gauges()
+        return report
+
+    def _snapshot_catch_up(self, shipper: WalShipper,
+                           link: ReplicaLink) -> int:
+        """Dump a consistent snapshot of the primary and install it on
+        the replica. The dump runs under the service's exclusive write
+        guard when one is wired in, so no commit lands mid-dump."""
+        logged = self._logged
+        if logged is None:
+            raise ReplicationError("no primary attached")
+        guard = self.exclusive() if self.exclusive is not None else None
+        if guard is not None:
+            with guard:
+                wal_applied = logged.log.last_seq()
+                text = persistence.dumps(
+                    logged.db, wal_applied=wal_applied, term=self.term
+                )
+        else:
+            wal_applied = logged.log.last_seq()
+            text = persistence.dumps(
+                logged.db, wal_applied=wal_applied, term=self.term
+            )
+        shipper.ship_snapshot(link, text, wal_applied)
+        return wal_applied
+
+    # -- failover -----------------------------------------------------------
+
+    def promote(self, name: str | None = None) -> PromotionReport:
+        """Fail over: depose the current primary and pick the new one.
+
+        Polls every reachable replica for its ``applied_seq`` and (by
+        default) chooses the highest — the longest applied prefix,
+        which contains every acknowledged commit. The chosen replica
+        leaves the follower set; the caller builds the new primary on
+        its working directory and calls :meth:`attach_primary`, which
+        consumes the term this promotion claimed. The deposed term's
+        fence point is recorded for :meth:`rejoin`.
+        """
+        with self._lock:
+            shipper = self._require_shipper()
+            candidates: list[tuple[str, int]] = []
+            for link in shipper.links():
+                status = shipper.poll_status(link)
+                if status is None:
+                    continue
+                candidates.append((link.name, status["applied_seq"]))
+            if not candidates:
+                raise ReplicationError(
+                    "no reachable replica to promote"
+                )
+            if name is None:
+                chosen, applied = max(candidates,
+                                      key=lambda item: item[1])
+            else:
+                by_name = dict(candidates)
+                if name not in by_name:
+                    raise ReplicationError(
+                        f"replica {name!r} is not reachable for "
+                        f"promotion"
+                    )
+                chosen, applied = name, by_name[name]
+            old_term = self.term
+            new_term = old_term + 1
+            self._fences[old_term] = applied
+            self._pending_term = new_term
+            self.term = new_term
+            shipper.remove(chosen)
+            # Lost-tail hygiene: the shipped-stream journal must not
+            # carry sequence numbers the new history will reuse.
+            if shipper._journal is not None:
+                shipper._journal = [
+                    (seq, line) for seq, line in shipper._journal
+                    if seq <= applied
+                ]
+                shipper._journal_through = min(
+                    shipper._journal_through, applied
+                )
+            report = PromotionReport(
+                chosen=chosen, applied_seq=applied,
+                old_term=old_term, new_term=new_term,
+                candidates=tuple(sorted(candidates)),
+            )
+        if OBS.enabled:
+            OBS.inc("replication.promotions")
+            OBS.gauge("replication.term", new_term)
+            OBS.action("replication.promote", chosen=chosen,
+                       applied_seq=applied, old_term=old_term,
+                       new_term=new_term)
+        return report
+
+    def fence_seq(self, old_term: int) -> int:
+        """Where the history of a deposed term was cut."""
+        with self._lock:
+            try:
+                return self._fences[old_term]
+            except KeyError:
+                raise ReplicationError(
+                    f"term {old_term} was never deposed here"
+                ) from None
+
+    def rejoin(self, replica: Replica, old_term: int) -> RejoinReport:
+        """Repair a deposed primary's working directory back onto the
+        shared prefix and re-admit it as a follower.
+
+        The repair order is the tentpole's safety argument in code:
+        drop a torn final line (the mid-write crash artifact), then
+        truncate every record past the fence point (committed on the
+        old primary, acknowledged by nobody), then recover locally and
+        catch up from the new primary. If the old primary checkpointed
+        its unacknowledged tail into its snapshot before dying, the
+        local state is unrepairable by truncation and the node
+        re-bootstraps from the new primary's checkpoint instead.
+        """
+        fence = self.fence_seq(old_term)
+        from repro.fdb.wal import UpdateLog
+        log = UpdateLog(replica.wal_path, fsync=replica.fsync)
+        torn = log.discard_torn_tail()
+        dropped = log.truncate_to(fence)
+        rebootstrap = False
+        if replica.snapshot_path.exists():
+            _, meta = persistence.load_with_meta(replica.snapshot_path)
+            if (meta.get("wal_applied") or 0) > fence:
+                rebootstrap = True
+        if rebootstrap:
+            replica.db = None
+            replica.applied_seq = 0
+            replica.crashed = False
+            replica.diverged = False
+        else:
+            replica.restart()
+            replica.applied_seq = min(replica.applied_seq, fence)
+        replica.term = max(replica.term, old_term)
+        with self._lock:
+            shipper = self._require_shipper()
+            self._replicas[replica.name] = replica
+            link = shipper.add(
+                replica.name,
+                InProcessTransport(replica.handle, name=replica.name),
+            )
+            link.needs_snapshot = rebootstrap or replica.db is None
+            if not link.needs_snapshot:
+                link.acked_seq = replica.applied_seq
+        catch_up = self.catch_up(replica.name)
+        report = RejoinReport(
+            replica=replica.name, old_term=old_term, fence_seq=fence,
+            records_dropped=dropped, torn_tail_discarded=torn,
+            rebootstrapped=rebootstrap, catch_up=catch_up,
+        )
+        if OBS.enabled:
+            OBS.inc("replication.rejoins")
+            OBS.action("replication.rejoin", replica=replica.name,
+                       old_term=old_term, fence_seq=fence,
+                       records_dropped=dropped,
+                       rebootstrapped=rebootstrap)
+        return report
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, fn, *, max_lag_seq: int | None = None,
+             max_lag_seconds: float | None = None):
+        """Serve a read from the freshest replica within the staleness
+        bound; :exc:`StalenessUnserved` when none qualifies."""
+        lags = self.lag()
+        eligible = sorted(
+            (info["lag_seq"], name) for name, info in lags.items()
+            if (max_lag_seq is None or info["lag_seq"] <= max_lag_seq)
+            and (max_lag_seconds is None
+                 or info["lag_seconds"] <= max_lag_seconds)
+        )
+        for _, name in eligible:
+            with self._lock:
+                replica = self._replicas.get(name)
+            if replica is None:
+                continue  # remote replica: reads go to that node
+            try:
+                value = replica.read(fn)
+            except ReplicationError:
+                continue
+            if OBS.enabled:
+                OBS.inc("replication.replica_reads")
+            return value
+        if OBS.enabled:
+            OBS.inc("replication.reads_unserved")
+        raise StalenessUnserved(
+            f"no replica within max_lag_seq={max_lag_seq} "
+            f"max_lag_seconds={max_lag_seconds} "
+            f"(lags: { {n: i['lag_seq'] for n, i in lags.items()} })"
+        )
+
+    # -- health -------------------------------------------------------------
+
+    def lag(self) -> dict:
+        """Per-replica lag in sequence numbers and seconds, refreshing
+        the ``replication.lag.{seq,seconds}.<replica>`` gauges."""
+        shipper = self.shipper
+        if shipper is None:
+            return {}
+        head = shipper.log.last_seq()
+        now = time.monotonic()
+        out: dict[str, dict] = {}
+        for link in shipper.links():
+            lag_seq = max(0, head - link.acked_seq)
+            lag_seconds = 0.0 if lag_seq == 0 \
+                else max(0.0, now - link.last_progress)
+            out[link.name] = {
+                "acked_seq": link.acked_seq,
+                "lag_seq": lag_seq,
+                "lag_seconds": lag_seconds,
+                "errors": link.errors,
+                "last_error": link.last_error,
+            }
+        if OBS.enabled:
+            for name, info in out.items():
+                OBS.gauge(f"replication.lag.seq.{name}",
+                          info["lag_seq"])
+                OBS.gauge(f"replication.lag.seconds.{name}",
+                          round(info["lag_seconds"], 6))
+        return out
+
+    def _refresh_gauges(self) -> None:
+        if OBS.enabled:
+            self.lag()
+
+    def health(self, *, max_lag_seq: int | None = None,
+               max_lag_seconds: float | None = None) -> dict:
+        """One JSON-ready view for ``/health`` and ``stats()``:
+        ``servable`` is whether at least one replica sits within the
+        given staleness bound (no bound: any linked replica at all)."""
+        lags = self.lag()
+        servable = any(
+            (max_lag_seq is None or info["lag_seq"] <= max_lag_seq)
+            and (max_lag_seconds is None
+                 or info["lag_seconds"] <= max_lag_seconds)
+            for info in lags.values()
+        )
+        return {
+            "role": "primary",
+            "node": self.primary_name,
+            "term": self.term,
+            "mode": str(self.mode),
+            "replicas": lags,
+            "min_lag_seq": min(
+                (info["lag_seq"] for info in lags.values()),
+                default=None,
+            ),
+            "servable": servable,
+        }
+
+    def _require_shipper(self) -> WalShipper:
+        shipper = self.shipper
+        if shipper is None:
+            raise ReplicationError(
+                "no primary attached to the replication group"
+            )
+        return shipper

@@ -1,0 +1,287 @@
+"""The follower role: apply shipped WAL records in sequence order.
+
+A :class:`Replica` owns a working directory with the same two files a
+primary has — ``snapshot.json`` and ``wal.log`` — and keeps them in
+write-ahead order: every shipped record is appended to the local log
+*before* it is applied, so a replica that dies mid-batch restarts into
+exactly the prefix it durably received. Because update application is
+deterministic (null and NC indices come from persisted counters), the
+replica's state after applying records ``1..n`` is byte-for-byte the
+primary's state at sequence ``n`` — the repair guarantee failover
+builds on.
+
+The replica speaks the shipper's message protocol via :meth:`handle`:
+
+* ``append`` — a batch of raw framed v2 records ``(applied_seq, hi]``
+  plus the ``through_seq`` high-water mark. Records the replica
+  already holds are skipped (re-shipment after a lost ack), a gap
+  means the shipper must back up (reply ``error: gap``), and a term
+  below the replica's own is refused outright (``error: stale-term``
+  — a deposed primary must never extend a follower's history).
+* ``snapshot`` — full-state catch-up: install the snapshot, reset the
+  local log to a header at ``wal_applied``.
+* ``status`` — ``applied_seq`` / ``term`` for promotion decisions.
+
+Entries whose compensating ``abort_of`` record arrives in the same
+batch are skipped rather than applied-then-unapplied: the primary
+serialises writes, so an abort always directly follows its entry and
+can never be separated from it by a batch boundary mid-history.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import PersistenceError, ReplicationError
+from repro.faults.registry import FAULTS, SimulatedCrash
+from repro.fdb import persistence, storage
+from repro.fdb.database import FunctionalDatabase
+from repro.fdb.transaction import Transaction
+from repro.fdb.updates import UpdateSequence, apply_update
+from repro.fdb.wal import WAL_VERSION, UpdateLog, _crc_of, _decode_entry
+from repro.obs.hooks import OBS
+
+__all__ = ["Replica"]
+
+FAULTS.register(
+    "repl.replica.apply",
+    "Replica.handle(append): before one shipped record is applied "
+    "(crash here simulates a replica dying mid-batch)",
+)
+
+
+class Replica:
+    """One follower: a checkpoint-bootstrapped database copy advanced
+    by shipped WAL records, exposing ``applied_seq``."""
+
+    def __init__(self, name: str, workdir: str | Path, *,
+                 fsync: bool = False) -> None:
+        self.name = name
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.workdir / "snapshot.json"
+        self.wal_path = self.workdir / "wal.log"
+        self.fsync = fsync
+        self.db: FunctionalDatabase | None = None
+        self.applied_seq = 0
+        self.term = 0
+        self.crashed = False
+        self.diverged = False
+        self._lock = threading.RLock()
+        self._last_progress = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate process death: drop the in-memory state, keep the
+        files. :meth:`restart` must rebuild from disk alone."""
+        with self._lock:
+            self.crashed = True
+            self.db = None
+
+    def restart(self) -> None:
+        """Come back from a crash using only the working directory:
+        drop a torn tail, replay snapshot + log, recompute
+        ``applied_seq`` from what is durably on disk."""
+        with self._lock:
+            log = UpdateLog(self.wal_path, fsync=self.fsync)
+            log.discard_torn_tail()
+            if not self.snapshot_path.exists():
+                # Never bootstrapped before the crash: stay empty and
+                # let catch-up install a snapshot.
+                self.db = None
+                self.applied_seq = 0
+                self.crashed = False
+                self.diverged = False
+                return
+            from repro.fdb.wal import recover
+            report = recover(self.snapshot_path, self.wal_path,
+                             policy="strict")
+            _, meta = persistence.load_with_meta(self.snapshot_path)
+            self.db = report.db
+            self.applied_seq = max(log.last_seq(),
+                                   meta.get("wal_applied") or 0)
+            self.term = max(report.term, meta.get("term", 0), self.term)
+            self.crashed = False
+            self.diverged = False
+            self._last_progress = time.monotonic()
+            if OBS.enabled:
+                OBS.action("replication.replica_restart",
+                           replica=self.name,
+                           applied_seq=self.applied_seq,
+                           term=self.term)
+
+    # -- message protocol ---------------------------------------------------
+
+    def handle(self, message: dict) -> dict:
+        """Serve one shipper request (see module docstring)."""
+        if self.crashed:
+            raise ConnectionError(f"replica {self.name} is down")
+        kind = message.get("type")
+        if kind == "append":
+            return self._handle_append(message)
+        if kind == "snapshot":
+            return self._handle_snapshot(message)
+        if kind == "status":
+            return self.status() | {"ok": True}
+        return {"ok": False, "error": f"unknown message type {kind!r}"}
+
+    def _handle_append(self, message: dict) -> dict:
+        term = message.get("term", 0)
+        records = message.get("records", [])
+        through_seq = message.get("through_seq", 0)
+        with self._lock:
+            if term < self.term:
+                return {"ok": False, "error": "stale-term",
+                        "term": self.term,
+                        "applied_seq": self.applied_seq}
+            if self.diverged:
+                return {"ok": False, "error": "diverged",
+                        "applied_seq": self.applied_seq}
+            if self.db is None:
+                return {"ok": False, "error": "needs-snapshot",
+                        "applied_seq": self.applied_seq}
+            try:
+                decoded = [self._decode(line) for line in records]
+            except PersistenceError as exc:
+                return {"ok": False, "error": f"bad-record: {exc}",
+                        "applied_seq": self.applied_seq}
+            fresh = [(seq, payload, line)
+                     for seq, payload, line in decoded
+                     if seq > self.applied_seq]
+            expected = self.applied_seq + 1
+            if fresh and fresh[0][0] != expected:
+                return {"ok": False, "error": "gap",
+                        "applied_seq": self.applied_seq}
+            if not fresh and through_seq > self.applied_seq and records:
+                # Everything shipped was already applied but the high
+                # water mark still advances (ack-lost re-shipment).
+                pass
+            aborted = {payload["abort_of"]
+                       for _, payload, _ in fresh
+                       if "abort_of" in payload}
+            try:
+                self._apply_fresh(fresh, aborted)
+            except SimulatedCrash:
+                self.crashed = True
+                self.db = None
+                raise ConnectionError(
+                    f"replica {self.name} crashed mid-apply"
+                ) from None
+            if term > self.term:
+                self.term = term
+            if through_seq > self.applied_seq:
+                self.applied_seq = through_seq
+            self._last_progress = time.monotonic()
+            if OBS.enabled:
+                OBS.inc("replication.records_applied", len(fresh))
+            return {"ok": True, "applied_seq": self.applied_seq,
+                    "term": self.term}
+
+    def _apply_fresh(self, fresh: list[tuple[int, dict, str]],
+                     aborted: set[int]) -> None:
+        for seq, payload, line in fresh:
+            FAULTS.fire("repl.replica.apply", replica=self.name,
+                        seq=seq)
+            # Write-ahead locally too: the record is on disk before
+            # its effects are, so a crash between the two replays it.
+            storage.append_line(self.wal_path, line, fsync=self.fsync)
+            if "abort_of" in payload or seq in aborted:
+                continue
+            entry = _decode_entry(payload["entry"])
+            try:
+                with Transaction(self.db):
+                    if isinstance(entry, UpdateSequence):
+                        for simple in entry:
+                            apply_update(self.db, simple)
+                    else:
+                        apply_update(self.db, entry)
+            except Exception as exc:
+                # Deterministic replay of a committed record failed:
+                # this copy no longer extends the primary's history.
+                # Freeze it; catch-up must re-bootstrap.
+                self.diverged = True
+                if OBS.enabled:
+                    OBS.inc("replication.divergences")
+                    OBS.action("replication.diverged",
+                               replica=self.name, seq=seq,
+                               error=str(exc))
+                raise ReplicationError(
+                    f"replica {self.name} diverged at seq {seq}: {exc}"
+                ) from exc
+            self.applied_seq = seq
+
+    @staticmethod
+    def _decode(line: str) -> tuple[int, dict, str]:
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"unparseable record: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("v") != WAL_VERSION:
+            raise PersistenceError("not a v2 record")
+        payload = {k: v for k, v in raw.items() if k not in ("v", "crc")}
+        if raw.get("crc") != _crc_of(payload):
+            raise PersistenceError("checksum mismatch in shipped record")
+        seq = payload.get("seq")
+        if not isinstance(seq, int):
+            raise PersistenceError("shipped record lacks a sequence "
+                                   "number")
+        return seq, payload, line
+
+    def _handle_snapshot(self, message: dict) -> dict:
+        term = message.get("term", 0)
+        text = message.get("snapshot", "")
+        wal_applied = message.get("wal_applied", 0)
+        with self._lock:
+            if term < self.term:
+                return {"ok": False, "error": "stale-term",
+                        "term": self.term,
+                        "applied_seq": self.applied_seq}
+            try:
+                db = persistence.loads(text)
+            except PersistenceError as exc:
+                return {"ok": False,
+                        "error": f"bad-snapshot: {exc}",
+                        "applied_seq": self.applied_seq}
+            storage.atomic_write(self.snapshot_path, text)
+            log = UpdateLog(self.wal_path, fsync=self.fsync,
+                            term=max(term, self.term))
+            log.truncate(next_seq=wal_applied + 1)
+            self.db = db
+            self.applied_seq = wal_applied
+            self.term = max(term, self.term)
+            self.diverged = False
+            self._last_progress = time.monotonic()
+            if OBS.enabled:
+                OBS.inc("replication.snapshots_installed")
+                OBS.action("replication.snapshot_installed",
+                           replica=self.name, wal_applied=wal_applied,
+                           term=self.term)
+            return {"ok": True, "applied_seq": self.applied_seq,
+                    "term": self.term}
+
+    # -- reading ------------------------------------------------------------
+
+    def read(self, fn):
+        """Run a read-only callable against the replica's database
+        under its apply lock (a consistent point-in-time view)."""
+        with self._lock:
+            if self.crashed or self.db is None:
+                raise ReplicationError(
+                    f"replica {self.name} cannot serve reads "
+                    f"(crashed={self.crashed})"
+                )
+            return fn(self.db)
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "applied_seq": self.applied_seq,
+                "term": self.term,
+                "crashed": self.crashed,
+                "diverged": self.diverged,
+            }

@@ -1,0 +1,255 @@
+"""Streaming v2 WAL records from the primary's log to replicas.
+
+The :class:`WalShipper` is the data plane: per replica it remembers
+the last acknowledged sequence number and, on demand, reads the raw
+framed lines in ``(acked, through]`` out of the primary's
+:class:`repro.fdb.wal.UpdateLog` and pushes them over that replica's
+transport. Shipping is synchronous and idempotent — a lost ack just
+means the same records go again and the replica skips what it already
+holds — so the control plane (:class:`ReplicationGroup
+<repro.replication.group.ReplicationGroup>`) can retry freely.
+
+When a checkpoint has already folded the needed range into the
+snapshot (``shippable_floor() > acked``), delta shipping is
+impossible and :exc:`SnapshotNeeded` tells the control plane to fall
+back to snapshot catch-up.
+
+With ``journal=True`` the shipper also keeps an in-memory copy of
+every record that entered the shipped stream, in sequence order —
+the oracle the chaos soak replays to prove "replica state equals
+sequential replay of the shipped stream".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReplicaDiverged, ReplicationError
+from repro.fdb.wal import UpdateLog
+from repro.obs.hooks import OBS
+
+__all__ = ["WalShipper", "ReplicaLink", "SnapshotNeeded"]
+
+
+class SnapshotNeeded(ReplicationError):
+    """Delta shipping cannot reach this replica: the records it needs
+    were folded into a checkpoint. Catch up from the snapshot."""
+
+    def __init__(self, name: str, acked: int, floor: int) -> None:
+        super().__init__(
+            f"replica {name!r} is at seq {acked} but the log floor is "
+            f"{floor}; snapshot catch-up required"
+        )
+        self.replica = name
+        self.acked = acked
+        self.floor = floor
+
+
+class ReplicaLink:
+    """Shipping state for one replica: transport + ack bookkeeping."""
+
+    def __init__(self, name: str, transport) -> None:
+        self.name = name
+        self.transport = transport
+        self.acked_seq = 0
+        self.acked_term = 0
+        self.errors = 0
+        self.last_error: str | None = None
+        self.last_progress = time.monotonic()
+        self.needs_snapshot = True  # fresh links bootstrap first
+
+    def note_ack(self, applied_seq: int, term: int) -> None:
+        if applied_seq > self.acked_seq:
+            self.acked_seq = applied_seq
+            self.last_progress = time.monotonic()
+        self.acked_term = max(self.acked_term, term)
+        self.last_error = None
+
+    def note_error(self, error: str) -> None:
+        self.errors += 1
+        self.last_error = error
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "acked_seq": self.acked_seq,
+            "acked_term": self.acked_term,
+            "errors": self.errors,
+            "last_error": self.last_error,
+            "needs_snapshot": self.needs_snapshot,
+        }
+
+
+class WalShipper:
+    """The record stream from one primary log to N replica links."""
+
+    def __init__(self, log: UpdateLog, *, term: int = 0,
+                 batch_limit: int = 256, journal: bool = False) -> None:
+        self.log = log
+        self.term = term
+        self.batch_limit = batch_limit
+        self._links: dict[str, ReplicaLink] = {}
+        self._lock = threading.Lock()
+        self._journal: list[tuple[int, str]] | None = \
+            [] if journal else None
+        self._journal_through = 0
+
+    # -- link management ----------------------------------------------------
+
+    def add(self, name: str, transport) -> ReplicaLink:
+        with self._lock:
+            if name in self._links:
+                raise ReplicationError(f"replica {name!r} already "
+                                       f"linked")
+            link = ReplicaLink(name, transport)
+            self._links[name] = link
+            return link
+
+    def remove(self, name: str) -> ReplicaLink | None:
+        with self._lock:
+            return self._links.pop(name, None)
+
+    def link(self, name: str) -> ReplicaLink:
+        with self._lock:
+            try:
+                return self._links[name]
+            except KeyError:
+                raise ReplicationError(
+                    f"no replica linked as {name!r}"
+                ) from None
+
+    def links(self) -> list[ReplicaLink]:
+        with self._lock:
+            return list(self._links.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._links)
+
+    # -- journalling --------------------------------------------------------
+
+    def journal_through(self, seq: int) -> None:
+        """Record every log line up to ``seq`` into the shipped-stream
+        journal (no-op unless journalling is on). Called at commit
+        time, *before* any transport is tried, so the journal covers
+        records that were committed but never successfully shipped —
+        exactly the stream a promoted replica may or may not hold."""
+        if self._journal is None:
+            return
+        with self._lock:
+            if seq <= self._journal_through:
+                return
+            records = self.log.records_between(self._journal_through,
+                                               seq)
+            self._journal.extend(records)
+            self._journal_through = max(self._journal_through, seq)
+
+    def journal(self) -> list[tuple[int, str]]:
+        """The journalled ``(seq, raw line)`` stream, in order."""
+        if self._journal is None:
+            return []
+        with self._lock:
+            return list(self._journal)
+
+    # -- shipping -----------------------------------------------------------
+
+    def ship(self, link: ReplicaLink, through_seq: int) -> int:
+        """Push the records ``(link.acked_seq, through_seq]`` and
+        collect the ack. Returns the replica's new applied sequence.
+
+        Raises ``ConnectionError``/``TimeoutError`` for unreachable
+        replicas, :exc:`SnapshotNeeded` when the range is gone from
+        the log, :exc:`ReplicaDiverged` when the replica refuses the
+        stream (stale term or divergence).
+        """
+        while True:
+            acked = link.acked_seq
+            if through_seq <= acked:
+                return acked
+            floor = self.log.shippable_floor()
+            if link.needs_snapshot or acked < floor:
+                raise SnapshotNeeded(link.name, acked, floor)
+            records = self.log.records_between(acked, through_seq)
+            if records and records[0][0] != acked + 1:
+                # The head of the range was folded away between the
+                # floor check and the read: snapshot after all.
+                raise SnapshotNeeded(link.name, acked, records[0][0] - 1)
+            batch = records[: self.batch_limit]
+            batch_through = (batch[-1][0] if len(batch) < len(records)
+                             else through_seq)
+            reply = self._exchange(link, {
+                "type": "append",
+                "term": self.term,
+                "records": [line for _, line in batch],
+                "through_seq": batch_through,
+            })
+            if not reply.get("ok"):
+                error = reply.get("error", "refused")
+                link.note_error(error)
+                if error == "stale-term":
+                    raise ReplicaDiverged(
+                        f"replica {link.name} is at term "
+                        f"{reply.get('term')} — this shipper (term "
+                        f"{self.term}) is deposed"
+                    )
+                if error in ("needs-snapshot", "gap", "diverged"):
+                    link.needs_snapshot = True
+                    raise SnapshotNeeded(link.name, acked, floor)
+                raise ReplicationError(
+                    f"replica {link.name} refused records: {error}"
+                )
+            link.note_ack(reply.get("applied_seq", acked),
+                          reply.get("term", self.term))
+            if OBS.enabled:
+                OBS.inc("replication.records_shipped", len(batch))
+            if link.acked_seq >= through_seq:
+                return link.acked_seq
+
+    def ship_snapshot(self, link: ReplicaLink, snapshot: str,
+                      wal_applied: int) -> int:
+        """Full-state catch-up: install ``snapshot`` on the replica
+        and reset its link to ``wal_applied``."""
+        reply = self._exchange(link, {
+            "type": "snapshot",
+            "term": self.term,
+            "snapshot": snapshot,
+            "wal_applied": wal_applied,
+        })
+        if not reply.get("ok"):
+            error = reply.get("error", "refused")
+            link.note_error(error)
+            if error == "stale-term":
+                raise ReplicaDiverged(
+                    f"replica {link.name} is at term "
+                    f"{reply.get('term')} — this shipper (term "
+                    f"{self.term}) is deposed"
+                )
+            raise ReplicationError(
+                f"replica {link.name} refused snapshot: {error}"
+            )
+        link.needs_snapshot = False
+        link.note_ack(reply.get("applied_seq", wal_applied),
+                      reply.get("term", self.term))
+        if OBS.enabled:
+            OBS.inc("replication.snapshots_shipped")
+        return link.acked_seq
+
+    def poll_status(self, link: ReplicaLink) -> dict | None:
+        """The replica's own view, or ``None`` if unreachable."""
+        try:
+            reply = link.transport.request({"type": "status"})
+        except (ConnectionError, TimeoutError, OSError):
+            return None
+        if not reply.get("ok"):
+            return None
+        return reply
+
+    def _exchange(self, link: ReplicaLink, message: dict) -> dict:
+        try:
+            return link.transport.request(message)
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            link.note_error(str(exc))
+            if OBS.enabled:
+                OBS.inc("replication.ship_errors")
+            raise ConnectionError(str(exc)) from exc

@@ -1,0 +1,268 @@
+"""Pluggable transports for shipping WAL records to replicas.
+
+The shipper speaks one synchronous request/reply protocol — JSON
+message dicts in, JSON reply dicts out — and this module provides the
+two carriers:
+
+* :class:`InProcessTransport` — calls the replica's handler directly.
+  The test and chaos-soak carrier: a ``partitioned`` flag (plus the
+  ``repl.transport.deliver`` fault point) turns any delivery into a
+  ``ConnectionError``, including the nasty half — request delivered,
+  ack lost — that makes real replication protocols idempotent.
+
+* :class:`SocketTransport` / :class:`ReplicaServer` — length-prefixed
+  JSON frames over TCP (4-byte big-endian length, UTF-8 JSON body) for
+  replicas in other processes. The server runs one thread per
+  connection and serves the same handler the in-process carrier calls.
+
+Every failure a carrier can produce surfaces as ``ConnectionError`` /
+``TimeoutError``; the shipper treats both as "replica unreachable,
+retry later", never as data loss.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Callable, Protocol
+
+from repro.faults.registry import FAULTS
+
+__all__ = ["Transport", "InProcessTransport", "SocketTransport",
+           "ReplicaServer", "send_frame", "recv_frame"]
+
+_LENGTH = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024  # a snapshot ships as one frame
+
+FAULTS.register(
+    "repl.transport.deliver",
+    "replication transport: before a request is delivered to a "
+    "replica (partition / drop site)",
+)
+FAULTS.register(
+    "repl.transport.ack",
+    "replication transport: request applied, before the ack returns "
+    "(the delivered-but-unacked window)",
+)
+
+
+class Transport(Protocol):
+    """What the shipper needs from a carrier: one blocking
+    request/reply exchange, and a way to let go of it."""
+
+    def request(self, message: dict) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class InProcessTransport:
+    """Direct-call carrier for replicas living in this process.
+
+    ``partitioned`` simulates a network partition: set, every exchange
+    raises ``ConnectionError``. The check runs both *before* delivery
+    (request lost) and *after* the replica handled it (ack lost) — the
+    second window is where naive protocols double-apply, so the soak
+    flips partitions mid-exchange on purpose.
+    """
+
+    def __init__(self, handler: Callable[[dict], dict], *,
+                 name: str = "replica") -> None:
+        self._handler = handler
+        self.name = name
+        self.partitioned = False
+
+    def request(self, message: dict) -> dict:
+        if self.partitioned:
+            raise ConnectionError(f"partitioned from {self.name}")
+        FAULTS.fire("repl.transport.deliver", replica=self.name)
+        reply = self._handler(message)
+        FAULTS.fire("repl.transport.ack", replica=self.name)
+        if self.partitioned:
+            raise ConnectionError(
+                f"partitioned from {self.name} (ack lost)"
+            )
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """One length-prefixed JSON frame onto a socket."""
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """One frame off a socket; ``None`` on clean EOF at a frame
+    boundary, ``ConnectionError`` on a mid-frame cut."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"oversized frame: {length} bytes")
+    body = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConnectionError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ConnectionError("frame body is not a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                *, eof_ok: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class SocketTransport:
+    """Length-prefixed JSON frames to a :class:`ReplicaServer`.
+
+    One persistent connection, re-established on the next request
+    after any failure; the protocol is one-request-one-reply, so a
+    reconnect can never interleave frames.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 5.0, name: str | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.name = name or f"{host}:{port}"
+        self.partitioned = False
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def request(self, message: dict) -> dict:
+        if self.partitioned:
+            raise ConnectionError(f"partitioned from {self.name}")
+        with self._lock:
+            try:
+                sock = self._connect()
+                send_frame(sock, message)
+                reply = recv_frame(sock)
+            except (OSError, ConnectionError) as exc:
+                self._drop()
+                raise ConnectionError(
+                    f"exchange with {self.name} failed: {exc}"
+                ) from exc
+            if reply is None:
+                self._drop()
+                raise ConnectionError(
+                    f"{self.name} closed the connection"
+                )
+            return reply
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self._sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+
+class ReplicaServer:
+    """Serves a replica's message handler over TCP.
+
+    ``start()`` binds (port 0 picks a free port — read ``.port`` after)
+    and accepts in a daemon thread, one thread per connection; each
+    frame is answered by ``handler(message)``. A handler exception
+    becomes an ``{"ok": False, "error": ...}`` reply, never a dropped
+    connection — transport failures must stay distinguishable from
+    replica refusals.
+    """
+
+    def __init__(self, handler: Callable[[dict], dict], *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._handler = handler
+        self.host = host
+        self.port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    def start(self) -> "ReplicaServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"replica-server-{self.port}",
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except ConnectionError:
+                    return
+                if message is None:
+                    return
+                try:
+                    reply = self._handler(message)
+                except Exception as exc:  # noqa: BLE001 — reply, don't die
+                    reply = {"ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+                try:
+                    send_frame(conn, reply)
+                except OSError:
+                    return
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    def transport(self, *, timeout: float = 5.0,
+                  name: str | None = None) -> SocketTransport:
+        """A client transport pointed at this server."""
+        return SocketTransport(self.host, self.port,
+                               timeout=timeout, name=name)

@@ -64,7 +64,7 @@ from typing import Callable, Iterable
 
 from repro.cancel import Deadline, deadline_scope
 from repro.errors import (DeadlockDetected, LockTimeout, PersistenceError,
-                          ServiceOverloaded)
+                          ReplicationError, ServiceOverloaded)
 from repro.fdb import wal as wal_module
 from repro.fdb.database import FunctionalDatabase
 from repro.fdb.logic import Truth
@@ -144,6 +144,10 @@ class DatabaseService:
         queue_timeout: float = 1.0,
         breaker: CircuitBreaker | None = None,
         objectives: Iterable[Objective] | None = None,
+        replication=None,
+        node: str = "primary",
+        staleness_max_lag_seq: int | None = None,
+        staleness_max_lag_seconds: float | None = None,
         seed: int = 0,
     ) -> None:
         self.db = db
@@ -170,6 +174,31 @@ class DatabaseService:
         # it sequentially reproduces the live state exactly.
         self.committed: list[Update | UpdateSequence] = []
         self._committed_lock = threading.Lock()
+        # Replication: attach this service as the group's primary and
+        # hold the term token its write path must present on every
+        # commit. ``acked`` is the subset of ``committed`` whose
+        # replication quota was met — the ops a failover must never
+        # lose — as (wal seq, update) pairs in ack order.
+        self.replication = replication
+        self.node = node
+        self.staleness_max_lag_seq = staleness_max_lag_seq
+        self.staleness_max_lag_seconds = staleness_max_lag_seconds
+        self.acked: list[tuple[int, Update | UpdateSequence]] = []
+        self._acked_lock = threading.Lock()
+        self._repl_term: int | None = None
+        if replication is not None:
+            if self.logged is None:
+                raise ReplicationError(
+                    "replication requires a write-ahead log"
+                )
+            self._repl_term = replication.attach_primary(
+                self.logged, node=node
+            )
+            # Snapshot catch-up dumps run while the write token is
+            # held exclusively, so no commit lands mid-dump.
+            replication.exclusive = lambda: self.locks.held(
+                (WRITE_RESOURCE,), EXCLUSIVE, timeout=self.lock_timeout
+            )
         self._stats_lock = threading.Lock()
         self._stats = {
             "reads": 0, "writes": 0, "retries": 0, "deadlocks": 0,
@@ -290,6 +319,30 @@ class DatabaseService:
             (name,), lambda db: db.extension(name), deadline=deadline,
         )
 
+    def read_replica(self, fn: Callable[[FunctionalDatabase], object],
+                     *, max_lag_seq: int | None = None,
+                     max_lag_seconds: float | None = None) -> object:
+        """Serve ``fn(db)`` from a replica within the bounded-staleness
+        window instead of the primary (offloads derived-function
+        queries). Defaults to the service's configured staleness
+        bounds; raises :class:`repro.errors.StalenessUnserved` when no
+        replica qualifies and :class:`ReplicationError` when the
+        service is unreplicated."""
+        if self.replication is None:
+            raise ReplicationError("service has no replication group")
+        if max_lag_seq is None:
+            max_lag_seq = self.staleness_max_lag_seq
+        if max_lag_seconds is None:
+            max_lag_seconds = self.staleness_max_lag_seconds
+        with self._request("replica_read"):
+            self._bump("reads")
+            if OBS.enabled:
+                OBS.inc("service.replica_reads")
+            return self.replication.read(
+                fn, max_lag_seq=max_lag_seq,
+                max_lag_seconds=max_lag_seconds,
+            )
+
     # -- writes -------------------------------------------------------------
 
     def execute(self, update: Update | UpdateSequence, *,
@@ -310,18 +363,23 @@ class DatabaseService:
                     OBS.inc("service.writes")
                 attempts = itertools.count(1)
 
-                def once() -> None:
+                def once() -> int | None:
                     with OBS.span("service.attempt",
                                   attempt=next(attempts)):
-                        self._write_once(update, clusters, limit)
+                        return self._write_once(update, clusters, limit)
 
-                self.retry.run(
+                seq = self.retry.run(
                     once,
                     rng=self._locked_rng(),
                     deadline=limit,
                     on_retry=self._on_retry,
                 )
                 req.attrs["committed"] = True
+                # Replication ack wait runs after the span is stamped
+                # and outside any locks: the op is committed locally
+                # either way; a missed quota surfaces as
+                # ReplicationTimeout without un-committing anything.
+                self._replication_ack(seq, update)
             finally:
                 self.gate.leave()
 
@@ -344,11 +402,15 @@ class DatabaseService:
             self._bump("lock_timeouts")
 
     def _write_once(self, update: Update | UpdateSequence,
-                    clusters: set[str], limit: Deadline | None) -> None:
+                    clusters: set[str],
+                    limit: Deadline | None) -> int | None:
+        """One write attempt; returns the WAL sequence number of the
+        commit (None without a log)."""
         gated = self.logged is not None
         if gated:
             self.breaker.allow()
         storage_verdict = False
+        seq: int | None = None
         try:
             with ExitStack() as stack:
                 with OBS.span("service.locks", mode=EXCLUSIVE,
@@ -357,11 +419,16 @@ class DatabaseService:
                         {WRITE_RESOURCE} | clusters, EXCLUSIVE,
                         timeout=self.lock_timeout, deadline=limit,
                     ))
+                # The epoch fence, checked while holding __write__ and
+                # before the WAL append: a deposed primary's write is
+                # rejected here (StalePrimary), never logged.
+                if self.replication is not None:
+                    self.replication.check_primary(self._repl_term)
                 with deadline_scope(limit):
                     with OBS.span("service.engine"):
                         if self.logged is not None:
                             try:
-                                self.logged.execute(update)
+                                seq = self.logged.execute(update)
                             except (OSError, PersistenceError) as exc:
                                 storage_verdict = True
                                 self.breaker.record_failure(exc)
@@ -378,9 +445,24 @@ class DatabaseService:
                 # Still holding __write__: commit order == list order.
                 with self._committed_lock:
                     self.committed.append(update)
+                if self.replication is not None and seq is not None:
+                    # Journal for the shipped-stream oracle before a
+                    # checkpoint can fold the record away.
+                    self.replication.note_commit(seq)
+            return seq
         finally:
             if gated and not storage_verdict:
                 self.breaker.release_probe()
+
+    def _replication_ack(self, seq: int | None,
+                         update: Update | UpdateSequence) -> None:
+        """Ship the commit and wait out the group's commit mode; on
+        success record the op as replication-acknowledged."""
+        if self.replication is None or seq is None:
+            return
+        self.replication.on_commit(seq)
+        with self._acked_lock:
+            self.acked.append((seq, update))
 
     def insert(self, name: str, x: Value, y: Value, *,
                deadline: Deadline | float | None = None) -> None:
@@ -429,14 +511,17 @@ class DatabaseService:
                                   attempt=next(attempts)):
                         return self._rmw_once(name_list, build, limit)
 
-                applied = self.retry.run(
+                result = self.retry.run(
                     once,
                     rng=self._locked_rng(),
                     deadline=limit,
                     on_retry=self._on_retry,
                 )
-                if applied is not None:
-                    req.attrs["committed"] = True
+                if result is None:
+                    return None
+                applied, seq = result
+                req.attrs["committed"] = True
+                self._replication_ack(seq, applied)
                 return applied
             finally:
                 self.gate.leave()
@@ -465,6 +550,7 @@ class DatabaseService:
                 if gated:
                     self.breaker.allow()
                 storage_verdict = False
+                seq: int | None = None
                 try:
                     with ExitStack() as write_stack:
                         with OBS.span("service.locks", mode=EXCLUSIVE,
@@ -475,11 +561,15 @@ class DatabaseService:
                                 timeout=self.lock_timeout,
                                 deadline=limit,
                             ))
+                        if self.replication is not None:
+                            self.replication.check_primary(
+                                self._repl_term
+                            )
                         with deadline_scope(limit):
                             with OBS.span("service.engine"):
                                 if self.logged is not None:
                                     try:
-                                        self.logged.execute(update)
+                                        seq = self.logged.execute(update)
                                     except (OSError,
                                             PersistenceError) as exc:
                                         storage_verdict = True
@@ -498,7 +588,10 @@ class DatabaseService:
                                             apply_update(self.db, update)
                         with self._committed_lock:
                             self.committed.append(update)
-                    return update
+                        if self.replication is not None \
+                                and seq is not None:
+                            self.replication.note_commit(seq)
+                    return update, seq
                 finally:
                     if gated and not storage_verdict:
                         self.breaker.release_probe()
@@ -596,12 +689,25 @@ class DatabaseService:
         alerts): healthy means writes are being accepted — breaker not
         OPEN and the gate not draining."""
         breaker = self.breaker.state
-        return {
+        verdict = {
             "healthy": breaker != OPEN and not self.closed,
             "breaker": breaker,
             "draining": self.closed,
             "committed": len(self.committed),
         }
+        if self.replication is not None:
+            repl = self.replication.health(
+                max_lag_seq=self.staleness_max_lag_seq,
+                max_lag_seconds=self.staleness_max_lag_seconds,
+            )
+            verdict["replication"] = repl
+            bounded = (self.staleness_max_lag_seq is not None
+                       or self.staleness_max_lag_seconds is not None)
+            if bounded and not repl["servable"]:
+                # Bounded-staleness reads cannot be served: surface
+                # the outage as a 503 rather than silent stale data.
+                verdict["healthy"] = False
+        return verdict
 
     # -- reporting ----------------------------------------------------------
 
@@ -617,6 +723,14 @@ class DatabaseService:
         snapshot["slo_alerts"] = list(self.slo.alerts)
         snapshot["slo_alerts_raised"] = self.slo.raised
         snapshot["slo_alerts_cleared"] = self.slo.cleared
+        if self.logged is not None:
+            snapshot["wal"] = self.logged.log.health()
+        if self.replication is not None:
+            snapshot["acked"] = len(self.acked)
+            snapshot["replication"] = self.replication.health(
+                max_lag_seq=self.staleness_max_lag_seq,
+                max_lag_seconds=self.staleness_max_lag_seconds,
+            )
         return snapshot
 
     def committed_ops(self) -> tuple[Update | UpdateSequence, ...]:
@@ -626,6 +740,13 @@ class DatabaseService:
         reproduce the live state exactly."""
         with self._committed_lock:
             return tuple(self.committed)
+
+    def acked_ops(self) -> tuple[tuple[int, Update | UpdateSequence], ...]:
+        """The replication-acknowledged subset of the committed log as
+        (WAL seq, update) pairs — under ``sync(k>=1)``/``quorum``
+        these are the operations a failover must preserve."""
+        with self._acked_lock:
+            return tuple(self.acked)
 
 
 class _LockedRandom:

@@ -377,3 +377,64 @@ class TestRendering:
         OBS.inc("c")
         data = json.loads(to_json(OBS.snapshot()))
         assert data["metrics"]["counters"]["c"] == 1
+
+
+class TestReplicationRendering:
+    """The WAL + replication sections of stats and the monitor
+    dashboard."""
+
+    def test_render_stats_wal_and_replication_sections(self):
+        from repro.obs import render_stats as _render_stats
+
+        stats = {
+            "instance": {"stored_facts": 4, "ambiguous_facts": 0,
+                         "ncs": 1, "next_null_index": 3},
+            "observability": {"enabled": True},
+            "metrics": {},
+            "wal": {"last_seq": 7, "term": 2, "entries": 6,
+                    "aborted": 1, "tail_torn": True,
+                    "checksum_failures": 0},
+            "acked": 5,
+            "replication": {
+                "role": "primary", "node": "n1", "term": 2,
+                "mode": "quorum", "servable": False,
+                "replicas": {"r0": {"acked_seq": 6, "lag_seq": 1,
+                                    "lag_seconds": 0.5, "errors": 2,
+                                    "last_error": "partitioned"}},
+            },
+        }
+        text = _render_stats(stats)
+        assert "wal: applied seq 7 (term 2)" in text
+        assert "TAIL TORN" in text
+        assert "replication: primary n1, term 2, mode quorum" in text
+        assert "5 acked commits" in text
+        assert "STALENESS UNSERVABLE" in text
+        assert "r0: acked seq 6, lag 1 seqs" in text
+        assert "(last: partitioned)" in text
+
+    def test_render_replication_without_replicas(self):
+        from repro.obs import render_replication
+
+        text = render_replication({
+            "role": "primary", "node": "primary", "term": 1,
+            "mode": "async", "servable": True, "replicas": {},
+        })
+        assert "(no replicas linked)" in text
+
+    def test_render_monitor_replication_block(self):
+        from repro.obs import render_monitor as _render_monitor
+
+        OBS.enable()
+        OBS.gauge("fdb.wal.last_seq", 9)
+        OBS.gauge("fdb.wal.tail_torn", 0)
+        OBS.gauge("replication.term", 3)
+        OBS.gauge("replication.lag.seq.r0", 2)
+        OBS.gauge("replication.lag.seconds.r0", 0.25)
+        OBS.inc("replication.records_shipped", 9)
+        OBS.inc("replication.records_applied", 7)
+        OBS.inc("replication.ack_timeouts", 1)
+        text = _render_monitor(OBS.metrics.snapshot())
+        assert "wal: applied seq 9, tail clean" in text
+        assert "replication: term 3, 9 shipped / 7 applied" in text
+        assert "1 ack timeouts" in text
+        assert "lag r0: 2 seqs / 0.25s" in text

@@ -1,0 +1,547 @@
+"""Tests for WAL-shipping replication: roles, commit modes, fencing,
+failover, rejoin repair, transports and bounded-staleness reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ReplicationError,
+    ReplicationTimeout,
+    StalenessUnserved,
+    StalePrimary,
+)
+from repro.fdb import persistence
+from repro.fdb.logic import Truth
+from repro.fdb.updates import Update
+from repro.fdb.wal import (
+    LoggedDatabase,
+    RecoveryReport,
+    UpdateLog,
+    checkpoint,
+)
+from repro.replication import (
+    CatchUpReport,
+    CommitMode,
+    InProcessTransport,
+    PromotionReport,
+    RejoinReport,
+    Replica,
+    ReplicaServer,
+    ReplicationGroup,
+    SocketTransport,
+    WalShipper,
+)
+from repro.service import DatabaseService
+from repro.workloads.university import pupil_database, section_42_updates
+
+
+@pytest.fixture
+def primary(tmp_path):
+    """A pupil-database primary with the replica file layout."""
+    workdir = tmp_path / "primary"
+    workdir.mkdir()
+    db = pupil_database()
+    persistence.save(db, workdir / "snapshot.json", wal_applied=0)
+    return LoggedDatabase(db, workdir / "wal.log"), workdir
+
+
+def _group(mode="sync(1)", **kwargs):
+    kwargs.setdefault("ack_timeout", 1.0)
+    kwargs.setdefault("retry_interval", 0.005)
+    return ReplicationGroup(mode, **kwargs)
+
+
+class TestCommitMode:
+    def test_parse(self):
+        assert CommitMode.parse("async").kind == "async"
+        assert CommitMode.parse("quorum").kind == "quorum"
+        mode = CommitMode.parse("sync(2)")
+        assert (mode.kind, mode.k) == ("sync", 2)
+        assert str(mode) == "sync(2)"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CommitMode.parse("sync(0)")
+        with pytest.raises(ValueError):
+            CommitMode.parse("majority")
+
+    def test_required_acks(self):
+        assert CommitMode.parse("async").required_acks(3) == 0
+        assert CommitMode.parse("sync(2)").required_acks(3) == 2
+        # quorum: majority of the whole group (primary + replicas),
+        # with the primary's own durable copy counting as one vote
+        assert CommitMode.parse("quorum").required_acks(1) == 1
+        assert CommitMode.parse("quorum").required_acks(2) == 1
+        assert CommitMode.parse("quorum").required_acks(4) == 2
+
+
+class TestReplicaApply:
+    def test_bootstrap_and_delta_apply(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        term = group.attach_primary(logged)
+        assert term == 1
+        replica = Replica("r0", tmp_path / "r0")
+        report = group.add_replica("r0", replica)
+        assert report.mode == "snapshot"
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        assert replica.applied_seq == seq
+        assert replica.db.truth_of("teach", "gauss", "cs") is Truth.TRUE
+        # the replica's log is a prefix copy of the primary's stream
+        assert replica.wal_path.exists()
+
+    def test_reshipment_is_idempotent(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        # Simulate a lost ack: rewind the link and ship again.
+        link = group.shipper.link("r0")
+        link.acked_seq = 0
+        group.shipper.ship(link, seq)
+        assert replica.applied_seq == seq
+        pairs = list(replica.db.table("teach").pairs())
+        assert pairs.count(("gauss", "cs")) == 1
+
+    def test_true_gap_errors(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        seqs = []
+        for update in section_42_updates()[:3]:
+            seqs.append(logged.execute(update))
+            group.on_commit(seqs[-1])
+        tail = logged.log.records_between(2, 3)
+        replica.applied_seq = 0  # pretend records 1..2 never arrived
+        reply = replica.handle({
+            "type": "append", "term": group.term,
+            "records": [line for _, line in tail],
+            "through_seq": 3,
+        })
+        assert reply == {"ok": False, "error": "gap", "applied_seq": 0}
+
+    def test_checksum_tampering_is_refused(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        (record_seq, line), = logged.log.records_between(0, seq)
+        raw = json.loads(line)
+        raw["seq"] = record_seq + 7  # bits flipped in flight
+        reply = replica.handle({
+            "type": "append", "term": group.term,
+            "records": [json.dumps(raw)], "through_seq": record_seq + 7,
+        })
+        assert not reply["ok"]
+        assert "bad-record" in reply["error"]
+
+    def test_stale_term_refused_by_replica(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        replica.term = 5
+        reply = replica.handle({
+            "type": "append", "term": 4, "records": [],
+            "through_seq": 0,
+        })
+        assert reply["error"] == "stale-term"
+        assert reply["term"] == 5
+
+    def test_crash_restart_resumes_from_disk(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        seqs = [logged.execute(u) for u in section_42_updates()[:4]]
+        for seq in seqs:
+            group.on_commit(seq)
+        replica.crash()
+        with pytest.raises(ConnectionError):
+            replica.handle({"type": "status"})
+        replica.restart()
+        assert replica.applied_seq == seqs[-1]
+        seq = logged.execute(Update.ins("teach", "noether", "algebra"))
+        group.on_commit(seq)
+        assert replica.applied_seq == seq
+        assert replica.db.truth_of(
+            "teach", "noether", "algebra") is Truth.TRUE
+
+
+class TestShipper:
+    def test_batching_respects_limit(self, primary, tmp_path):
+        logged, _ = primary
+        shipper = WalShipper(logged.log, term=1, batch_limit=2)
+        replica = Replica("r0", tmp_path / "r0")
+        link = shipper.add("r0", InProcessTransport(replica.handle))
+        snapshot = persistence.dumps(logged.db, wal_applied=0)
+        shipper.ship_snapshot(link, snapshot, 0)
+        seqs = [logged.execute(u) for u in section_42_updates()[:5]]
+        shipper.ship(link, seqs[-1])
+        assert replica.applied_seq == seqs[-1]
+
+    def test_snapshot_needed_after_checkpoint(self, primary, tmp_path):
+        logged, workdir = primary
+        group = _group()
+        group.attach_primary(logged)
+        for update in section_42_updates()[:3]:
+            seq = logged.execute(update)
+        checkpoint(logged, workdir / "snapshot.json")
+        # A replica added *after* the fold can't be delta-shipped.
+        replica = Replica("late", tmp_path / "late")
+        report = group.add_replica("late", replica)
+        assert report.mode == "snapshot"
+        assert replica.applied_seq == seq
+        assert replica.db.table("teach").rows() == \
+            logged.db.table("teach").rows()
+
+    def test_journal_covers_the_stream(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group(journal=True)
+        group.attach_primary(logged)
+        seqs = [logged.execute(u) for u in section_42_updates()[:3]]
+        for seq in seqs:
+            group.note_commit(seq)
+        journal = group.shipper.journal()
+        assert [seq for seq, _ in journal] == seqs
+
+
+class TestGroupCommitModes:
+    def test_sync_waits_for_k_acks(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group("sync(2)")
+        group.attach_primary(logged)
+        for name in ("r0", "r1"):
+            group.add_replica(name, Replica(name, tmp_path / name))
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        verdict = group.on_commit(seq)
+        assert verdict["acks"] == 2
+
+    def test_sync_times_out_when_partitioned(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group("sync(1)", ack_timeout=0.15)
+        group.attach_primary(logged)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        group.shipper.link("r0").transport.partitioned = True
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        with pytest.raises(ReplicationTimeout):
+            group.on_commit(seq)
+        # Healing the partition lets the next commit drag it forward.
+        group.shipper.link("r0").transport.partitioned = False
+        seq2 = logged.execute(Update.ins("teach", "noether", "algebra"))
+        group.on_commit(seq2)
+        assert group.replica("r0").applied_seq == seq2
+
+    def test_async_never_blocks(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group("async", ack_timeout=0.15)
+        group.attach_primary(logged)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        group.shipper.link("r0").transport.partitioned = True
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        verdict = group.on_commit(seq)  # no quota, no timeout
+        assert verdict["acks"] == 0
+
+
+class TestFailover:
+    def _replicated(self, primary, tmp_path, mode="sync(1)"):
+        logged, workdir = primary
+        group = _group(mode, journal=True)
+        group.attach_primary(logged)
+        for name in ("r0", "r1"):
+            group.add_replica(name, Replica(name, tmp_path / name))
+        return logged, workdir, group
+
+    def test_promotion_picks_longest_prefix(self, primary, tmp_path):
+        logged, _, group = self._replicated(primary, tmp_path)
+        seq1 = logged.execute(Update.ins("teach", "a", "b"))
+        group.on_commit(seq1)
+        # r1 misses the second commit; r0 gets everything.
+        group.shipper.link("r1").transport.partitioned = True
+        seq2 = logged.execute(Update.ins("teach", "c", "d"))
+        group.on_commit(seq2)  # sync(1): r0's ack satisfies the quota
+        group.shipper.link("r1").transport.partitioned = False
+        report = group.promote()
+        assert report.chosen == "r0"
+        assert report.applied_seq == seq2
+        assert dict(report.candidates) == {"r0": seq2, "r1": seq1}
+
+    def test_promote_fence_and_stale_primary(self, primary, tmp_path):
+        logged, _, group = self._replicated(primary, tmp_path)
+        token = group.term
+        seqs = [logged.execute(u) for u in section_42_updates()[:3]]
+        for seq in seqs:
+            group.on_commit(seq)
+        # The primary commits one op nobody acks (full partition).
+        for link in group.shipper.links():
+            link.transport.partitioned = True
+        group.ack_timeout = 0.1
+        tail_seq = logged.execute(Update.ins("teach", "tail", "op"))
+        with pytest.raises(ReplicationTimeout):
+            group.on_commit(tail_seq)
+        for link in group.shipper.links():
+            link.transport.partitioned = False
+
+        report = group.promote()
+        assert report.applied_seq == seqs[-1]  # the acked prefix
+        assert report.new_term == token + 1
+        assert group.fence_seq(token) == seqs[-1]
+        with pytest.raises(StalePrimary):
+            group.check_primary(token)
+
+    def test_full_failover_and_rejoin(self, primary, tmp_path):
+        logged, workdir, group = self._replicated(primary, tmp_path)
+        old_term = group.term
+        seqs = [logged.execute(u) for u in section_42_updates()[:3]]
+        for seq in seqs:
+            group.on_commit(seq)
+        for link in group.shipper.links():
+            link.transport.partitioned = True
+        group.ack_timeout = 0.1
+        tail_seq = logged.execute(Update.ins("teach", "tail", "op"))
+        with pytest.raises(ReplicationTimeout):
+            group.on_commit(tail_seq)
+        for link in group.shipper.links():
+            link.transport.partitioned = False
+
+        report = group.promote()
+        chosen = group.replica(report.chosen)
+        group.remove_replica(report.chosen)
+        new_logged = LoggedDatabase(chosen.db,
+                                    UpdateLog(chosen.wal_path))
+        new_token = group.attach_primary(new_logged, node=chosen.name)
+        assert new_token == report.new_term
+        seq = new_logged.execute(Update.ins("teach", "new", "era"))
+        group.on_commit(seq)
+
+        old = Replica("old-primary", workdir)
+        rejoin = group.rejoin(old, old_term)
+        assert rejoin.records_dropped >= 1  # the unacked tail
+        assert old.db.truth_of("teach", "tail", "op") is not Truth.TRUE
+        assert old.db.truth_of("teach", "new", "era") is Truth.TRUE
+        assert old.db.table("teach").rows() == \
+            new_logged.db.table("teach").rows()
+
+    def test_rejoin_rebootstraps_after_tainted_checkpoint(
+            self, primary, tmp_path):
+        """A deposed primary that checkpointed its unacked tail cannot
+        be repaired by truncation — it must re-bootstrap."""
+        logged, workdir, group = self._replicated(primary, tmp_path)
+        old_term = group.term
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        for link in group.shipper.links():
+            link.transport.partitioned = True
+        group.ack_timeout = 0.1
+        tail = logged.execute(Update.ins("teach", "tail", "op"))
+        with pytest.raises(ReplicationTimeout):
+            group.on_commit(tail)
+        # The dying primary folds the tail into its snapshot.
+        checkpoint(logged, workdir / "snapshot.json")
+        for link in group.shipper.links():
+            link.transport.partitioned = False
+        report = group.promote()
+        chosen = group.replica(report.chosen)
+        group.remove_replica(report.chosen)
+        new_logged = LoggedDatabase(chosen.db,
+                                    UpdateLog(chosen.wal_path))
+        group.attach_primary(new_logged, node=chosen.name)
+
+        old = Replica("old-primary", workdir)
+        rejoin = group.rejoin(old, old_term)
+        assert rejoin.rebootstrapped
+        assert old.db.truth_of("teach", "tail", "op") is not Truth.TRUE
+        assert old.applied_seq == group.shipper.link(
+            "old-primary").acked_seq
+
+
+class TestBoundedStaleness:
+    def test_read_prefers_fresh_replica(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        for name in ("r0", "r1"):
+            group.add_replica(name, Replica(name, tmp_path / name))
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        value = group.read(
+            lambda db: db.truth_of("teach", "gauss", "cs"),
+            max_lag_seq=0,
+        )
+        assert value is Truth.TRUE
+
+    def test_unserved_when_all_lag(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group("async")
+        group.attach_primary(logged)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        group.shipper.link("r0").transport.partitioned = True
+        logged.execute(Update.ins("teach", "gauss", "cs"))
+        with pytest.raises(StalenessUnserved):
+            group.read(lambda db: None, max_lag_seq=0)
+
+    def test_lag_and_health(self, primary, tmp_path):
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        lags = group.lag()
+        assert lags["r0"]["lag_seq"] == 0
+        health = group.health(max_lag_seq=0)
+        assert health["servable"]
+        assert health["term"] == 1
+        assert health["mode"] == "sync(1)"
+
+
+class TestServiceIntegration:
+    def _service(self, tmp_path, mode="sync(1)", **kwargs):
+        workdir = tmp_path / "primary"
+        workdir.mkdir()
+        db = pupil_database()
+        persistence.save(db, workdir / "snapshot.json", wal_applied=0)
+        group = _group(mode, journal=True)
+        service = DatabaseService(
+            db, log=workdir / "wal.log", replication=group, **kwargs
+        )
+        return service, group, workdir
+
+    def test_replication_requires_a_log(self, tmp_path):
+        with pytest.raises(ReplicationError):
+            DatabaseService(pupil_database(), replication=_group())
+
+    def test_commit_blocks_on_acks_and_records_them(self, tmp_path):
+        service, group, _ = self._service(tmp_path)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        service.insert("teach", "gauss", "cs")
+        acked = service.acked_ops()
+        assert len(acked) == 1
+        seq, update = acked[0]
+        assert seq == 1
+        assert str(update) == "INS(teach, <gauss, cs>)"
+        assert group.replica("r0").applied_seq == 1
+
+    def test_read_replica_and_staleness(self, tmp_path):
+        service, group, _ = self._service(
+            tmp_path, staleness_max_lag_seq=0)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        service.insert("teach", "gauss", "cs")
+        value = service.read_replica(
+            lambda db: db.truth_of("teach", "gauss", "cs"))
+        assert value is Truth.TRUE
+        group.shipper.link("r0").transport.partitioned = True
+        group.ack_timeout = 0.1
+        with pytest.raises(ReplicationTimeout):
+            service.insert("teach", "noether", "algebra")
+        with pytest.raises(StalenessUnserved):
+            service.read_replica(lambda db: None)
+        verdict = service._health()
+        assert verdict["healthy"] is False  # the 503 path
+        assert verdict["replication"]["servable"] is False
+
+    def test_stats_carry_wal_and_replication(self, tmp_path):
+        service, group, _ = self._service(tmp_path)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        service.insert("teach", "gauss", "cs")
+        stats = service.stats()
+        assert stats["wal"]["last_seq"] == 1
+        assert stats["wal"]["term"] == 1
+        assert stats["wal"]["tail_torn"] is False
+        assert stats["acked"] == 1
+        assert stats["replication"]["replicas"]["r0"]["lag_seq"] == 0
+
+    def test_fenced_service_write_raises(self, tmp_path):
+        service, group, _ = self._service(tmp_path)
+        group.add_replica("r0", Replica("r0", tmp_path / "r0"))
+        service.insert("teach", "gauss", "cs")
+        group.promote()
+        with pytest.raises(StalePrimary):
+            service.insert("teach", "noether", "algebra")
+        assert len(service.acked_ops()) == 1
+
+
+class TestSocketTransport:
+    def test_append_over_a_real_socket(self, primary, tmp_path):
+        logged, _ = primary
+        replica = Replica("r0", tmp_path / "r0")
+        server = ReplicaServer(replica.handle)
+        server.start()
+        try:
+            group = _group()
+            group.attach_primary(logged)
+            group.add_replica("r0", server.transport())
+            seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+            group.on_commit(seq)
+            assert replica.applied_seq == seq
+            assert replica.db.truth_of(
+                "teach", "gauss", "cs") is Truth.TRUE
+        finally:
+            server.stop()
+
+    def test_connection_error_when_server_gone(self, tmp_path):
+        replica = Replica("r0", tmp_path / "r0")
+        server = ReplicaServer(replica.handle)
+        server.start()
+        transport = SocketTransport(server.host, server.port)
+        server.stop()
+        with pytest.raises((ConnectionError, OSError)):
+            transport.request({"type": "status"})
+
+
+class TestReports:
+    def test_promotion_report_roundtrip(self):
+        report = PromotionReport(
+            chosen="r1", applied_seq=17, old_term=2, new_term=3,
+            candidates=(("r0", 12), ("r1", 17)),
+        )
+        clone = PromotionReport.from_dict(
+            json.loads(json.dumps(report.as_dict())))
+        assert clone == report
+
+    def test_catch_up_report_roundtrip(self):
+        report = CatchUpReport(
+            replica="r0", mode="snapshot", from_seq=0, to_seq=9,
+            term=2, snapshot_wal_applied=7,
+        )
+        clone = CatchUpReport.from_dict(
+            json.loads(json.dumps(report.as_dict())))
+        assert clone == report
+
+    def test_rejoin_report_roundtrip(self):
+        report = RejoinReport(
+            replica="old", old_term=1, fence_seq=5, records_dropped=2,
+            torn_tail_discarded=True, rebootstrapped=False,
+            catch_up=CatchUpReport(
+                replica="old", mode="delta", from_seq=5, to_seq=8,
+                term=2,
+            ),
+        )
+        clone = RejoinReport.from_dict(
+            json.loads(json.dumps(report.as_dict())))
+        assert clone == report
+
+    def test_recovery_report_roundtrip(self):
+        report = RecoveryReport(
+            db=None, entries_applied=4, torn_tail=True,
+            policy="salvage", records_skipped=1, checksum_failures=1,
+            aborted=2, already_checkpointed=3, legacy_records=0,
+            term=2, notes=("note a", "note b"),
+        )
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["report"] == "recovery"
+        clone = RecoveryReport.from_dict(data)
+        assert clone.as_dict() == report.as_dict()

@@ -296,3 +296,110 @@ class TestRecoveryEdgeCases:
                 )
             assert report.db.nulls.next_index == oracle.nulls.next_index
             assert report.db.ncs.next_index == oracle.ncs.next_index
+
+
+class TestShippingSurface:
+    """The log plumbing replication rides on: term stamping, record
+    ranges, the checkpoint floor, fence truncation, tear discard and
+    the health verdict."""
+
+    def test_term_stamped_and_omitted_when_zero(self, tmp_path):
+        import json
+
+        plain = UpdateLog(tmp_path / "plain.log")
+        plain.append(Update.ins("teach", "gauss", "cs"))
+        raw = json.loads(
+            (tmp_path / "plain.log").read_text().splitlines()[0]
+        )
+        assert "term" not in raw  # byte-compat with pre-replication logs
+
+        fenced = UpdateLog(tmp_path / "fenced.log", term=3)
+        fenced.append(Update.ins("teach", "gauss", "cs"))
+        raw = json.loads(
+            (tmp_path / "fenced.log").read_text().splitlines()[0]
+        )
+        assert raw["term"] == 3
+
+    def test_execute_returns_the_wal_seq(self, setup):
+        logged, _, _ = setup
+        seqs = [logged.execute(u) for u in section_42_updates()[:3]]
+        assert seqs == [1, 2, 3]
+        assert logged.log.last_seq() == 3
+
+    def test_records_between_skips_headers_and_ships_aborts(
+            self, setup):
+        from repro.faults import ErrorFault, FAULTS
+
+        logged, snapshot, log_path = setup
+        logged.execute(Update.ins("teach", "gauss", "math"))
+        checkpoint(logged, snapshot)  # leaves a header record
+        logged.execute(Update.ins("teach", "noether", "math"))
+        FAULTS.arm("wal.apply.before", ErrorFault(times=1))
+        try:
+            with pytest.raises(RuntimeError):
+                logged.execute(Update.ins("teach", "hilbert", "math"))
+        finally:
+            FAULTS.disarm_all()
+        records = logged.log.records_between(1, logged.log.last_seq())
+        seqs = [seq for seq, _ in records]
+        assert seqs == sorted(seqs)
+        assert 1 not in seqs  # folded by the checkpoint
+        import json
+
+        payloads = [json.loads(line) for _, line in records]
+        assert all("header" not in p for p in payloads)
+        # the failed entry AND its compensation both ship
+        assert any("abort_of" in p for p in payloads)
+        aborted = {p["abort_of"] for p in payloads if "abort_of" in p}
+        assert aborted <= set(seqs)
+
+    def test_shippable_floor_tracks_checkpoints(self, setup):
+        logged, snapshot, _ = setup
+        assert logged.log.shippable_floor() == 0
+        logged.execute(Update.ins("teach", "gauss", "math"))
+        logged.execute(Update.ins("teach", "noether", "math"))
+        checkpoint(logged, snapshot)
+        assert logged.log.shippable_floor() == 2
+        assert logged.log.records_between(0, 2) == []
+
+    def test_truncate_to_drops_the_tail(self, setup):
+        logged, _, _ = setup
+        for update in section_42_updates()[:4]:
+            logged.execute(update)
+        dropped = logged.log.truncate_to(2)
+        assert dropped == 2
+        assert logged.log.last_seq() == 2
+        assert logged.log.truncate_to(2) == 0  # idempotent
+        # appends resume from the cut, not the old high-water mark
+        logged2 = LoggedDatabase(pupil_database(), logged.log)
+        assert logged.log.append(Update.ins("teach", "x", "y")) == 3
+
+    def test_discard_torn_tail(self, setup):
+        logged, _, log_path = setup
+        for update in section_42_updates()[:2]:
+            logged.execute(update)
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 2, "seq": 3, "cr')  # mid-write crash
+        log = UpdateLog(log_path)
+        assert log.tail_is_torn
+        assert log.discard_torn_tail() is True
+        assert not log.tail_is_torn
+        assert log.last_seq() == 2
+        assert log.discard_torn_tail() is False
+
+    def test_health_verdict(self, setup):
+        logged, _, log_path = setup
+        logged.log.term = 2
+        for update in section_42_updates()[:3]:
+            logged.execute(update)
+        health = logged.log.health()
+        assert health["last_seq"] == 3
+        assert health["term"] == 2
+        assert health["tail_torn"] is False
+        assert health["entries"] == 3
+        assert health["aborted"] == 0
+        assert health["checksum_failures"] == 0
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 2, "seq": 4, "cr')
+        torn = UpdateLog(log_path).health()
+        assert torn["tail_torn"] is True
