@@ -255,6 +255,9 @@ class UpdateLog:
         self.term = term
         self._next_seq: int | None = None  # lazy: scanned on first use
         self._cache: tuple[int, int] | None = None  # (file size, count)
+        # health(): scan results keyed on (size, mtime_ns) so /metrics
+        # and /health scrapes don't rescan a quiescent log.
+        self._health_cache: tuple[tuple[int, int], dict] | None = None
         self._seq_lock = threading.Lock()
 
     def _payload(self, payload: dict) -> dict:
@@ -646,6 +649,7 @@ class UpdateLog:
             with self._seq_lock:
                 self._next_seq = None  # rescan on next claim
             self._cache = None
+            self._health_cache = None
             if OBS.enabled:
                 OBS.inc("fdb.wal.truncated_records", dropped)
                 OBS.action("wal.truncate_to", seq=seq, dropped=dropped)
@@ -666,6 +670,7 @@ class UpdateLog:
         with self._seq_lock:
             self._next_seq = None
         self._cache = None
+        self._health_cache = None
         if OBS.enabled:
             OBS.inc("fdb.wal.torn_tails_discarded")
             OBS.action("wal.torn_tail_discarded", path=str(self.path))
@@ -676,22 +681,48 @@ class UpdateLog:
     def health(self) -> dict:
         """One JSON-ready view of the log's durability state: last
         sequence number, current term, torn-tail flag, committed entry
-        count, and damage tallies from a salvage scan. O(log size) —
-        a diagnostic surface (``stats``/``monitor``), not a hot path."""
-        scan = self._scan("salvage")
+        count, and damage tallies from a salvage scan. The scan is
+        cached against the file's (size, mtime), so monitoring
+        surfaces (``stats``/``/metrics``/``/health``/``monitor``) that
+        scrape between appends pay O(log size) only when the log
+        actually changed."""
+        try:
+            stat = self.path.stat()
+            key = (stat.st_size, stat.st_mtime_ns)
+        except OSError:
+            key = None
+        cached = self._health_cache
+        if key is not None and cached is not None and cached[0] == key:
+            scanned = cached[1]
+        else:
+            # Stat happens before the scan: a record landing between
+            # the two makes the cached view *fresher* than its key,
+            # never staler, and the next size change invalidates it.
+            scan = self._scan("salvage")
+            scanned = {
+                "last_seq": scan.max_seq,
+                "scan_term": scan.max_term,
+                "tail_torn": scan.torn_tail,
+                "entries": sum(
+                    1 for r in scan.records
+                    if r.entry is not None
+                    and (r.seq is None or r.seq not in scan.aborted)
+                ),
+                "aborted": len(scan.aborted),
+                "checksum_failures": scan.checksum_failures,
+                "problems": len(scan.problems),
+            }
+            self._health_cache = (key, scanned) \
+                if key is not None else None
         health = {
             "path": str(self.path),
-            "last_seq": scan.max_seq,
-            "term": max(self.term, scan.max_term),
-            "tail_torn": scan.torn_tail,
-            "entries": sum(
-                1 for r in scan.records
-                if r.entry is not None
-                and (r.seq is None or r.seq not in scan.aborted)
-            ),
-            "aborted": len(scan.aborted),
-            "checksum_failures": scan.checksum_failures,
-            "problems": len(scan.problems),
+            "last_seq": scanned["last_seq"],
+            "term": max(self.term, scanned["scan_term"]),
+            "tail_torn": scanned["tail_torn"],
+            "entries": scanned["entries"],
+            "aborted": scanned["aborted"],
+            "checksum_failures": scanned["checksum_failures"],
+            "problems": scanned["problems"],
         }
         if OBS.enabled:
             OBS.gauge("fdb.wal.last_seq", health["last_seq"])
@@ -720,6 +751,7 @@ class UpdateLog:
             with self._seq_lock:
                 self._next_seq = next_seq
         self._cache = (self.path.stat().st_size, 0)
+        self._health_cache = None
 
     def __len__(self) -> int:
         """Number of committed entries. Cached between calls; the

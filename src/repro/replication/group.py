@@ -25,9 +25,14 @@ A :class:`ReplicationGroup` sits between :class:`DatabaseService
   longest prefix contains every sequence number any replica ever
   acknowledged — under ``sync(k>=1)``/``quorum`` that includes every
   op acknowledged to any caller, which is the no-acked-loss guarantee
-  the chaos soak asserts. The fence point (deposed term → highest
-  surviving sequence) is recorded so a rejoining deposed primary can
-  cut its unacknowledged tail back to the shared prefix.
+  the chaos soak asserts, *provided every replica that might hold the
+  longest prefix is reachable when promotion runs* (promoting while
+  the freshest replica is partitioned away fences below its acked
+  tail — see :meth:`promote`). The fence point (deposed term →
+  highest surviving sequence) is recorded so a rejoining deposed
+  primary can cut its unacknowledged tail back to the shared prefix;
+  surviving links past the fence are re-bootstrapped by snapshot
+  before they may ack in the new term.
 
 * **Bounded-staleness reads.** :meth:`read` picks the freshest
   replica within ``max_lag_seq``/``max_lag_seconds`` and runs the
@@ -495,15 +500,30 @@ class ReplicationGroup:
         leaves the follower set; the caller builds the new primary on
         its working directory and calls :meth:`attach_primary`, which
         consumes the term this promotion claimed. The deposed term's
-        fence point is recorded for :meth:`rejoin`.
+        fence point is recorded for :meth:`rejoin`, surviving links
+        have their acks capped at the fence, and any link that could
+        not be polled — or whose applied prefix exceeds the fence —
+        is marked for snapshot re-bootstrap so a divergent old-term
+        tail can never ack new-term commits.
+
+        **Partition caveat.** Only *reachable* replicas are
+        candidates. If the sole holder of an acked commit is
+        unreachable when promotion runs, the new history fences below
+        that commit and the ack guarantee is violated for it — the
+        same trade every leader election without a quorum
+        intersection makes. Under ``quorum``/``sync(k)`` with healthy
+        majorities this cannot happen; operators promoting into a
+        partition accept it.
         """
         with self._lock:
             shipper = self._require_shipper()
             candidates: list[tuple[str, int]] = []
+            statuses: dict[str, dict] = {}
             for link in shipper.links():
                 status = shipper.poll_status(link)
                 if status is None:
                     continue
+                statuses[link.name] = status
                 candidates.append((link.name, status["applied_seq"]))
             if not candidates:
                 raise ReplicationError(
@@ -526,6 +546,25 @@ class ReplicationGroup:
             self._pending_term = new_term
             self.term = new_term
             shipper.remove(chosen)
+            # Surviving links must not carry acks — or history — past
+            # the fence into the new term. A replica whose applied
+            # prefix exceeds the fence (it outran the chosen one
+            # before a partition cut it off) holds old-term records
+            # at sequence numbers the new history will reuse with
+            # different contents; leaving its ack standing would let
+            # on_commit count never-shipped new-term records as
+            # replicated, and its divergent tail would never be
+            # repaired. Cap every carried ack at the fence, and force
+            # any link that sits past it — or that we could not poll
+            # at all — through snapshot re-bootstrap, which truncates
+            # its local log before it can ack anything in the new
+            # term.
+            for link in shipper.links():
+                status = statuses.get(link.name)
+                if (status is None or status.get("diverged")
+                        or status["applied_seq"] > applied):
+                    link.needs_snapshot = True
+                link.acked_seq = min(link.acked_seq, applied)
             # Lost-tail hygiene: the shipped-stream journal must not
             # carry sequence numbers the new history will reuse.
             if shipper._journal is not None:
@@ -620,7 +659,13 @@ class ReplicationGroup:
     def read(self, fn, *, max_lag_seq: int | None = None,
              max_lag_seconds: float | None = None):
         """Serve a read from the freshest replica within the staleness
-        bound; :exc:`StalenessUnserved` when none qualifies."""
+        bound; :exc:`StalenessUnserved` when none qualifies.
+
+        Only in-process :class:`Replica` objects can serve reads from
+        this node; a group whose replicas are all linked over remote
+        transports raises :exc:`ReplicationError` (route reads to the
+        replica nodes) rather than misreporting the setup as
+        staleness."""
         lags = self.lag()
         eligible = sorted(
             (info["lag_seq"], name) for name, info in lags.items()
@@ -640,6 +685,14 @@ class ReplicationGroup:
             if OBS.enabled:
                 OBS.inc("replication.replica_reads")
             return value
+        with self._lock:
+            have_local = bool(self._replicas)
+        if lags and not have_local:
+            raise ReplicationError(
+                "no local replicas can serve reads: every replica is "
+                "linked over a remote transport — route reads to the "
+                "replica nodes themselves"
+            )
         if OBS.enabled:
             OBS.inc("replication.reads_unserved")
         raise StalenessUnserved(

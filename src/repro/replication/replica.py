@@ -23,9 +23,11 @@ The replica speaks the shipper's message protocol via :meth:`handle`:
 * ``status`` — ``applied_seq`` / ``term`` for promotion decisions.
 
 Entries whose compensating ``abort_of`` record arrives in the same
-batch are skipped rather than applied-then-unapplied: the primary
-serialises writes, so an abort always directly follows its entry and
-can never be separated from it by a batch boundary mid-history.
+batch are skipped rather than applied-then-unapplied. The shipper
+guarantees the pairing: when its batch limit would cut a stream
+between an entry and a later abort that compensates it, the batch is
+extended so the abort rides along — a replica therefore never applies
+an entry whose abort is already in the shipped history behind it.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ sequential replay of the shipped stream".
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 
@@ -171,13 +172,33 @@ class WalShipper:
             if link.needs_snapshot or acked < floor:
                 raise SnapshotNeeded(link.name, acked, floor)
             records = self.log.records_between(acked, through_seq)
-            if records and records[0][0] != acked + 1:
-                # The head of the range was folded away between the
-                # floor check and the read: snapshot after all.
-                raise SnapshotNeeded(link.name, acked, records[0][0] - 1)
+            if not records or records[0][0] != acked + 1:
+                # The range (or its head) was folded away between the
+                # floor check and the read — a concurrent checkpoint
+                # truncated the log. Snapshot after all: an empty (or
+                # gapped) append must never go out, because the replica
+                # advances ``applied_seq`` to the high-water mark and
+                # would silently claim records it never received.
+                floor = (records[0][0] - 1 if records
+                         else self.log.shippable_floor())
+                raise SnapshotNeeded(link.name, acked, floor)
             batch = records[: self.batch_limit]
-            batch_through = (batch[-1][0] if len(batch) < len(records)
-                             else through_seq)
+            # A batch boundary must never separate an entry from its
+            # compensating abort: the replica skips an aborted entry
+            # only when both arrive in the same batch, so trailing
+            # aborts referencing an already-batched record ride along
+            # past the limit.
+            while len(batch) < len(records):
+                next_seq, next_line = records[len(batch)]
+                abort_of = json.loads(next_line).get("abort_of")
+                if not isinstance(abort_of, int) \
+                        or abort_of > batch[-1][0]:
+                    break
+                batch.append((next_seq, next_line))
+            # The high-water mark is the last record actually sent —
+            # never ``through_seq`` itself, which may point past the
+            # log's end after a concurrent fold.
+            batch_through = batch[-1][0]
             reply = self._exchange(link, {
                 "type": "append",
                 "term": self.term,

@@ -31,6 +31,7 @@ from repro.replication import (
     Replica,
     ReplicaServer,
     ReplicationGroup,
+    SnapshotNeeded,
     SocketTransport,
     WalShipper,
 )
@@ -208,6 +209,63 @@ class TestShipper:
         assert replica.db.table("teach").rows() == \
             logged.db.table("teach").rows()
 
+    def test_mid_flight_fold_never_sends_empty_append(
+            self, primary, tmp_path, monkeypatch):
+        """A checkpoint folding the range between the floor check and
+        the record read must surface as SnapshotNeeded — an empty
+        append would advance the replica's high-water mark past
+        records it never received (silent acked-data loss)."""
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        group.add_replica("r0", replica)
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        seq2 = logged.execute(Update.ins("teach", "noether", "algebra"))
+        link = group.shipper.link("r0")
+        monkeypatch.setattr(logged.log, "records_between",
+                            lambda lo, hi: [])
+        with pytest.raises(SnapshotNeeded):
+            group.shipper.ship(link, seq2)
+        assert replica.applied_seq == seq  # never past what it holds
+        assert link.acked_seq == seq
+
+    def test_batch_boundary_keeps_abort_with_its_entry(
+            self, primary, tmp_path):
+        """The batch limit must never strand an entry in one batch and
+        its compensating abort in the next: the replica would apply
+        the entry (its own apply can succeed even when the primary's
+        failed) and silently diverge."""
+        from repro.faults import ErrorFault, FAULTS
+
+        logged, _ = primary
+        # batch_limit=2 would cut exactly between the entry and its
+        # abort; the shipper must extend the batch instead.
+        shipper = WalShipper(logged.log, term=1, batch_limit=2)
+        replica = Replica("r0", tmp_path / "r0")
+        link = shipper.add("r0", InProcessTransport(replica.handle))
+        snapshot = persistence.dumps(logged.db, wal_applied=0)
+        shipper.ship_snapshot(link, snapshot, 0)
+        seq1 = logged.execute(Update.ins("teach", "gauss", "cs"))
+        FAULTS.arm("wal.apply.before", ErrorFault(times=1))
+        try:
+            with pytest.raises(RuntimeError):
+                logged.execute(Update.ins("teach", "noether", "algebra"))
+        finally:
+            FAULTS.disarm_all()
+        # seq1=entry, seq2=failed entry, seq3=abort_of(seq2), seq4=entry
+        seq4 = logged.execute(Update.ins("teach", "hilbert", "logic"))
+        assert seq4 == seq1 + 3
+        shipper.ship(link, seq4)
+        assert replica.applied_seq == seq4
+        assert not replica.diverged
+        # the aborted update was never applied on the replica
+        assert replica.db.truth_of(
+            "teach", "noether", "algebra") is not Truth.TRUE
+        assert replica.db.table("teach").rows() == \
+            logged.db.table("teach").rows()
+
     def test_journal_covers_the_stream(self, primary, tmp_path):
         logged, _ = primary
         group = _group(journal=True)
@@ -335,6 +393,50 @@ class TestFailover:
         assert old.db.table("teach").rows() == \
             new_logged.db.table("teach").rows()
 
+    def test_promote_resets_links_past_the_fence(
+            self, primary, tmp_path):
+        """A replica partitioned away during failover with an applied
+        prefix *beyond* the fence must not carry its acks into the new
+        term: the new history reuses those sequence numbers with
+        different records, so its stale ack would count never-shipped
+        new-term commits as replicated and its divergent tail would
+        never be repaired."""
+        logged, _, group = self._replicated(primary, tmp_path)
+        seq1 = logged.execute(Update.ins("teach", "a", "b"))
+        group.on_commit(seq1)
+        # r1 races ahead: r0 misses the second commit entirely.
+        group.shipper.link("r0").transport.partitioned = True
+        seq2 = logged.execute(Update.ins("teach", "old", "world"))
+        group.on_commit(seq2)  # sync(1): r1's ack satisfies the quota
+        group.shipper.link("r0").transport.partitioned = False
+        # Now r1 drops off the network and the primary dies: only r0
+        # (at seq1) is reachable — the fence lands below r1's prefix.
+        group.shipper.link("r1").transport.partitioned = True
+        report = group.promote()
+        assert report.chosen == "r0"
+        assert report.applied_seq == seq1
+        survivor = group.shipper.link("r1")
+        assert survivor.acked_seq <= seq1
+        assert survivor.needs_snapshot
+        # Build the new primary on r0 and commit into the new term,
+        # reusing sequence number seq2 with different content.
+        chosen = group.replica(report.chosen)
+        group.remove_replica(report.chosen)
+        new_logged = LoggedDatabase(chosen.db, UpdateLog(chosen.wal_path))
+        group.attach_primary(new_logged, node=chosen.name)
+        group.shipper.link("r1").transport.partitioned = False
+        seq_new = new_logged.execute(Update.ins("teach", "new", "era"))
+        assert seq_new == seq2  # the reused sequence number
+        verdict = group.on_commit(seq_new)
+        assert verdict["acks"] >= 1
+        # r1 was genuinely repaired, not ack-counted from stale state.
+        r1 = group.replica("r1")
+        assert r1.applied_seq == seq_new
+        assert r1.db.truth_of("teach", "old", "world") is not Truth.TRUE
+        assert r1.db.truth_of("teach", "new", "era") is Truth.TRUE
+        assert r1.db.table("teach").rows() == \
+            new_logged.db.table("teach").rows()
+
     def test_rejoin_rebootstraps_after_tainted_checkpoint(
             self, primary, tmp_path):
         """A deposed primary that checkpointed its unacked tail cannot
@@ -392,6 +494,26 @@ class TestBoundedStaleness:
         logged.execute(Update.ins("teach", "gauss", "cs"))
         with pytest.raises(StalenessUnserved):
             group.read(lambda db: None, max_lag_seq=0)
+
+    def test_remote_only_group_raises_misconfiguration(
+            self, primary, tmp_path):
+        """A group whose replicas are all behind remote transports
+        cannot serve reads from this node — that is a routing
+        misconfiguration (ReplicationError), not staleness."""
+        logged, _ = primary
+        group = _group()
+        group.attach_primary(logged)
+        replica = Replica("r0", tmp_path / "r0")
+        # Hand the transport in directly: the group never learns about
+        # the in-process Replica object, as with a SocketTransport.
+        group.add_replica("r0", InProcessTransport(replica.handle))
+        seq = logged.execute(Update.ins("teach", "gauss", "cs"))
+        group.on_commit(seq)
+        assert group.lag()["r0"]["lag_seq"] == 0  # within any bound
+        with pytest.raises(ReplicationError) as caught:
+            group.read(lambda db: None, max_lag_seq=0)
+        assert not isinstance(caught.value, StalenessUnserved)
+        assert "no local replicas" in str(caught.value)
 
     def test_lag_and_health(self, primary, tmp_path):
         logged, _ = primary

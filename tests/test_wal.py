@@ -403,3 +403,34 @@ class TestShippingSurface:
             handle.write('{"v": 2, "seq": 4, "cr')
         torn = UpdateLog(log_path).health()
         assert torn["tail_torn"] is True
+
+    def test_health_cached_until_log_changes(self, setup, monkeypatch):
+        """Monitoring scrapes (/metrics, /health, stats) must not pay
+        a full salvage scan per request: health() reuses its scan
+        until the log's (size, mtime) changes."""
+        logged, _, _ = setup
+        for update in section_42_updates()[:2]:
+            logged.execute(update)
+        log = logged.log
+        scans = []
+        real_scan = log._scan
+
+        def counting_scan(policy):
+            scans.append(policy)
+            return real_scan(policy)
+
+        monkeypatch.setattr(log, "_scan", counting_scan)
+        first = log.health()
+        assert first["last_seq"] == 2
+        assert len(scans) == 1
+        assert log.health() == first  # a second scrape: cache hit
+        assert len(scans) == 1
+        # the cached view still tracks live (non-scan) state
+        log.term = 7
+        assert log.health()["term"] == 7
+        assert len(scans) == 1
+        # an append invalidates the cache and the next scrape rescans
+        logged.execute(section_42_updates()[2])
+        refreshed = log.health()
+        assert refreshed["last_seq"] == 3
+        assert len(scans) == 2
