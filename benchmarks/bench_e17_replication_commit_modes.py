@@ -5,8 +5,9 @@ the same seeded insert stream through a WAL-logged primary under each
 commit mode — ``async``, ``sync(1)``, ``sync(2)``, ``quorum`` — with
 two in-process replicas attached (docs/REPLICATION.md), and reports
 per-mode commit latency percentiles (WAL append + apply + replica
-acks) plus the shipping work counters from one instrumented replay
-outside the clock (the E10 idiom). On a healthy in-process network
+acks), the shipping work counters, and a per-replica
+ship/wal-append/apply/ack pipeline-stage latency breakdown from one
+instrumented replay outside the clock (the E10 idiom). On a healthy in-process network
 the stream ships with zero ack timeouts and every replica finishes at
 the primary's head sequence — both asserted, so the bench doubles as
 a throughput-shaped correctness check.
@@ -136,6 +137,48 @@ def test_bench_replication_commit_modes(benchmark, report):
     assert shipped >= OPS, "the stream was not shipped"
     assert applied >= OPS * REPLICAS, "replicas did not apply the stream"
     assert counters.get("replication.ack_timeouts", 0) == 0
+
+    # Per-stage commit-pipeline breakdown from the replay's log
+    # histograms: where inside ship -> wal-append -> apply -> ack the
+    # sync(1) commit latency actually goes, per replica.
+    histograms = data.get("metrics", {}).get("histograms", {})
+    stages = (
+        ("ship", "replication.ship.rtt_seconds."),
+        ("wal_append", "replication.pipeline.wal_append_seconds."),
+        ("apply", "replication.pipeline.apply_seconds."),
+        ("ack", "replication.commit.ack_seconds."),
+    )
+    report.line()
+    stage_rows = []
+    pipeline_stats: dict[str, dict] = {}
+    for r in range(REPLICAS):
+        replica = f"r{r}"
+        per_stage = {}
+        for stage, prefix in stages:
+            snap = histograms.get(prefix + replica)
+            if not snap or not snap.get("count"):
+                continue
+            per_stage[stage] = {
+                "count": snap["count"],
+                "p50_seconds": snap["p50"],
+                "p95_seconds": snap["p95"],
+                "p99_seconds": snap["p99"],
+            }
+            stage_rows.append((
+                replica, stage, str(snap["count"]),
+                f"{snap['p50'] * 1000:.3f}ms",
+                f"{snap['p95'] * 1000:.3f}ms",
+                f"{snap['p99'] * 1000:.3f}ms",
+            ))
+        pipeline_stats[replica] = per_stage
+        missing = [s for s, _ in stages if s not in per_stage]
+        assert not missing, \
+            f"{replica} pipeline stages unobserved: {missing}"
+    report.table(
+        ("replica", "stage", "samples", "p50", "p95", "p99"),
+        stage_rows,
+    )
+    data["replication_pipeline"] = pipeline_stats
     data["replication_latency"] = {
         mode: {f"{p}_seconds": v for p, v in pct.items()}
         for mode, pct in mode_stats.items()

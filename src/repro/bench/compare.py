@@ -18,9 +18,27 @@ run.
 
 from __future__ import annotations
 
-__all__ = ["compare_payloads"]
+__all__ = ["VOLATILE_COUNTER_PREFIXES", "compare_payloads"]
 
 _MIN_COUNT = 20
+
+# Counter families that are timing-shaped despite living in the
+# counter namespace — latency instruments keyed per replica, byte
+# volumes that track compression ratios, lag samples. Their values are
+# functions of scheduling and wall clock, not of (code, workload,
+# scale), so drift in them is noise and they are excluded from
+# enforcement. Matched by prefix against the flattened counter name.
+VOLATILE_COUNTER_PREFIXES = (
+    "replication.lag.",
+    "replication.pipeline.",
+    "replication.ship.",
+    "replication.commit.",
+    "replication.snapshot.bytes_",
+)
+
+
+def _volatile(name: str) -> bool:
+    return name.startswith(VOLATILE_COUNTER_PREFIXES)
 
 
 def _ratio(current: float, previous: float) -> float:
@@ -58,6 +76,8 @@ def compare_payloads(current: dict, previous: dict | None, *,
     counter_regressions: list[dict] = []
     previous_counters = previous.get("counters", {})
     for name, value in sorted(current.get("counters", {}).items()):
+        if _volatile(name):
+            continue
         before = previous_counters.get(name)
         if before is None or max(value, before) < min_count:
             continue

@@ -48,6 +48,16 @@ Every cell ends with the same verdicts:
    HTTP parses as Prometheus text and contains the per-replica
    ``replication.lag.seq.*`` gauges; ``/health`` carries the
    replication block. Snapshots are kept as CI artifacts.
+5. **The trace is the pipeline** — each cell's own event stream
+   (``<cell>/events.jsonl``) must show every acked sequence number
+   covered by the commit mode's ack quota of ``replica.apply`` spans
+   (or a subsuming snapshot install); the folded
+   :func:`replication_timeline
+   <repro.obs.events.replication_timeline>` must pass its
+   fence-ordering audit and, after a failover, contain the fence,
+   promote and rejoin entries. The last acked commit's cross-node
+   propagation DAG (``pipeline-<cell>.dot``) and the timeline
+   (``timeline-<cell>.jsonl``) are kept as CI artifacts.
 
 Run it: ``python -m repro.faults --soak --replicas 2``.
 """
@@ -89,9 +99,14 @@ from repro.fdb.updates import (
 from repro.fdb.values import is_null
 from repro.fdb.wal import UpdateLog, _decode_entry
 from repro.obs.endpoint import ExpositionError, parse_prometheus
-from repro.obs.events import FileSink, read_jsonl
+from repro.obs.events import (
+    FileSink,
+    propagation_dag,
+    read_jsonl,
+    replication_timeline,
+)
 from repro.obs.hooks import OBS
-from repro.replication import Replica, ReplicationGroup
+from repro.replication import CommitMode, Replica, ReplicationGroup
 from repro.service import CircuitBreaker, DatabaseService, RetryPolicy
 
 __all__ = [
@@ -534,6 +549,150 @@ def _scrape(service: DatabaseService, group: ReplicationGroup,
         cell.failures.append(f"scrape {label}: {exc}")
 
 
+def _attr_int(record, key: str) -> int | None:
+    try:
+        return int(str(record.attrs.get(key)))
+    except (TypeError, ValueError):
+        return None
+
+
+def _verify_pipeline_coverage(cell: ReplicationCellReport, mode: str,
+                              replicas: int, records,
+                              acked: list) -> None:
+    """The span-stream oracle for the commit pipeline: every sequence
+    number the primary acked must be covered by at least the commit
+    mode's ack quota of ``replica.apply`` spans (their
+    ``[from_seq, applied_to]`` interval contains it) or by a snapshot
+    install whose ``wal_applied`` floor subsumes it."""
+    needed = CommitMode.parse(mode).required_acks(replicas)
+    if needed == 0 or not acked:
+        return
+    applied: dict[str, list[tuple[int, int]]] = {}
+    floors: dict[str, int] = {}
+    for record in records:
+        if record.kind != "span.end":
+            continue
+        if record.name == "replica.apply":
+            name = str(record.attrs.get("replica"))
+            low = _attr_int(record, "from_seq")
+            high = _attr_int(record, "applied_to")
+            if low is not None and high is not None and high >= low:
+                applied.setdefault(name, []).append((low, high))
+        elif record.name == "replica.snapshot_install":
+            name = str(record.attrs.get("replica"))
+            wal = _attr_int(record, "wal_applied")
+            if wal is not None:
+                floors[name] = max(floors.get(name, 0), wal)
+    uncovered = []
+    for seq, _ in acked:
+        covering = {
+            name for name, spans in applied.items()
+            if any(low <= seq <= high for low, high in spans)
+        }
+        covering |= {name for name, floor in floors.items()
+                     if floor >= seq}
+        if len(covering) < needed:
+            uncovered.append((seq, sorted(covering)))
+    if uncovered:
+        cell.failures.append(
+            f"acked commits lacking {needed} replica applies in the "
+            f"span stream: {uncovered[:5]}"
+            + (f" (+{len(uncovered) - 5} more)"
+               if len(uncovered) > 5 else "")
+        )
+
+
+def _verify_timeline(cell: ReplicationCellReport, scenario: str,
+                     records, dest: Path, label: str) -> None:
+    """Fold the cell's event stream into the audit timeline, keep it
+    as a JSONL artifact, and audit the fence ordering: every acked
+    old-term commit at or below the fence must precede the fence
+    record, every new-term commit must follow it."""
+    timeline = replication_timeline(records)
+    path = dest / f"timeline-{label}.jsonl"
+    path.write_text(timeline.to_jsonl() + "\n", encoding="utf-8")
+    cell.scrape_paths.append(str(path))
+    problems = timeline.fence_violations()
+    if problems:
+        cell.failures.append(
+            f"timeline fence ordering violated: {problems[:3]}"
+        )
+    if scenario != "primary_kill":
+        return
+    fences = timeline.of_kind("fence")
+    if not fences:
+        cell.failures.append("no fence entry in the failover timeline")
+        return
+    fence = fences[-1]
+    if cell.fence_seq is not None and fence.fence_seq != cell.fence_seq:
+        cell.failures.append(
+            f"timeline fence at seq {fence.fence_seq}, promotion "
+            f"reported {cell.fence_seq}"
+        )
+    if not timeline.of_kind("promote"):
+        cell.failures.append("no promote entry in the failover timeline")
+    if not timeline.of_kind("rejoin"):
+        cell.failures.append("no rejoin entry in the failover timeline")
+
+
+def _write_pipeline_dot(cell: ReplicationCellReport, records,
+                        acked: list, dest: Path, label: str) -> None:
+    """Fold the last acked commit's cross-node trace — the
+    ``service.request`` root down through ship, receive, WAL append,
+    apply and ack spans on every replica — into a DOT artifact."""
+    if not acked:
+        return
+    last_seq = acked[-1][0]
+    spans = {record.span_id: record for record in records
+             if record.kind == "span.end"
+             and record.span_id is not None}
+    def _root_of(record):
+        while record.parent_span is not None \
+                and record.parent_span in spans:
+            record = spans[record.parent_span]
+        return record
+
+    target = None
+    for record in spans.values():
+        if record.name != "replication.ship":
+            continue
+        low = _attr_int(record, "from_seq")
+        high = _attr_int(record, "through_seq")
+        if low is not None and high is not None \
+                and low <= last_seq <= high:
+            # Prefer the commit-path ship (rooted in the request that
+            # carried the commit) over later catch-up re-ships.
+            if target is None \
+                    or _root_of(record).name == "service.request":
+                target = record
+    if target is None:
+        cell.notes.append(
+            f"no ship span covering acked seq {last_seq}; pipeline "
+            f"DOT skipped"
+        )
+        return
+    root = _root_of(target)
+    children: dict[int, list[int]] = {}
+    for record in spans.values():
+        if record.parent_span is not None:
+            children.setdefault(record.parent_span,
+                                []).append(record.span_id)
+    keep: set[int] = set()
+    stack = [root.span_id]
+    while stack:
+        span_id = stack.pop()
+        if span_id in keep:
+            continue
+        keep.add(span_id)
+        stack.extend(children.get(span_id, ()))
+    subset = [record for record in records if record.span_id in keep]
+    dag = propagation_dag(subset)
+    path = dest / f"pipeline-{label}.dot"
+    path.write_text(dag.to_dot(name="pipeline") + "\n",
+                    encoding="utf-8")
+    cell.scrape_paths.append(str(path))
+
+
 # -- the failover epilogue ----------------------------------------------------
 
 
@@ -682,6 +841,14 @@ def _run_cell(mode: str, scenario: str,
     for name in names:
         group.add_replica(name, Replica(name, cell_dir / name))
 
+    # A per-cell record stream: the process-wide soak JSONL interleaves
+    # every cell (and the primary's WAL seq restarts between them), so
+    # the span-coverage and timeline oracles fold this file instead.
+    cell_sink = FileSink(cell_dir / "events.jsonl")
+    OBS.events.add_sink(cell_sink)
+    acked_pairs: list = []
+    verify_events = False
+
     FAULTS.arm("repl.transport.deliver",
                LatencyFault(0.0005, jitter=0.002, seed=config.seed))
     plans = _cell_plans(db, config)
@@ -744,7 +911,8 @@ def _run_cell(mode: str, scenario: str,
 
         _heal(group, names)
         cell.committed = len(service.committed_ops())
-        cell.acked = len(service.acked_ops())
+        acked_pairs = list(service.acked_ops())
+        cell.acked = len(acked_pairs)
         active = service
         primary_db = db
         if scenario == "primary_kill":
@@ -755,7 +923,9 @@ def _run_cell(mode: str, scenario: str,
             active = new_service
             primary_db = new_service.db
             cell.committed += len(new_service.committed_ops())
-            cell.acked += len(new_service.acked_ops())
+            new_acked = list(new_service.acked_ops())
+            acked_pairs.extend(new_acked)
+            cell.acked += len(new_acked)
         for attempt in range(2):
             _heal(group, names + ["old-primary"])
             try:
@@ -781,6 +951,7 @@ def _run_cell(mode: str, scenario: str,
                 new_service.serve_metrics()
             _scrape(active, group, scrape_dir,
                     f"{_slug(mode, scenario)}-final", cell)
+        verify_events = True
     finally:
         stop.set()
         FAULTS.disarm("repl.transport.deliver")
@@ -794,8 +965,28 @@ def _run_cell(mode: str, scenario: str,
                 new_service.close(timeout=5.0)
             except ReproError:
                 pass
+        OBS.events.remove_sink(cell_sink)
+        cell_sink.close()
         cell.duration = time.monotonic() - started
         cell.counts = counts
+    if verify_events:
+        if not cell_sink.path.exists():
+            cell.notes.append(
+                "no cell event stream (collection disabled); span "
+                "oracles skipped"
+            )
+            return cell
+        label = _slug(mode, scenario)
+        try:
+            records = read_jsonl(cell_sink.path)
+        except (OSError, ValueError) as exc:
+            cell.failures.append(f"cell event stream unreadable: {exc}")
+            return cell
+        _verify_pipeline_coverage(cell, mode, config.replicas, records,
+                                  acked_pairs)
+        _verify_timeline(cell, scenario, records, scrape_dir, label)
+        _write_pipeline_dot(cell, records, acked_pairs, scrape_dir,
+                            label)
     return cell
 
 

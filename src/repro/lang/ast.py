@@ -245,6 +245,21 @@ class Monitor(Statement):
 
 
 @dataclass(frozen=True)
+class Timeline(Statement):
+    """``timeline [STRING]`` — the replication audit timeline.
+
+    Bare ``timeline`` folds the in-memory event ring (the first call
+    attaches one) into the typed replication lifecycle view —
+    attaches, acked commits, fences, promotions, rejoins, snapshot
+    bootstraps — with the fence-ordering audit applied. With a quoted
+    path it reads a JSONL event artifact (e.g. a soak's
+    ``replication-events.jsonl``) instead.
+    """
+
+    path: str | None = None
+
+
+@dataclass(frozen=True)
 class Resolve(Statement):
     """``resolve`` — run FD-driven null resolution."""
 

@@ -83,6 +83,9 @@ Inspection:
   monitor                service-health dashboard (RED, locks, breaker)
   monitor serve [port]   start the live /metrics endpoint (Prometheus)
   monitor stop           stop the endpoint
+  timeline               replication audit timeline (fences, commits,
+                         promotions); first call starts recording
+  timeline "path"        fold a JSONL event artifact instead
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -645,6 +648,39 @@ class Interpreter:
             render_monitor(OBS.metrics.snapshot()).splitlines()
         )
         return output
+
+    def _run_timeline(self, statement: ast.Timeline) -> list[str]:
+        from repro.obs import (
+            RingBufferSink,
+            read_jsonl,
+            render_timeline,
+            replication_timeline,
+        )
+
+        if statement.path is not None:
+            try:
+                records = read_jsonl(statement.path)
+            except OSError as exc:
+                return [f"timeline: cannot read {statement.path}: {exc}"]
+        else:
+            ring = next(
+                (sink for sink in OBS.events.sinks
+                 if isinstance(sink, RingBufferSink)),
+                None,
+            )
+            if ring is None:
+                OBS.events.add_sink(RingBufferSink(capacity=4096))
+                OBS.enable(tracing=OBS.tracing)
+                return ["timeline: recording started (in-memory ring "
+                        "attached) -- replication events from here on "
+                        "will appear; run 'timeline' again later, or "
+                        'read an artifact: timeline "events.jsonl"']
+            records = list(ring.records)
+        timeline = replication_timeline(records)
+        if not len(timeline):
+            return ["(no replication events recorded -- the timeline "
+                    "fills once a replication group ships commits)"]
+        return render_timeline(timeline).splitlines()
 
     def _run_deadlinecmd(self, statement: ast.DeadlineCmd) -> list[str]:
         if statement.mode == "set":

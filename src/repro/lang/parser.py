@@ -12,6 +12,7 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                             | "off" | "clear" ]
                 | "deadline" [ NUMBER | "off" ]
                 | "monitor" [ "serve" [ NUMBER ] | "stop" ]
+                | "timeline" [ STRING ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -128,6 +129,7 @@ class _Parser:
             "slowlog": self._parse_slowlog,
             "deadline": self._parse_deadline,
             "monitor": self._parse_monitor,
+            "timeline": self._parse_timeline,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -479,6 +481,13 @@ class _Parser:
                     )
             return ast.Monitor("serve", port)
         return ast.Monitor("show")
+
+    def _parse_timeline(self) -> ast.Timeline:
+        self._advance()  # timeline
+        path: str | None = None
+        if self.current.kind == "STRING":
+            path = self._advance().text
+        return ast.Timeline(path)
 
     # -- values ------------------------------------------------------------------------------
 

@@ -32,10 +32,13 @@ from repro.obs.events import (
     EventRecord,
     FileSink,
     PropagationDag,
+    ReplicationTimeline,
     RingBufferSink,
     Sink,
+    TimelineEntry,
     propagation_dag,
     read_jsonl,
+    replication_timeline,
     span_records,
 )
 from repro.obs.endpoint import (
@@ -58,6 +61,7 @@ from repro.obs.slo import (
     SLOMonitor,
     Verdict,
     default_objectives,
+    replication_lag_objective,
 )
 from repro.obs.profile import ProfileEntry, Profiler
 from repro.obs.slowlog import SlowLog, SlowRecord
@@ -69,6 +73,7 @@ from repro.obs.export import (
     render_replication,
     render_slowlog,
     render_stats,
+    render_timeline,
     snapshot,
     to_json,
     write_json,
@@ -87,6 +92,7 @@ __all__ = [
     "Verdict",
     "SLOMonitor",
     "default_objectives",
+    "replication_lag_objective",
     "MetricsEndpoint",
     "ExpositionError",
     "render_prometheus",
@@ -106,6 +112,9 @@ __all__ = [
     "PropagationDag",
     "read_jsonl",
     "span_records",
+    "TimelineEntry",
+    "ReplicationTimeline",
+    "replication_timeline",
     "SlowLog",
     "SlowRecord",
     "snapshot",
@@ -117,4 +126,5 @@ __all__ = [
     "render_replication",
     "render_slowlog",
     "render_stats",
+    "render_timeline",
 ]

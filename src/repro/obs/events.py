@@ -56,6 +56,9 @@ __all__ = [
     "PropagationDag",
     "propagation_dag",
     "span_records",
+    "TimelineEntry",
+    "ReplicationTimeline",
+    "replication_timeline",
 ]
 
 
@@ -384,6 +387,194 @@ def propagation_dag(records: Iterable[EventRecord]) -> PropagationDag:
         if src in known and dst in known
     ]
     return dag
+
+
+# -- replication audit timeline -----------------------------------------------
+#
+# Replication lifecycle steps are emitted as ``action`` records
+# (``replication.promote``, ``replication.fence``, ...). The fold below
+# projects a record stream onto just those actions and types them, so a
+# failover can be audited from the same JSONL artifact the soak already
+# writes: which commits were acked under which term, where the fence
+# fell, who was promoted, who re-bootstrapped via snapshot.
+
+_TIMELINE_KINDS = {
+    "replication.primary_attached": "attach",
+    "replication.commit_acked": "commit",
+    "replication.ack_timeout": "ack_timeout",
+    "replication.write_fenced": "write_fenced",
+    "replication.fence": "fence",
+    "replication.promote": "promote",
+    "replication.rejoin": "rejoin",
+    "replication.catch_up": "catch_up",
+    "replication.snapshot_bootstrap": "snapshot_bootstrap",
+    "replication.snapshot_installed": "snapshot_install",
+}
+
+
+def _timeline_int(value) -> int | None:
+    # Attr values arrive raw from a live RingBufferSink but stringified
+    # after a JSONL round-trip; accept both.
+    if value is None:
+        return None
+    try:
+        return int(str(value))
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One typed step of the replication audit timeline.
+
+    ``order`` is the source record's event-log ``seq`` — the process-
+    wide total order the fence invariant is stated over. ``term`` is
+    the term the step happened *under* (for ``fence`` the term being
+    fenced; for ``promote`` the new term). ``commit_seq`` is set on
+    ``commit`` entries, ``fence_seq`` on ``fence``/``rejoin`` entries;
+    everything else stays available in ``attrs`` verbatim.
+    """
+
+    order: int
+    ts: float
+    kind: str
+    name: str
+    term: int | None
+    replica: str | None
+    commit_seq: int | None
+    fence_seq: int | None
+    attrs: dict
+
+    def to_dict(self) -> dict:
+        entry: dict = {
+            "order": self.order,
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.term is not None:
+            entry["term"] = self.term
+        if self.replica is not None:
+            entry["replica"] = self.replica
+        if self.commit_seq is not None:
+            entry["commit_seq"] = self.commit_seq
+        if self.fence_seq is not None:
+            entry["fence_seq"] = self.fence_seq
+        if self.attrs:
+            entry["attrs"] = {
+                key: _format_value(value)
+                for key, value in self.attrs.items()
+            }
+        return entry
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+@dataclass
+class ReplicationTimeline:
+    """The ordered audit timeline folded from a record stream."""
+
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[TimelineEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def of_kind(self, kind: str) -> list[TimelineEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def commits(self, *, term: int | None = None) -> list[TimelineEntry]:
+        """Acked-commit entries, optionally restricted to one term."""
+        return [
+            entry for entry in self.entries
+            if entry.kind == "commit"
+            and (term is None or entry.term == term)
+        ]
+
+    def fence_violations(self) -> list[str]:
+        """The audit check: every commit acked under a fenced term at
+        or below the fence seq must precede the fence entry, and the
+        first commit of the new term must follow it. Returns the
+        violations (empty = timeline is well-ordered)."""
+        problems: list[str] = []
+        for fence in self.of_kind("fence"):
+            new_term = _timeline_int(fence.attrs.get("new_term"))
+            for commit in self.commits(term=fence.term):
+                if (commit.commit_seq is not None
+                        and fence.fence_seq is not None
+                        and commit.commit_seq <= fence.fence_seq
+                        and commit.order >= fence.order):
+                    problems.append(
+                        f"commit seq={commit.commit_seq} "
+                        f"term={commit.term} recorded after its fence"
+                    )
+            if new_term is not None:
+                early = [
+                    commit for commit in self.commits(term=new_term)
+                    if commit.order <= fence.order
+                ]
+                if early:
+                    problems.append(
+                        f"term {new_term} commit recorded before the "
+                        f"fence of term {fence.term}"
+                    )
+        return problems
+
+    def to_jsonl(self) -> str:
+        return "".join(entry.to_json() + "\n" for entry in self.entries)
+
+
+def replication_timeline(
+    records: Iterable[EventRecord],
+) -> ReplicationTimeline:
+    """Fold a record stream into the replication audit timeline.
+
+    Keeps only the ``action`` records named in the replication
+    lifecycle vocabulary, in event-log order, typed per
+    :data:`_TIMELINE_KINDS`. Works on live :class:`RingBufferSink`
+    records and on :func:`read_jsonl` artifacts alike.
+    """
+    timeline = ReplicationTimeline()
+    for record in records:
+        if record.kind != "action":
+            continue
+        kind = _TIMELINE_KINDS.get(record.name)
+        if kind is None:
+            continue
+        attrs = record.attrs
+        if kind == "fence":
+            term = _timeline_int(attrs.get("old_term"))
+            fence_seq = _timeline_int(attrs.get("fence_seq"))
+        elif kind == "rejoin":
+            term = _timeline_int(attrs.get("old_term"))
+            fence_seq = _timeline_int(attrs.get("fence_seq"))
+        elif kind == "promote":
+            term = _timeline_int(attrs.get("new_term"))
+            fence_seq = _timeline_int(attrs.get("applied_seq"))
+        elif kind == "write_fenced":
+            term = _timeline_int(attrs.get("writer_term"))
+            fence_seq = None
+        else:
+            term = _timeline_int(attrs.get("term"))
+            fence_seq = None
+        replica = attrs.get("replica") or attrs.get("chosen")
+        commit_seq = (_timeline_int(attrs.get("seq"))
+                      if kind in ("commit", "ack_timeout") else None)
+        timeline.entries.append(TimelineEntry(
+            order=record.seq,
+            ts=record.ts,
+            kind=kind,
+            name=record.name,
+            term=term,
+            replica=str(replica) if replica is not None else None,
+            commit_seq=commit_seq,
+            fence_seq=fence_seq,
+            attrs=dict(attrs),
+        ))
+    return timeline
 
 
 def span_records(span, *, cause: str | None = None) -> list[EventRecord]:

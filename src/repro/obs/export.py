@@ -16,7 +16,7 @@ from repro.obs.hooks import OBS, Instrumentation
 
 __all__ = ["snapshot", "to_json", "write_json", "render_metrics",
            "render_monitor", "render_profile", "render_replication",
-           "render_slowlog", "render_stats"]
+           "render_slowlog", "render_stats", "render_timeline"]
 
 
 def snapshot(obs: Instrumentation | None = None) -> dict:
@@ -204,11 +204,40 @@ def render_monitor(metrics: dict, *, slo: dict | None = None,
                 counters.get("replication.rejoins", 0),
             )
         )
+        snap_raw = counters.get("replication.snapshot.bytes_raw", 0)
+        snap_wire = counters.get("replication.snapshot.bytes_wire", 0)
+        if snap_raw:
+            lines.append(
+                "  snapshots: {} catch-ups, {} -> {} bytes "
+                "({:.0%} of raw)".format(
+                    counters.get("replication.snapshot.catch_ups", 0),
+                    snap_raw, snap_wire,
+                    snap_wire / snap_raw if snap_raw else 0.0,
+                )
+            )
         for name, lag_seq in lag_rows:
             seconds = gauges.get(f"replication.lag.seconds.{name}", 0.0)
             lines.append(
                 f"  lag {name}: {lag_seq:g} seqs / {seconds:g}s"
             )
+            # Commit-pipeline stages for this replica, when the
+            # distributed-tracing instruments have fired.
+            stages = (
+                ("ship", f"replication.ship.rtt_seconds.{name}"),
+                ("apply",
+                 f"replication.pipeline.apply_seconds.{name}"),
+                ("ack", f"replication.commit.ack_seconds.{name}"),
+            )
+            parts = [
+                "{} p50={} p99={}".format(
+                    stage, _seconds(data.get("p50")),
+                    _seconds(data.get("p99")),
+                )
+                for stage, metric in stages
+                if (data := histograms.get(metric))
+            ]
+            if parts:
+                lines.append(f"    pipeline: {'; '.join(parts)}")
 
     # -- SLO verdicts ---------------------------------------------------
     if slo is not None:
@@ -334,7 +363,97 @@ def render_replication(replication: dict, *,
         lines.append(row)
     if not replication.get("replicas"):
         lines.append("  (no replicas linked)")
+    for name, stages in sorted(
+            (replication.get("pipeline") or {}).items()):
+        parts = [
+            "{} p50={} p99={}".format(
+                stage, _seconds(data.get("p50")),
+                _seconds(data.get("p99")),
+            )
+            for stage in ("ship_rtt", "wal_append", "apply",
+                          "commit_ack")
+            if (data := stages.get(stage))
+        ]
+        if parts:
+            lines.append(f"  pipeline {name}: {'; '.join(parts)}")
     return "\n".join(lines)
+
+
+def render_timeline(timeline) -> str:
+    """A :class:`repro.obs.events.ReplicationTimeline` as text: one
+    row per lifecycle step, commit runs collapsed to keep a long soak
+    readable (``N commits (seq a..b, term t)``), fences and
+    promotions spelled out with their fence seq and term handoff."""
+    entries = list(timeline)
+    if not entries:
+        return "(no replication events recorded)"
+    lines: list[str] = []
+    run: list = []
+
+    def flush_run() -> None:
+        if not run:
+            return
+        if len(run) <= 2:
+            for entry in run:
+                lines.append(
+                    f"  #{entry.order:<6} commit seq "
+                    f"{entry.commit_seq} (term {entry.term}, "
+                    f"acks {entry.attrs.get('acks', '?')})"
+                )
+        else:
+            first, last = run[0], run[-1]
+            lines.append(
+                f"  #{first.order:<6} {len(run)} commits "
+                f"(seq {first.commit_seq}..{last.commit_seq}, "
+                f"term {first.term})"
+            )
+        run.clear()
+
+    for entry in entries:
+        if entry.kind == "commit":
+            if run and run[-1].term != entry.term:
+                flush_run()
+            run.append(entry)
+            continue
+        flush_run()
+        detail = {
+            "attach": lambda e: f"node {e.replica or e.attrs.get('node')} "
+                                f"term {e.term}",
+            "fence": lambda e: f"term {e.term} fenced at seq "
+                               f"{e.fence_seq} -> term "
+                               f"{e.attrs.get('new_term')}",
+            "promote": lambda e: f"{e.replica} promoted to term "
+                                 f"{e.term}",
+            "rejoin": lambda e: f"{e.replica} rejoined past fence "
+                                f"{e.fence_seq} (dropped "
+                                f"{e.attrs.get('records_dropped', 0)})",
+            "catch_up": lambda e: f"{e.replica} via "
+                                  f"{e.attrs.get('mode', '?')} to seq "
+                                  f"{e.attrs.get('to_seq', '?')}",
+            "snapshot_bootstrap": lambda e:
+                f"{e.replica} re-bootstrapped at seq "
+                f"{e.attrs.get('wal_applied', '?')}",
+            "snapshot_install": lambda e:
+                f"{e.replica} installed snapshot at seq "
+                f"{e.attrs.get('wal_applied', '?')}",
+            "write_fenced": lambda e: f"stale writer term {e.term} "
+                                      f"refused",
+            "ack_timeout": lambda e: f"seq {e.commit_seq} got "
+                                     f"{e.attrs.get('acks', '?')}/"
+                                     f"{e.attrs.get('needed', '?')} acks",
+        }.get(entry.kind, lambda e: "")
+        lines.append(
+            f"  #{entry.order:<6} {entry.kind:<18} {detail(entry)}"
+            .rstrip()
+        )
+    flush_run()
+    violations = timeline.fence_violations()
+    header = (f"replication timeline: {len(entries)} entries, "
+              f"{len(timeline.of_kind('fence'))} fences"
+              + (", ORDER VIOLATED" if violations else ""))
+    out = [header] + lines
+    out += [f"  !! {problem}" for problem in violations]
+    return "\n".join(out)
 
 
 def render_slowlog(slowlog: dict) -> str:

@@ -37,13 +37,15 @@ from repro.obs.hooks import OBS
 from repro.obs.metrics import MetricError
 
 __all__ = ["Objective", "Verdict", "SLOMonitor", "default_objectives",
-           "LATENCY", "ERROR_RATE", "SHED_RATE"]
+           "replication_lag_objective",
+           "LATENCY", "ERROR_RATE", "SHED_RATE", "REPLICATION_LAG"]
 
 LATENCY = "latency"
 ERROR_RATE = "error_rate"
 SHED_RATE = "shed_rate"
+REPLICATION_LAG = "replication_lag"
 
-_KINDS = (LATENCY, ERROR_RATE, SHED_RATE)
+_KINDS = (LATENCY, ERROR_RATE, SHED_RATE, REPLICATION_LAG)
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,8 @@ class Objective:
         if self.kind == LATENCY:
             return (f"p{self.percentile:g} {self.family} latency "
                     f"< {self.threshold * 1000:g}ms")
+        if self.kind == REPLICATION_LAG:
+            return f"replication lag <= {self.threshold:g} seqs"
         noun = "error rate" if self.kind == ERROR_RATE else "shed rate"
         scope = "" if self.family == "*" else f"{self.family} "
         return f"{scope}{noun} < {self.threshold * 100:g}%"
@@ -136,6 +140,17 @@ def default_objectives() -> tuple[Objective, ...]:
     )
 
 
+def replication_lag_objective(threshold_seq: float = 256.0, *,
+                              window: float = 30.0) -> Objective:
+    """The default lag objective a replicated service adds itself:
+    worst-replica applied-seq lag stays at or under ``threshold_seq``.
+    Measured from a probe (:meth:`SLOMonitor.set_probe`), not from
+    request samples — lag is a *level*, sampled at evaluation time,
+    not a per-request outcome."""
+    return Objective("replication.lag", REPLICATION_LAG, threshold_seq,
+                     window=window)
+
+
 class _Sample:
     __slots__ = ("ts", "family", "duration", "error", "shed")
 
@@ -171,10 +186,42 @@ class SLOMonitor:
         self._alerting: dict[str, bool] = {
             o.name: False for o in self.objectives
         }
+        # Level probes (replication lag): objective name -> zero-arg
+        # callable returning the current level (or None when it cannot
+        # be measured), sampled at evaluation time into per-objective
+        # (ts, value) deques evaluated over the same two windows.
+        self._probes: dict[str, "object"] = {}
+        self._levels: dict[str, deque] = {}
         self._raised = 0
         self._cleared = 0
         self._last_eval = 0.0
         self._lock = threading.Lock()
+
+    # -- composition --------------------------------------------------------
+
+    def add_objective(self, objective: Objective) -> None:
+        """Add an objective after construction (how a service folds in
+        the replication-lag objective once replication is attached)."""
+        with self._lock:
+            if any(o.name == objective.name for o in self.objectives):
+                raise MetricError(
+                    f"objective {objective.name!r} already registered"
+                )
+            self.objectives = self.objectives + (objective,)
+            self._alerting[objective.name] = False
+            self._horizon = max(self._horizon, objective.window)
+
+    def set_probe(self, objective_name: str, probe) -> None:
+        """Attach a level probe to a ``replication_lag``-kind
+        objective. ``probe`` is a zero-arg callable returning the
+        current level (``None`` = no evidence this round); it is
+        invoked outside the monitor lock on every evaluation."""
+        if not any(o.name == objective_name for o in self.objectives):
+            raise MetricError(
+                f"no objective named {objective_name!r} to probe"
+            )
+        self._probes[objective_name] = probe
+        self._levels.setdefault(objective_name, deque())
 
     # -- recording ----------------------------------------------------------
 
@@ -192,6 +239,9 @@ class SLOMonitor:
         cutoff = now - self._horizon
         while self._samples and self._samples[0].ts < cutoff:
             self._samples.popleft()
+        for levels in self._levels.values():
+            while levels and levels[0][0] < cutoff:
+                levels.popleft()
 
     # -- evaluation ---------------------------------------------------------
 
@@ -208,9 +258,17 @@ class SLOMonitor:
         """Evaluate every objective; fire/clear alert transitions as
         ``slo.*`` action events and counters."""
         now = self._clock() if now is None else now
+        # Sample level probes outside the lock (a probe may take other
+        # locks, e.g. the replication group's link bookkeeping).
+        probe_samples = [
+            (name, probe()) for name, probe in self._probes.items()
+        ]
         transitions: list[tuple[str, Verdict]] = []
         verdicts: list[Verdict] = []
         with self._lock:
+            for name, value in probe_samples:
+                if value is not None:
+                    self._levels[name].append((now, float(value)))
             self._last_eval = now
             self._prune(now)
             samples = tuple(self._samples)
@@ -245,6 +303,8 @@ class SLOMonitor:
 
     def _verdict(self, objective: Objective,
                  samples: tuple[_Sample, ...], now: float) -> Verdict:
+        if objective.kind == REPLICATION_LAG:
+            return self._level_verdict(objective, now)
         slow = [s for s in samples
                 if s.ts >= now - objective.window
                 and (objective.family == "*"
@@ -257,6 +317,37 @@ class SLOMonitor:
         was_alerting = self._alerting[objective.name]
         # Raise on both windows burning; clear when the fast window is
         # healthy again (see module docstring).
+        alerting = ((slow_bad and fast_bad) if not was_alerting
+                    else fast_bad)
+        return Verdict(
+            objective=objective,
+            ok=not slow_bad and not fast_bad,
+            alerting=alerting,
+            slow_value=slow_value,
+            fast_value=fast_value,
+            slow_requests=len(slow),
+            fast_requests=len(fast),
+        )
+
+    def _level_verdict(self, objective: Objective,
+                       now: float) -> Verdict:
+        """Verdict for level-probed objectives (replication lag): the
+        measured value of a window is the *worst* level seen in it —
+        a lag SLO promises the lag never stays above threshold, so max
+        (not a percentile) is the honest aggregate. Uses ``>`` against
+        the threshold like the rate kinds, so ``threshold=0`` means
+        "no lag at all"."""
+        levels = self._levels.get(objective.name, ())
+        slow = [v for ts, v in levels if ts >= now - objective.window]
+        fast = [v for ts, v in levels
+                if ts >= now - objective.fast_window]
+        slow_value = max(slow) if slow else None
+        fast_value = max(fast) if fast else None
+        slow_bad = (slow_value is not None
+                    and slow_value > objective.threshold)
+        fast_bad = (fast_value is not None
+                    and fast_value > objective.threshold)
+        was_alerting = self._alerting[objective.name]
         alerting = ((slow_bad and fast_bad) if not was_alerting
                     else fast_bad)
         return Verdict(

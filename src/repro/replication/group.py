@@ -42,6 +42,7 @@ A :class:`ReplicationGroup` sits between :class:`DatabaseService
 
 from __future__ import annotations
 
+import json
 import re
 import threading
 import time
@@ -363,11 +364,27 @@ class ReplicationGroup:
         needed = self.mode.required_acks(len(links))
         deadline = time.monotonic() + self.ack_timeout
         first_pass = True
+        # Commit-to-ack round trips, per replica: which links still
+        # owe an ack for this seq, timed from here. Telemetry only.
+        track = OBS.enabled
+        ack_clock = time.perf_counter() if track else 0.0
+        awaiting = ({link.name for link in links
+                     if link.acked_seq < seq} if track else set())
+
+        def _note_acked(link: ReplicaLink) -> None:
+            if track and link.name in awaiting:
+                awaiting.discard(link.name)
+                OBS.observe_log(
+                    f"replication.commit.ack_seconds.{link.name}",
+                    time.perf_counter() - ack_clock,
+                )
+
         while True:
             acked = 0
             for link in links:
                 if link.acked_seq >= seq:
                     acked += 1
+                    _note_acked(link)
                     continue
                 if not (first_pass or needed):
                     continue
@@ -387,6 +404,7 @@ class ReplicationGroup:
                     continue
                 if link.acked_seq >= seq:
                     acked += 1
+                    _note_acked(link)
             self._refresh_gauges()
             if acked >= needed:
                 return {"seq": seq, "acks": acked,
@@ -487,6 +505,11 @@ class ReplicationGroup:
                 logged.db, wal_applied=wal_applied, term=self.term
             )
         shipper.ship_snapshot(link, text, wal_applied)
+        if OBS.enabled:
+            OBS.inc("replication.snapshot.catch_ups")
+            OBS.action("replication.snapshot_bootstrap",
+                       replica=link.name, wal_applied=wal_applied,
+                       term=self.term, bytes_raw=len(text))
         return wal_applied
 
     # -- failover -----------------------------------------------------------
@@ -580,9 +603,26 @@ class ReplicationGroup:
                 old_term=old_term, new_term=new_term,
                 candidates=tuple(sorted(candidates)),
             )
+            # Per-replica ack state at the instant the fence fell
+            # (post-capping) — the audit timeline's evidence for which
+            # acks survived into the new term and who must
+            # re-bootstrap. Serialized here, while the lock still
+            # guards the links.
+            ack_state = {
+                link.name: {
+                    "acked_seq": link.acked_seq,
+                    "acked_term": link.acked_term,
+                    "needs_snapshot": link.needs_snapshot,
+                }
+                for link in shipper.links()
+            }
         if OBS.enabled:
             OBS.inc("replication.promotions")
             OBS.gauge("replication.term", new_term)
+            OBS.action("replication.fence", old_term=old_term,
+                       new_term=new_term, fence_seq=applied,
+                       chosen=chosen,
+                       acks=json.dumps(ack_state, sort_keys=True))
             OBS.action("replication.promote", chosen=chosen,
                        applied_seq=applied, old_term=old_term,
                        new_term=new_term)
@@ -729,6 +769,52 @@ class ReplicationGroup:
                           info["lag_seq"])
                 OBS.gauge(f"replication.lag.seconds.{name}",
                           round(info["lag_seconds"], 6))
+                # Gauges hold only the latest level; the histogram
+                # keeps the distribution of observed staleness ages.
+                OBS.observe_log(
+                    f"replication.lag.age_seconds.{name}",
+                    info["lag_seconds"],
+                )
+        return out
+
+    def worst_lag_seq(self) -> float | None:
+        """The worst replica's applied-seq lag right now, or ``None``
+        with no links — the level the ``replication.lag`` SLO probes."""
+        lags = self.lag()
+        if not lags:
+            return None
+        return float(max(info["lag_seq"] for info in lags.values()))
+
+    def pipeline_stats(self) -> dict:
+        """Per-replica commit-pipeline latency breakdown, folded from
+        the stage log histograms (``{}`` when telemetry is off).
+
+        Stages per replica: ``ship_rtt`` (one append exchange),
+        ``wal_append``/``apply`` (replica-side phases), ``commit_ack``
+        (commit to that replica's ack, the end-to-end stage a commit
+        mode waits on).
+        """
+        if not OBS.enabled:
+            return {}
+        stages = {
+            "ship_rtt": "replication.ship.rtt_seconds.",
+            "wal_append": "replication.pipeline.wal_append_seconds.",
+            "apply": "replication.pipeline.apply_seconds.",
+            "commit_ack": "replication.commit.ack_seconds.",
+        }
+        histograms = OBS.metrics.snapshot()["histograms"]
+        out: dict[str, dict] = {}
+        for stage, prefix in stages.items():
+            for name, data in histograms.items():
+                if not name.startswith(prefix):
+                    continue
+                replica = name[len(prefix):]
+                out.setdefault(replica, {})[stage] = {
+                    "count": data["count"],
+                    "p50": data["p50"],
+                    "p95": data["p95"],
+                    "p99": data["p99"],
+                }
         return out
 
     def _refresh_gauges(self) -> None:
@@ -758,6 +844,7 @@ class ReplicationGroup:
                 default=None,
             ),
             "servable": servable,
+            "pipeline": self.pipeline_stats(),
         }
 
     def _require_shipper(self) -> WalShipper:

@@ -45,6 +45,7 @@ from repro.fdb.transaction import Transaction
 from repro.fdb.updates import UpdateSequence, apply_update
 from repro.fdb.wal import WAL_VERSION, UpdateLog, _crc_of, _decode_entry
 from repro.obs.hooks import OBS
+from repro.replication.transport import decode_snapshot
 
 __all__ = ["Replica"]
 
@@ -135,44 +136,66 @@ class Replica:
         term = message.get("term", 0)
         records = message.get("records", [])
         through_seq = message.get("through_seq", 0)
-        with self._lock:
-            if term < self.term:
-                return {"ok": False, "error": "stale-term",
-                        "term": self.term,
-                        "applied_seq": self.applied_seq}
-            if self.diverged:
-                return {"ok": False, "error": "diverged",
-                        "applied_seq": self.applied_seq}
-            if self.db is None:
-                return {"ok": False, "error": "needs-snapshot",
-                        "applied_seq": self.applied_seq}
-            try:
-                decoded = [self._decode(line) for line in records]
-            except PersistenceError as exc:
-                return {"ok": False, "error": f"bad-record: {exc}",
-                        "applied_seq": self.applied_seq}
-            fresh = [(seq, payload, line)
-                     for seq, payload, line in decoded
-                     if seq > self.applied_seq]
-            expected = self.applied_seq + 1
-            if fresh and fresh[0][0] != expected:
-                return {"ok": False, "error": "gap",
-                        "applied_seq": self.applied_seq}
-            if not fresh and through_seq > self.applied_seq and records:
-                # Everything shipped was already applied but the high
-                # water mark still advances (ack-lost re-shipment).
-                pass
-            aborted = {payload["abort_of"]
-                       for _, payload, _ in fresh
-                       if "abort_of" in payload}
-            try:
-                self._apply_fresh(fresh, aborted)
-            except SimulatedCrash:
-                self.crashed = True
-                self.db = None
-                raise ConnectionError(
-                    f"replica {self.name} crashed mid-apply"
-                ) from None
+        # The frame's trace context (absent from older primaries):
+        # adopting it parents this replica's spans to the shipping
+        # span, joining the primary's request pipeline cross-node.
+        trace = message.get("trace") or {}
+        with self._lock, OBS.remote_context(trace.get("parent_span"),
+                                            trace.get("cause")):
+            with OBS.span("replication.receive", key=self.name,
+                          replica=self.name, term=term,
+                          records=len(records),
+                          through_seq=through_seq) as scope:
+                return self._append_received(term, records, through_seq,
+                                             scope)
+
+    def _append_received(self, term: int, records: list,
+                         through_seq: int, scope) -> dict:
+        # Caller holds the lock and the receive span.
+        if term < self.term:
+            scope.attrs["error"] = "stale-term"
+            return {"ok": False, "error": "stale-term",
+                    "term": self.term,
+                    "applied_seq": self.applied_seq}
+        if self.diverged:
+            scope.attrs["error"] = "diverged"
+            return {"ok": False, "error": "diverged",
+                    "applied_seq": self.applied_seq}
+        if self.db is None:
+            scope.attrs["error"] = "needs-snapshot"
+            return {"ok": False, "error": "needs-snapshot",
+                    "applied_seq": self.applied_seq}
+        try:
+            decoded = [self._decode(line) for line in records]
+        except PersistenceError as exc:
+            scope.attrs["error"] = "bad-record"
+            return {"ok": False, "error": f"bad-record: {exc}",
+                    "applied_seq": self.applied_seq}
+        fresh = [(seq, payload, line)
+                 for seq, payload, line in decoded
+                 if seq > self.applied_seq]
+        expected = self.applied_seq + 1
+        if fresh and fresh[0][0] != expected:
+            scope.attrs["error"] = "gap"
+            return {"ok": False, "error": "gap",
+                    "applied_seq": self.applied_seq}
+        if not fresh and through_seq > self.applied_seq and records:
+            # Everything shipped was already applied but the high
+            # water mark still advances (ack-lost re-shipment).
+            pass
+        aborted = {payload["abort_of"]
+                   for _, payload, _ in fresh
+                   if "abort_of" in payload}
+        try:
+            self._apply_fresh(fresh, aborted)
+        except SimulatedCrash:
+            self.crashed = True
+            self.db = None
+            raise ConnectionError(
+                f"replica {self.name} crashed mid-apply"
+            ) from None
+        with OBS.span("replication.ack", key=self.name,
+                      replica=self.name, term=term) as ack_scope:
             if term > self.term:
                 self.term = term
             if through_seq > self.applied_seq:
@@ -180,41 +203,81 @@ class Replica:
             self._last_progress = time.monotonic()
             if OBS.enabled:
                 OBS.inc("replication.records_applied", len(fresh))
-            return {"ok": True, "applied_seq": self.applied_seq,
-                    "term": self.term}
+                ack_scope.attrs["applied_seq"] = self.applied_seq
+        return {"ok": True, "applied_seq": self.applied_seq,
+                "term": self.term}
 
     def _apply_fresh(self, fresh: list[tuple[int, dict, str]],
                      aborted: set[int]) -> None:
-        for seq, payload, line in fresh:
-            FAULTS.fire("repl.replica.apply", replica=self.name,
-                        seq=seq)
-            # Write-ahead locally too: the record is on disk before
-            # its effects are, so a crash between the two replays it.
-            storage.append_line(self.wal_path, line, fsync=self.fsync)
-            if "abort_of" in payload or seq in aborted:
-                continue
-            entry = _decode_entry(payload["entry"])
-            try:
-                with Transaction(self.db):
-                    if isinstance(entry, UpdateSequence):
-                        for simple in entry:
-                            apply_update(self.db, simple)
-                    else:
-                        apply_update(self.db, entry)
-            except Exception as exc:
-                # Deterministic replay of a committed record failed:
-                # this copy no longer extends the primary's history.
-                # Freeze it; catch-up must re-bootstrap.
-                self.diverged = True
-                if OBS.enabled:
-                    OBS.inc("replication.divergences")
-                    OBS.action("replication.diverged",
-                               replica=self.name, seq=seq,
-                               error=str(exc))
-                raise ReplicationError(
-                    f"replica {self.name} diverged at seq {seq}: {exc}"
-                ) from exc
-            self.applied_seq = seq
+        """Append the whole fresh batch to the local log, then apply
+        it — two passes, write-ahead order preserved batch-wide (every
+        record is durable before *any* of its effects are; a crash
+        between the phases replays the appended suffix on restart).
+        The split keeps each phase one contiguous span, so the folded
+        pipeline shows local-WAL time apart from apply time. The spans'
+        ``appended_to``/``applied_to`` attrs advance record by record:
+        a batch cut short by a crash reports exactly how far it got.
+        """
+        if not fresh:
+            return
+        first, last = fresh[0][0], fresh[-1][0]
+        enabled = OBS.enabled
+        started = time.perf_counter() if enabled else 0.0
+        with OBS.span("replica.wal_append", key=self.name,
+                      replica=self.name, from_seq=first,
+                      to_seq=last) as scope:
+            for seq, _payload, line in fresh:
+                FAULTS.fire("repl.replica.apply", replica=self.name,
+                            seq=seq)
+                # Write-ahead locally too: the record is on disk before
+                # its effects are, so a crash between the two replays it.
+                storage.append_line(self.wal_path, line,
+                                    fsync=self.fsync)
+                if enabled:
+                    scope.attrs["appended_to"] = seq
+        if enabled:
+            OBS.observe_log(
+                f"replication.pipeline.wal_append_seconds.{self.name}",
+                time.perf_counter() - started,
+            )
+            started = time.perf_counter()
+        with OBS.span("replica.apply", key=self.name,
+                      replica=self.name, from_seq=first,
+                      to_seq=last) as scope:
+            for seq, payload, _line in fresh:
+                if "abort_of" in payload or seq in aborted:
+                    continue
+                entry = _decode_entry(payload["entry"])
+                try:
+                    with Transaction(self.db):
+                        if isinstance(entry, UpdateSequence):
+                            for simple in entry:
+                                apply_update(self.db, simple)
+                        else:
+                            apply_update(self.db, entry)
+                except Exception as exc:
+                    # Deterministic replay of a committed record
+                    # failed: this copy no longer extends the
+                    # primary's history. Freeze it; catch-up must
+                    # re-bootstrap.
+                    self.diverged = True
+                    if OBS.enabled:
+                        OBS.inc("replication.divergences")
+                        OBS.action("replication.diverged",
+                                   replica=self.name, seq=seq,
+                                   error=str(exc))
+                    raise ReplicationError(
+                        f"replica {self.name} diverged at seq "
+                        f"{seq}: {exc}"
+                    ) from exc
+                self.applied_seq = seq
+                if enabled:
+                    scope.attrs["applied_to"] = seq
+        if enabled:
+            OBS.observe_log(
+                f"replication.pipeline.apply_seconds.{self.name}",
+                time.perf_counter() - started,
+            )
 
     @staticmethod
     def _decode(line: str) -> tuple[int, dict, str]:
@@ -235,16 +298,24 @@ class Replica:
 
     def _handle_snapshot(self, message: dict) -> dict:
         term = message.get("term", 0)
-        text = message.get("snapshot", "")
         wal_applied = message.get("wal_applied", 0)
-        with self._lock:
+        trace = message.get("trace") or {}
+        with self._lock, OBS.remote_context(trace.get("parent_span"),
+                                            trace.get("cause")), \
+                OBS.span("replica.snapshot_install", key=self.name,
+                         replica=self.name, term=term,
+                         wal_applied=wal_applied):
             if term < self.term:
                 return {"ok": False, "error": "stale-term",
                         "term": self.term,
                         "applied_seq": self.applied_seq}
             try:
+                # Older primaries ship the payload raw (no encoding
+                # flag); newer ones compress — both install.
+                text = decode_snapshot(message.get("snapshot", ""),
+                                       message.get("encoding"))
                 db = persistence.loads(text)
-            except PersistenceError as exc:
+            except (PersistenceError, ValueError) as exc:
                 return {"ok": False,
                         "error": f"bad-snapshot: {exc}",
                         "applied_seq": self.applied_seq}

@@ -29,6 +29,7 @@ import time
 from repro.errors import ReplicaDiverged, ReplicationError
 from repro.fdb.wal import UpdateLog
 from repro.obs.hooks import OBS
+from repro.replication.transport import encode_snapshot
 
 __all__ = ["WalShipper", "ReplicaLink", "SnapshotNeeded"]
 
@@ -199,12 +200,13 @@ class WalShipper:
             # never ``through_seq`` itself, which may point past the
             # log's end after a concurrent fold.
             batch_through = batch[-1][0]
-            reply = self._exchange(link, {
+            reply = self._traced_exchange(link, {
                 "type": "append",
                 "term": self.term,
                 "records": [line for _, line in batch],
                 "through_seq": batch_through,
-            })
+            }, "replication.ship", from_seq=acked + 1,
+                through_seq=batch_through, records=len(batch))
             if not reply.get("ok"):
                 error = reply.get("error", "refused")
                 link.note_error(error)
@@ -230,13 +232,27 @@ class WalShipper:
     def ship_snapshot(self, link: ReplicaLink, snapshot: str,
                       wal_applied: int) -> int:
         """Full-state catch-up: install ``snapshot`` on the replica
-        and reset its link to ``wal_applied``."""
-        reply = self._exchange(link, {
+        and reset its link to ``wal_applied``.
+
+        The payload goes out zlib-compressed behind the frame's
+        ``encoding`` flag; replicas without the flag handling (older
+        builds) are reached by the uncompressed form, which remains a
+        valid frame — see :func:`repro.replication.transport.\
+decode_snapshot`.
+        """
+        payload, encoding, raw_bytes, wire_bytes = \
+            encode_snapshot(snapshot)
+        if OBS.enabled:
+            OBS.inc("replication.snapshot.bytes_raw", raw_bytes)
+            OBS.inc("replication.snapshot.bytes_wire", wire_bytes)
+        reply = self._traced_exchange(link, {
             "type": "snapshot",
             "term": self.term,
-            "snapshot": snapshot,
+            "snapshot": payload,
+            "encoding": encoding,
             "wal_applied": wal_applied,
-        })
+        }, "replication.ship_snapshot", wal_applied=wal_applied,
+            bytes_raw=raw_bytes, bytes_wire=wire_bytes)
         if not reply.get("ok"):
             error = reply.get("error", "refused")
             link.note_error(error)
@@ -265,6 +281,41 @@ class WalShipper:
         if not reply.get("ok"):
             return None
         return reply
+
+    def _traced_exchange(self, link: ReplicaLink, message: dict,
+                         span_name: str, **attrs) -> dict:
+        """One exchange wrapped in a shipping span, with the span's
+        trace context stamped into the frame.
+
+        The frame's ``trace`` field carries the ship span's id as
+        ``parent_span`` (plus the causal update id, term and shipped
+        seq), so the replica's receive span joins the originating
+        request's pipeline across the node boundary. Older replicas
+        ignore the extra key — frames round-trip unknown keys. The
+        per-replica round-trip lands in the
+        ``replication.ship.rtt_seconds.<replica>`` log histogram.
+        Collapses to a bare exchange when telemetry is disabled.
+        """
+        if not OBS.enabled:
+            return self._exchange(link, message)
+        with OBS.span(span_name, key=link.name, replica=link.name,
+                      term=self.term, **attrs):
+            trace = OBS.trace_context()
+            if trace is not None:
+                trace["term"] = self.term
+                trace["seq"] = message.get(
+                    "through_seq", message.get("wal_applied", 0)
+                )
+                message = dict(message)
+                message["trace"] = trace
+            started = time.perf_counter()
+            try:
+                return self._exchange(link, message)
+            finally:
+                OBS.observe_log(
+                    f"replication.ship.rtt_seconds.{link.name}",
+                    time.perf_counter() - started,
+                )
 
     def _exchange(self, link: ReplicaLink, message: dict) -> dict:
         try:

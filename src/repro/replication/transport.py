@@ -15,6 +15,12 @@ two carriers:
   replicas in other processes. The server runs one thread per
   connection and serves the same handler the in-process carrier calls.
 
+Frames are schemaless JSON objects end to end: the codec round-trips
+*every* key, and receivers read with ``.get``, so a newer primary may
+stamp fields an older replica has never heard of (the ``trace``
+context, a snapshot ``encoding`` flag) without breaking the exchange —
+the compat property the mixed-version tests pin down.
+
 Every failure a carrier can produce surfaces as ``ConnectionError`` /
 ``TimeoutError``; the shipper treats both as "replica unreachable,
 retry later", never as data loss.
@@ -22,16 +28,22 @@ retry later", never as data loss.
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 import struct
 import threading
+import zlib
 from typing import Callable, Protocol
 
 from repro.faults.registry import FAULTS
 
 __all__ = ["Transport", "InProcessTransport", "SocketTransport",
-           "ReplicaServer", "send_frame", "recv_frame"]
+           "ReplicaServer", "send_frame", "recv_frame",
+           "SNAPSHOT_ENCODING", "encode_snapshot", "decode_snapshot"]
+
+SNAPSHOT_ENCODING = "zlib+b64"
+"""The frame flag marking a compressed snapshot payload."""
 
 _LENGTH = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024  # a snapshot ships as one frame
@@ -87,6 +99,40 @@ class InProcessTransport:
 
     def close(self) -> None:
         pass
+
+
+def encode_snapshot(text: str) -> tuple[str, str, int, int]:
+    """Compress a snapshot payload for the wire.
+
+    Returns ``(payload, encoding, raw_bytes, wire_bytes)``: the
+    zlib-compressed, base64-armoured payload (JSON frames cannot carry
+    raw bytes), the :data:`SNAPSHOT_ENCODING` flag to stamp next to
+    it, and the before/after byte counts for the
+    ``replication.snapshot.bytes_{raw,wire}`` counters.
+    """
+    raw = text.encode("utf-8")
+    wire = base64.b64encode(zlib.compress(raw, 6)).decode("ascii")
+    return wire, SNAPSHOT_ENCODING, len(raw), len(wire)
+
+
+def decode_snapshot(payload: str, encoding: str | None) -> str:
+    """Decode a snapshot payload per its frame flag.
+
+    A missing/empty flag means an uncompressed payload from an older
+    primary — returned as-is (read compat). An unrecognised flag is a
+    ``ValueError``: the replica must refuse rather than install
+    garbage state.
+    """
+    if not encoding:
+        return payload
+    if encoding != SNAPSHOT_ENCODING:
+        raise ValueError(f"unknown snapshot encoding {encoding!r}")
+    try:
+        return zlib.decompress(
+            base64.b64decode(payload.encode("ascii"))
+        ).decode("utf-8")
+    except (ValueError, zlib.error) as exc:
+        raise ValueError(f"corrupt snapshot payload: {exc}") from exc
 
 
 def send_frame(sock: socket.socket, message: dict) -> None:

@@ -73,7 +73,8 @@ from repro.fdb.updates import Update, UpdateSequence, apply_update
 from repro.fdb.values import Value
 from repro.obs.endpoint import MetricsEndpoint
 from repro.obs.hooks import OBS
-from repro.obs.slo import Objective, SLOMonitor
+from repro.obs.slo import (Objective, SLOMonitor,
+                           replication_lag_objective)
 from repro.service.admission import AdmissionGate
 from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.locks import EXCLUSIVE, SHARED, LockManager
@@ -199,6 +200,20 @@ class DatabaseService:
             replication.exclusive = lambda: self.locks.held(
                 (WRITE_RESOURCE,), EXCLUSIVE, timeout=self.lock_timeout
             )
+            # Lag SLO: probe the group's worst applied-seq lag at
+            # every evaluation; a sustained breach turns ``/health``
+            # into a 503 like any other alerting objective. Explicit
+            # objective lists stay as given — only the default set is
+            # widened for a replicated service.
+            if objectives is None:
+                self.slo.add_objective(replication_lag_objective())
+                self.slo.set_probe("replication.lag",
+                                   replication.worst_lag_seq)
+            else:
+                for objective in self.slo.objectives:
+                    if objective.kind == "replication_lag":
+                        self.slo.set_probe(objective.name,
+                                           replication.worst_lag_seq)
         self._stats_lock = threading.Lock()
         self._stats = {
             "reads": 0, "writes": 0, "retries": 0, "deadlocks": 0,
@@ -460,9 +475,16 @@ class DatabaseService:
         success record the op as replication-acknowledged."""
         if self.replication is None or seq is None:
             return
-        self.replication.on_commit(seq)
+        ack = self.replication.on_commit(seq)
         with self._acked_lock:
             self.acked.append((seq, update))
+        if OBS.enabled:
+            # The audit timeline's commit entry: emitted inside the
+            # request span, so the commit hangs off its pipeline in
+            # the folded DAG and carries the term it was acked under.
+            OBS.action("replication.commit_acked", seq=seq,
+                       term=self._repl_term, acks=ack.get("acks"),
+                       mode=ack.get("mode"), node=self.node)
 
     def insert(self, name: str, x: Value, y: Value, *,
                deadline: Deadline | float | None = None) -> None:

@@ -288,3 +288,32 @@ class TestComparePayloads:
             _payload(counters={"fresh": 1000}), _payload()
         )
         assert verdict["status"] == "ok"
+
+
+class TestVolatileCounters:
+    def test_latency_shaped_families_are_excluded(self):
+        from repro.bench.compare import VOLATILE_COUNTER_PREFIXES
+
+        for prefix in VOLATILE_COUNTER_PREFIXES:
+            name = prefix + "r0"
+            verdict = compare_payloads(
+                _payload(counters={name: 100_000, "chains": 100}),
+                _payload(counters={name: 100, "chains": 100}),
+            )
+            assert verdict["status"] == "ok", name
+
+    def test_deterministic_replication_counters_still_enforced(self):
+        verdict = compare_payloads(
+            _payload(counters={"replication.records_shipped": 500}),
+            _payload(counters={"replication.records_shipped": 100}),
+        )
+        assert verdict["status"] == "regression"
+
+    def test_snapshot_catch_ups_not_volatile(self):
+        # Only the byte volumes are timing-shaped; the catch-up count
+        # is a deterministic work counter and stays enforced.
+        verdict = compare_payloads(
+            _payload(counters={"replication.snapshot.catch_ups": 90}),
+            _payload(counters={"replication.snapshot.catch_ups": 30}),
+        )
+        assert verdict["status"] == "regression"

@@ -229,3 +229,104 @@ class TestPropagationDag:
         dag = propagation_dag(records)
         span_nodes = [n for n in dag.nodes if n.kind == "span"]
         assert len(span_nodes) == sum(1 for _ in last.walk())
+
+
+# -- the replication audit timeline -------------------------------------------
+
+
+def _action(order, name, **attrs):
+    return EventRecord(seq=order, ts=float(order), kind="action",
+                       name=name, attrs=attrs)
+
+
+class TestReplicationTimeline:
+    def test_folds_only_the_lifecycle_vocabulary(self):
+        from repro.obs import replication_timeline
+
+        records = [
+            _action(1, "replication.primary_attached", term=1,
+                    node="primary"),
+            _action(2, "recovery.start"),  # not replication: dropped
+            _action(3, "replication.commit_acked", seq=1, term=1,
+                    acks=2),
+            EventRecord(seq=4, ts=4.0, kind="span.end",
+                        name="replication.ship", span_id=9),
+        ]
+        timeline = replication_timeline(records)
+        assert [e.kind for e in timeline] == ["attach", "commit"]
+        commit = timeline.of_kind("commit")[0]
+        assert commit.term == 1 and commit.commit_seq == 1
+
+    def test_attrs_survive_jsonl_stringification(self, tmp_path):
+        # A FileSink round trip stringifies attr values; the fold must
+        # still type seq/term as integers.
+        from repro.obs import replication_timeline
+
+        sink = FileSink(tmp_path / "events.jsonl")
+        OBS.events.add_sink(sink)
+        OBS.enable()
+        OBS.action("replication.commit_acked", seq=7, term=2, acks=1)
+        OBS.disable()
+        OBS.events.remove_sink(sink)
+        sink.close()
+        timeline = replication_timeline(
+            read_jsonl(tmp_path / "events.jsonl"))
+        entry = timeline.of_kind("commit")[0]
+        assert entry.commit_seq == 7 and entry.term == 2
+
+    def test_fence_violations_detects_reordering(self):
+        from repro.obs import replication_timeline
+
+        clean = replication_timeline([
+            _action(1, "replication.commit_acked", seq=1, term=1),
+            _action(2, "replication.fence", old_term=1, new_term=2,
+                    fence_seq=1, chosen="r0"),
+            _action(3, "replication.commit_acked", seq=2, term=2),
+        ])
+        assert clean.fence_violations() == []
+        # An acked old-term commit at/below the fence appearing after
+        # the fence record is a reordering the audit must flag.
+        dirty = replication_timeline([
+            _action(1, "replication.fence", old_term=1, new_term=2,
+                    fence_seq=5, chosen="r0"),
+            _action(2, "replication.commit_acked", seq=3, term=1),
+        ])
+        assert dirty.fence_violations()
+
+    def test_new_term_commit_before_fence_is_flagged(self):
+        from repro.obs import replication_timeline
+
+        dirty = replication_timeline([
+            _action(1, "replication.commit_acked", seq=9, term=2),
+            _action(2, "replication.fence", old_term=1, new_term=2,
+                    fence_seq=5, chosen="r0"),
+        ])
+        assert dirty.fence_violations()
+
+    def test_to_jsonl_round_trips(self):
+        from repro.obs import replication_timeline
+
+        timeline = replication_timeline([
+            _action(1, "replication.promote", chosen="r0",
+                    applied_seq=4, old_term=1, new_term=2),
+            _action(2, "replication.rejoin", replica="old",
+                    old_term=1, fence_seq=4, records_dropped=1,
+                    rebootstrapped=False),
+        ])
+        lines = timeline.to_jsonl().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert [d["kind"] for d in decoded] == ["promote", "rejoin"]
+        assert decoded[1]["fence_seq"] == 4
+
+    def test_render_timeline_collapses_commit_runs(self):
+        from repro.obs import replication_timeline
+        from repro.obs.export import render_timeline
+
+        entries = [
+            _action(i, "replication.commit_acked", seq=i, term=1)
+            for i in range(1, 8)
+        ]
+        timeline = replication_timeline(entries)
+        text = render_timeline(timeline)
+        assert "7 commits (seq 1..7, term 1)" in text
+        assert "ORDER VIOLATED" not in text

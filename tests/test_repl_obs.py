@@ -192,3 +192,52 @@ class TestHelp:
         assert "slowlog" in HELP_TEXT
         assert "--dot" in HELP_TEXT
         assert "monitor" in HELP_TEXT
+
+
+# -- timeline -----------------------------------------------------------------
+
+
+class TestTimelineCommand:
+    def test_parse_shapes(self):
+        assert parse_statement("timeline") == ast.Timeline(None)
+        assert parse_statement('timeline "events.jsonl"') == \
+            ast.Timeline("events.jsonl")
+
+    def test_help_mentions_timeline(self):
+        assert "timeline" in HELP_TEXT
+
+    def test_first_bare_call_attaches_the_ring(self):
+        from repro.obs import RingBufferSink
+
+        interpreter = Interpreter()
+        lines = interpreter.execute("timeline")
+        assert any("recording started" in line for line in lines)
+        assert any(isinstance(sink, RingBufferSink)
+                   for sink in OBS.events.sinks)
+        # No replication activity yet: the second call says so.
+        lines = interpreter.execute("timeline")
+        assert any("no replication events" in line for line in lines)
+
+    def test_folds_a_jsonl_artifact(self, tmp_path):
+        from repro.obs import FileSink
+
+        sink = FileSink(tmp_path / "events.jsonl")
+        OBS.events.add_sink(sink)
+        OBS.enable()
+        OBS.action("replication.primary_attached", term=1,
+                   node="primary")
+        OBS.action("replication.commit_acked", seq=1, term=1, acks=2)
+        OBS.disable()
+        OBS.events.remove_sink(sink)
+        sink.close()
+        interpreter = Interpreter()
+        lines = interpreter.execute(
+            f'timeline "{tmp_path / "events.jsonl"}"')
+        text = "\n".join(lines)
+        assert "replication timeline: 2 entries" in text
+        assert "attach" in text
+
+    def test_missing_artifact_reports_cleanly(self):
+        interpreter = Interpreter()
+        lines = interpreter.execute('timeline "/no/such/events.jsonl"')
+        assert any("cannot read" in line for line in lines)

@@ -188,3 +188,80 @@ class TestTransitionNarration:
         (verdict,) = snap["objectives"]
         assert verdict["name"] == "err"
         assert "objective" in verdict
+
+
+class TestReplicationLagObjective:
+    def _monitor(self, threshold=10.0, window=60.0):
+        from repro.obs.slo import replication_lag_objective
+
+        objective = replication_lag_objective(threshold_seq=threshold,
+                                              window=window)
+        clock = FakeClock()
+        mon = SLOMonitor((objective,), clock=clock)
+        return mon, clock, objective
+
+    def test_describe(self):
+        from repro.obs.slo import replication_lag_objective
+
+        objective = replication_lag_objective(threshold_seq=256)
+        assert objective.describe() == "replication lag <= 256 seqs"
+
+    def test_probe_requires_a_known_objective(self):
+        mon, _, _ = self._monitor()
+        with pytest.raises(MetricError):
+            mon.set_probe("nope", lambda: 0.0)
+
+    def test_add_objective_rejects_duplicates(self):
+        from repro.obs.slo import replication_lag_objective
+
+        mon, _, objective = self._monitor()
+        with pytest.raises(MetricError):
+            mon.add_objective(objective)
+        assert "replication.lag" in [o.name for o in mon.objectives]
+
+    def test_level_above_threshold_alerts_and_recovers(self):
+        mon, clock, _ = self._monitor(threshold=10.0, window=60.0)
+        level = {"value": 0.0}
+        mon.set_probe("replication.lag", lambda: level["value"])
+        assert all(v.ok for v in mon.evaluate())
+        level["value"] = 500.0
+        clock.advance(1.0)
+        verdicts = mon.evaluate()
+        assert not verdicts[0].ok
+        assert "replication.lag" in mon.alerts
+        # Recovery: the breach sample must age out of the fast window
+        # (window/6 = 10s) before the alert clears.
+        level["value"] = 0.0
+        clock.advance(5.0)
+        mon.evaluate()
+        assert "replication.lag" in mon.alerts  # still inside fast
+        clock.advance(10.0)
+        mon.evaluate()
+        assert "replication.lag" not in mon.alerts
+
+    def test_none_probe_value_is_no_sample(self):
+        mon, clock, _ = self._monitor(threshold=1.0)
+        mon.set_probe("replication.lag", lambda: None)
+        for _ in range(3):
+            clock.advance(1.0)
+            verdict = mon.evaluate()[0]
+        assert verdict.ok and verdict.slow_requests == 0
+
+    def test_levels_prune_to_the_horizon(self):
+        mon, clock, _ = self._monitor(threshold=10.0, window=10.0)
+        mon.set_probe("replication.lag", lambda: 99.0)
+        mon.evaluate()
+        clock.advance(100.0)  # far past the horizon: sample pruned
+        mon.set_probe("replication.lag", lambda: 0.0)
+        verdict = mon.evaluate()[0]
+        assert verdict.ok
+
+    def test_added_objective_joins_snapshot(self):
+        from repro.obs.slo import replication_lag_objective
+
+        mon = SLOMonitor(default_objectives(), clock=FakeClock())
+        mon.add_objective(replication_lag_objective(threshold_seq=8))
+        mon.set_probe("replication.lag", lambda: 2.0)
+        snap = mon.snapshot()
+        names = [v["name"] for v in snap["objectives"]]
+        assert "replication.lag" in names
