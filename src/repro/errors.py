@@ -34,6 +34,7 @@ __all__ = [
     "ServiceClosed",
     "ReplicationError",
     "StalePrimary",
+    "LeaseExpired",
     "ReplicationTimeout",
     "StalenessUnserved",
     "ReplicaDiverged",
@@ -191,6 +192,33 @@ class StalePrimary(ReplicationError):
         )
         self.writer_term = writer_term
         self.group_term = group_term
+
+
+class LeaseExpired(StalePrimary, ServiceReadOnly):
+    """The primary's leadership lease lapsed: no quorum of the group
+    confirmed it within the validity window, so it self-demoted.
+
+    Raised on the write path *before* any WAL append, like every
+    :class:`StalePrimary` — a partitioned primary stops writing on its
+    own, which is what makes split-brain structurally impossible. Also
+    a :class:`ServiceReadOnly`: to clients the node is read-only until
+    a quorum renews the lease (same term, no fence) or a new primary
+    is elected (term fence).
+    """
+
+    def __init__(self, term: int, age: float,
+                 validity: float) -> None:
+        ReplicationError.__init__(
+            self,
+            f"leadership lease expired: term {term} was last "
+            f"quorum-confirmed {age:.3f}s ago (validity window "
+            f"{validity:.3f}s) — writes refused until a quorum renews "
+            f"or a new primary is elected"
+        )
+        self.writer_term = term
+        self.group_term = term
+        self.age = age
+        self.validity = validity
 
 
 class ReplicationTimeout(ReplicationError):

@@ -50,6 +50,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-endpoint", action="store_true",
                         help="soak without the live metrics endpoint "
                              "(skips the scrape checks)")
+    parser.add_argument("--auto-failover", action="store_true",
+                        help="with --soak --replicas: run every cell "
+                             "under lease-based leadership (heartbeat "
+                             "failure detection, coordinator-driven "
+                             "election) with clock skew and heartbeat "
+                             "loss injected; the primary-kill and "
+                             "partition cells must then fail over "
+                             "without any harness-driven promote()")
     args = parser.parse_args(argv)
 
     if not args.soak:
@@ -78,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             serve_endpoint=not args.no_endpoint,
             scrape_dir=args.scrape_dir,
+            auto_failover=args.auto_failover,
         ))
         for line in repl_report.lines():
             print(line)

@@ -38,6 +38,8 @@ __all__ = [
     "TransientError",
     "ErrorFault",
     "LatencyFault",
+    "ClockSkewFault",
+    "HeartbeatDropFault",
     "FaultRegistry",
     "FAULTS",
 ]
@@ -197,6 +199,79 @@ class LatencyFault(Fault):
     def __repr__(self) -> str:
         extra = f", times={self.times}" if self.times is not None else ""
         return f"LatencyFault({self.delay}, jitter={self.jitter}{extra})"
+
+
+class ClockSkewFault(Fault):
+    """Skew a node's monotonic clock instead of failing anything.
+
+    Fire sites (the lease layer's ``repl.lease.clock``) pass ``node``
+    and a one-element ``skew`` list; the fault adds that node's
+    configured drift to it and the clock read comes back shifted. Per
+    the lease safety argument, drifts up to the configured lease
+    ``margin`` must be harmless — the chaos soak runs its failovers
+    with the leader and one elector skewed in opposite directions.
+    """
+
+    def __init__(self, offsets: dict[str, float] | None = None, *,
+                 default: float = 0.0) -> None:
+        self.offsets = dict(offsets or {})
+        self.default = default
+
+    def trigger(self, point: str, **context) -> None:
+        sink = context.get("skew")
+        if sink is None:
+            return
+        sink[0] += self.offsets.get(context.get("node"), self.default)
+
+    def __repr__(self) -> str:
+        return f"ClockSkewFault({self.offsets}, default={self.default})"
+
+
+class HeartbeatDropFault(Fault):
+    """Drop lease heartbeats: fail the exchange with ``ConnectionError``
+    with probability ``rate``, optionally only for the named replicas
+    and at most ``times`` drops in total.
+
+    The draw stream comes from a seeded :class:`random.Random`, so a
+    soak run's heartbeat-loss schedule is reproducible. Dropped beats
+    must *not* demote a healthy primary — renewal votes also ride
+    every shipping exchange — which is exactly what arming this during
+    live traffic proves.
+    """
+
+    def __init__(self, rate: float = 1.0, *, times: int | None = None,
+                 seed: int = 0,
+                 replicas: set[str] | None = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self.times = times
+        self.remaining = times
+        self.replicas = set(replicas) if replicas is not None else None
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+
+    def trigger(self, point: str, **context) -> None:
+        replica = context.get("replica")
+        with self._lock:
+            if self.replicas is not None \
+                    and replica not in self.replicas:
+                return
+            if self.remaining is not None and self.remaining <= 0:
+                return
+            if self._rng.random() >= self.rate:
+                return
+            if self.remaining is not None:
+                self.remaining -= 1
+            self.dropped += 1
+        raise ConnectionError(
+            f"heartbeat to {replica or 'replica'} dropped at {point}"
+        )
+
+    def __repr__(self) -> str:
+        extra = f", times={self.times}" if self.times is not None else ""
+        return f"HeartbeatDropFault({self.rate}{extra})"
 
 
 @dataclass

@@ -59,7 +59,25 @@ Every cell ends with the same verdicts:
    propagation DAG (``pipeline-<cell>.dot``) and the timeline
    (``timeline-<cell>.jsonl``) are kept as CI artifacts.
 
-Run it: ``python -m repro.faults --soak --replicas 2``.
+With ``--auto-failover`` every cell additionally runs lease-based
+leadership (:mod:`repro.replication.lease`): the primary holds a
+quorum-renewed lease, each replica runs a failure detector, and a
+:class:`FailoverCoordinator
+<repro.replication.lease.FailoverCoordinator>` elects on expiry —
+while :class:`ClockSkewFault <repro.faults.registry.ClockSkewFault>`
+drifts the participants' clocks apart by the full configured margin
+and :class:`HeartbeatDropFault
+<repro.faults.registry.HeartbeatDropFault>` drops renewal beats
+underneath. The ``primary_kill`` *and* ``partition`` cells then end
+with :func:`_auto_failover_epilogue` instead of the manual one: the
+primary is isolated mid-commit and the harness only *observes* —
+self-demotion must land before the WAL (``StalePrimary``), exactly
+one election must run, no acked write may cross the fence, and the
+``promote()`` call count must equal the election count (nothing
+promoted by hand).
+
+Run it: ``python -m repro.faults --soak --replicas 2``
+(add ``--auto-failover`` for the lease/election matrix).
 """
 
 from __future__ import annotations
@@ -81,7 +99,13 @@ from repro.errors import (
     StalePrimary,
 )
 from repro.faults.harness import states_diff
-from repro.faults.registry import FAULTS, CrashFault, LatencyFault
+from repro.faults.registry import (
+    FAULTS,
+    ClockSkewFault,
+    CrashFault,
+    HeartbeatDropFault,
+    LatencyFault,
+)
 from repro.faults.soak import (
     _OUTCOMES,
     SoakConfig,
@@ -106,7 +130,13 @@ from repro.obs.events import (
     replication_timeline,
 )
 from repro.obs.hooks import OBS
-from repro.replication import CommitMode, Replica, ReplicationGroup
+from repro.replication import (
+    CommitMode,
+    FailoverCoordinator,
+    LeaseConfig,
+    Replica,
+    ReplicationGroup,
+)
 from repro.service import CircuitBreaker, DatabaseService, RetryPolicy
 
 __all__ = [
@@ -143,6 +173,16 @@ class ReplicationSoakConfig:
     jsonl: str | None = None  # default: <workdir>/replication-events.jsonl
     serve_endpoint: bool = True
     scrape_dir: str | None = None
+    # Lease-based leadership: when set, every cell runs with a
+    # quorum-renewed lease and a live FailoverCoordinator, clock skew
+    # (±margin) and heartbeat loss are injected underneath, and the
+    # primary_kill / partition epilogues expect the *coordinator* to
+    # elect the new primary — the harness never calls promote().
+    auto_failover: bool = False
+    lease_duration: float = 0.5
+    lease_margin: float = 0.1
+    lease_renew_interval: float = 0.08
+    heartbeat_drop_rate: float = 0.15
 
 
 @dataclass
@@ -157,6 +197,7 @@ class ReplicationCellReport:
     acked: int = 0
     fence_seq: int | None = None
     promotion: dict | None = None
+    elections: int = 0
     rejoin: dict | None = None
     failures: list = field(default_factory=list)
     scrape_paths: list = field(default_factory=list)
@@ -183,6 +224,7 @@ class ReplicationCellReport:
                 f"{self.promotion['applied_seq']} (term "
                 f"{self.promotion['old_term']} -> "
                 f"{self.promotion['new_term']})"
+                + (f" via automatic election" if self.elections else "")
             )
         if self.rejoin:
             out.append(
@@ -208,6 +250,7 @@ class ReplicationSoakReport:
     cells: list = field(default_factory=list)
     jsonl_path: str = ""
     promotions: int = 0
+    elections: int = 0
     fenced_writes: int = 0
     rejoins: int = 0
     failures: list = field(default_factory=list)
@@ -227,7 +270,8 @@ class ReplicationSoakReport:
         for cell in self.cells:
             out.extend(cell.lines())
         out.append(
-            f"events: {self.promotions} promotions, "
+            f"events: {self.promotions} promotions "
+            f"({self.elections} by election), "
             f"{self.fenced_writes} fenced writes, {self.rejoins} "
             f"rejoins in {self.jsonl_path}"
         )
@@ -525,6 +569,13 @@ def _scrape(service: DatabaseService, group: ReplicationGroup,
                 f"scrape {label}: no replication.lag.seq.* gauges in "
                 f"/metrics"
             )
+        if group.lease is not None and not any(
+                name.startswith("replication_lease_")
+                for name in families):
+            cell.failures.append(
+                f"scrape {label}: lease enabled but no "
+                f"replication_lease_* gauges in /metrics"
+            )
         metrics_path = dest / f"metrics-{label}.prom"
         metrics_path.write_text(body, encoding="utf-8")
         cell.scrape_paths.append(str(metrics_path))
@@ -602,7 +653,7 @@ def _verify_pipeline_coverage(cell: ReplicationCellReport, mode: str,
         )
 
 
-def _verify_timeline(cell: ReplicationCellReport, scenario: str,
+def _verify_timeline(cell: ReplicationCellReport, failover: bool,
                      records, dest: Path, label: str) -> None:
     """Fold the cell's event stream into the audit timeline, keep it
     as a JSONL artifact, and audit the fence ordering: every acked
@@ -617,8 +668,20 @@ def _verify_timeline(cell: ReplicationCellReport, scenario: str,
         cell.failures.append(
             f"timeline fence ordering violated: {problems[:3]}"
         )
-    if scenario != "primary_kill":
+    if not failover:
         return
+    if cell.elections:
+        # An automatic failover must leave the lease lifecycle in the
+        # audit trail: the expiry that triggered it and the election
+        # that resolved it.
+        if not timeline.of_kind("lease_expire"):
+            cell.failures.append(
+                "no lease_expire entry in the auto-failover timeline"
+            )
+        if not timeline.of_kind("elect"):
+            cell.failures.append(
+                "no elect entry in the auto-failover timeline"
+            )
     fences = timeline.of_kind("fence")
     if not fences:
         cell.failures.append("no fence entry in the failover timeline")
@@ -796,6 +859,157 @@ def _failover_epilogue(cell: ReplicationCellReport,
     return new_service
 
 
+def _auto_failover_epilogue(cell: ReplicationCellReport,
+                            config: ReplicationSoakConfig,
+                            group: ReplicationGroup,
+                            service: DatabaseService,
+                            primary_dir: Path,
+                            coordinator) -> DatabaseService | None:
+    """Kill the primary mid-commit and let the lease machinery fail
+    over on its own — the harness never calls ``promote()``.
+
+    Isolate the primary, force one commit through that nobody acks,
+    then *wait*: the primary must self-demote the instant its lease
+    lapses (its next write raises :exc:`StalePrimary` before touching
+    its WAL), the replica-side failure detectors must expire, and the
+    :class:`FailoverCoordinator
+    <repro.replication.lease.FailoverCoordinator>` must elect and
+    promote unprompted. A new service is stood up on the elected
+    replica, written through under the new term, and the old primary
+    rejoins as a follower."""
+    lease = group.lease
+    assert lease is not None
+    links = _links_by_name(group)
+    for link in links.values():
+        _set_partition(link, True)
+    if OBS.enabled:
+        OBS.action("soak.partition", replica="*",
+                   phase="auto_failover")
+    old_term = group.term
+    old_timeout = group.ack_timeout
+    # Time the ack wait out well inside the lease validity window so
+    # the mid-commit kill surfaces as ReplicationTimeout (durable
+    # locally, acked by nobody) rather than the later self-demotion.
+    group.ack_timeout = min(0.2, lease.config.primary_validity / 2)
+    timed_out = False
+    try:
+        service.insert("c", "C0_tail", "C1_tail", deadline=5.0)
+    except ReplicationTimeout:
+        timed_out = True
+    except ReproError as exc:
+        cell.failures.append(
+            f"isolated-primary write failed unexpectedly: {exc!r}"
+        )
+    finally:
+        group.ack_timeout = old_timeout
+    if not timed_out:
+        cell.failures.append(
+            "isolated-primary commit did not raise ReplicationTimeout"
+        )
+    acked = service.acked_ops()
+
+    # Self-demotion: once a quorum can no longer renew the lease, the
+    # primary must refuse writes *before* any election has run and
+    # *before* the update reaches its WAL.
+    horizon = lease.config.detector_horizon
+    deadline = time.monotonic() + horizon + 5.0
+    while not group.leaderless() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    if not group.leaderless():
+        cell.failures.append("isolated primary never self-demoted")
+        return None
+    wal_before = (service.logged.log.last_seq()
+                  if service.logged is not None else None)
+    try:
+        service.insert("c", "C0_deposed", "C1_deposed", deadline=5.0)
+        cell.failures.append(
+            "deposed primary wrote after lease expiry "
+            "(no self-demotion)"
+        )
+    except StalePrimary:
+        pass
+    except ReproError as exc:
+        cell.failures.append(
+            f"deposed write raised {exc!r}, wanted StalePrimary"
+        )
+    if wal_before is not None and service.logged is not None \
+            and service.logged.log.last_seq() != wal_before:
+        cell.failures.append(
+            "deposed write reached the old primary's WAL"
+        )
+
+    # The election: the coordinator must run it unprompted.
+    deadline = time.monotonic() + horizon + 5.0
+    while not coordinator.elections \
+            and time.monotonic() < deadline:
+        time.sleep(0.01)
+    if not coordinator.elections:
+        cell.failures.append(
+            "no automatic election inside the detection window"
+        )
+        return None
+    promotion = coordinator.elections[-1]
+    cell.promotion = promotion.as_dict()
+    cell.elections = len(coordinator.elections)
+    if cell.elections != 1:
+        cell.failures.append(
+            f"{cell.elections} elections ran, expected exactly one"
+        )
+    fence = group.fence_seq(old_term)
+    cell.fence_seq = fence
+    lost = [seq for seq, _ in acked if seq > fence]
+    if lost:
+        cell.failures.append(
+            f"acked commits past the fence (lost by failover): {lost}"
+        )
+
+    # Post-election the old term stays fenced (StalePrimary from the
+    # term check now, not just the lapsed lease) — exactly one writer.
+    try:
+        service.insert("c", "C0_deposed2", "C1_deposed2", deadline=5.0)
+        cell.failures.append(
+            "deposed primary wrote after the election (no fence)"
+        )
+    except StalePrimary:
+        pass
+    except ReproError as exc:
+        cell.failures.append(
+            f"post-election deposed write raised {exc!r}, wanted "
+            f"StalePrimary"
+        )
+    service.close(timeout=10.0)
+
+    chosen = group.replica(promotion.chosen)
+    group.remove_replica(promotion.chosen)
+    new_service = DatabaseService(
+        chosen.db,
+        log=UpdateLog(chosen.wal_path),
+        lock_timeout=config.lock_timeout,
+        replication=group,
+        node=chosen.name,
+        seed=config.seed + 1,
+    )
+    for index in range(5):
+        try:
+            new_service.insert("c", "C0_post", f"C1_post{index}",
+                               deadline=5.0)
+        except ReproError as exc:
+            cell.failures.append(f"post-failover write failed: {exc!r}")
+            break
+
+    old_primary = Replica("old-primary", primary_dir)
+    try:
+        rejoin = group.rejoin(old_primary, old_term)
+        cell.rejoin = rejoin.as_dict()
+        if rejoin.records_dropped < 1 and not rejoin.rebootstrapped:
+            cell.failures.append(
+                "rejoin dropped no records despite the unacked tail"
+            )
+    except ReproError as exc:
+        cell.failures.append(f"rejoin failed: {exc!r}")
+    return new_service
+
+
 # -- one cell -----------------------------------------------------------------
 
 
@@ -823,6 +1037,18 @@ def _run_cell(mode: str, scenario: str,
         mode, ack_timeout=config.ack_timeout, retry_interval=0.01,
         journal=True,
     )
+    lease_mgr = None
+    coordinator = None
+    if config.auto_failover:
+        # Enabled before the service attaches so the very first term
+        # is lease-granted; the coordinator starts once the replicas
+        # exist below.
+        lease_mgr = group.enable_lease(LeaseConfig(
+            duration=config.lease_duration,
+            margin=config.lease_margin,
+            renew_interval=config.lease_renew_interval,
+            check_interval=0.02,
+        ))
     service = DatabaseService(
         db,
         log=wal_path,
@@ -840,6 +1066,24 @@ def _run_cell(mode: str, scenario: str,
     names = [f"r{i}" for i in range(config.replicas)]
     for name in names:
         group.add_replica(name, Replica(name, cell_dir / name))
+    if config.auto_failover:
+        assert lease_mgr is not None
+        coordinator = FailoverCoordinator(group, lease_mgr.config)
+        for name in names:
+            coordinator.watch(group.replica(name))
+        lease_mgr.start()
+        coordinator.start()
+        # Clock skew out to the configured drift margin — the primary
+        # runs fast, one replica slow — plus lossy heartbeats: lease
+        # safety must not depend on comparable clocks or a reliable
+        # beat stream.
+        FAULTS.arm("repl.lease.clock", ClockSkewFault(offsets={
+            "primary": config.lease_margin,
+            names[0]: -config.lease_margin,
+        }))
+        FAULTS.arm("repl.lease.heartbeat", HeartbeatDropFault(
+            rate=config.heartbeat_drop_rate, seed=config.seed,
+        ))
 
     # A per-cell record stream: the process-wide soak JSONL interleaves
     # every cell (and the primary's WAL seq restarts between them), so
@@ -915,9 +1159,25 @@ def _run_cell(mode: str, scenario: str,
         cell.acked = len(acked_pairs)
         active = service
         primary_db = db
-        if scenario == "primary_kill":
-            new_service = _failover_epilogue(cell, config, group,
-                                             service, primary_dir)
+        # With auto-failover on, the partition cells fail over too —
+        # the kill then happens on a group whose links just spent the
+        # whole workload flapping.
+        failover = scenario == "primary_kill" or (
+            config.auto_failover and scenario == "partition"
+        )
+        if failover:
+            if config.auto_failover:
+                # Deterministic epilogue timing: stop dropping beats,
+                # but leave the clock skew in — expiry, election and
+                # fencing must hold under drift up to the margin.
+                FAULTS.disarm("repl.lease.heartbeat")
+                new_service = _auto_failover_epilogue(
+                    cell, config, group, service, primary_dir,
+                    coordinator,
+                )
+            else:
+                new_service = _failover_epilogue(cell, config, group,
+                                                 service, primary_dir)
             if new_service is None:
                 return cell
             active = new_service
@@ -939,7 +1199,7 @@ def _run_cell(mode: str, scenario: str,
             cell.failures.append(
                 f"replicas never settled: {verdict['lagging']}"
             )
-        if scenario != "primary_kill":
+        if cell.promotion is None:
             # Valid only without a failover: after one, the old
             # primary's committed log includes the fenced-away tail.
             _verify_replay(cell, config, service.committed_ops(),
@@ -956,6 +1216,12 @@ def _run_cell(mode: str, scenario: str,
         stop.set()
         FAULTS.disarm("repl.transport.deliver")
         FAULTS.disarm("repl.replica.apply")
+        if coordinator is not None:
+            coordinator.stop()
+        if lease_mgr is not None:
+            lease_mgr.stop()
+        FAULTS.disarm("repl.lease.clock")
+        FAULTS.disarm("repl.lease.heartbeat")
         try:
             service.close(timeout=5.0)
         except ReproError:
@@ -984,7 +1250,8 @@ def _run_cell(mode: str, scenario: str,
             return cell
         _verify_pipeline_coverage(cell, mode, config.replicas, records,
                                   acked_pairs)
-        _verify_timeline(cell, scenario, records, scrape_dir, label)
+        _verify_timeline(cell, cell.promotion is not None, records,
+                         scrape_dir, label)
         _write_pipeline_dot(cell, records, acked_pairs, scrape_dir,
                             label)
     return cell
@@ -1033,8 +1300,23 @@ def run_replication_soak(
                    if r.kind == "action" and r.name == name)
 
     report.promotions = actions("replication.promote")
+    report.elections = actions("replication.elected")
     report.fenced_writes = actions("replication.write_fenced")
     report.rejoins = actions("replication.rejoin")
+    if config.auto_failover:
+        expected = sum(1 for _ in config.modes
+                       for s in config.scenarios
+                       if s in ("primary_kill", "partition"))
+        if report.elections < expected:
+            report.failures.append(
+                f"event log shows {report.elections} elections for "
+                f"{expected} auto-failover cells"
+            )
+        if report.promotions != report.elections:
+            report.failures.append(
+                f"{report.promotions} promotions vs {report.elections}"
+                f" elections: a promotion ran outside the coordinator"
+            )
     if "primary_kill" in config.scenarios:
         kills = sum(1 for mode in config.modes
                     for s in config.scenarios if s == "primary_kill")

@@ -260,6 +260,21 @@ class Timeline(Statement):
 
 
 @dataclass(frozen=True)
+class Promote(Statement):
+    """``promote [NAME]`` — manual failover of the attached
+    replication group.
+
+    With a replica name, promotes that replica; bare ``promote`` lets
+    the group pick the freshest one. The manual path coexists with
+    lease-based automatic elections: both go through the same monotone
+    term fence, so whichever promotion lands second simply fences the
+    other's term — there is no split-brain window either way.
+    """
+
+    name: str | None = None
+
+
+@dataclass(frozen=True)
 class Resolve(Statement):
     """``resolve`` — run FD-driven null resolution."""
 

@@ -86,6 +86,8 @@ Inspection:
   timeline               replication audit timeline (fences, commits,
                          promotions); first call starts recording
   timeline "path"        fold a JSONL event artifact instead
+  promote [name]         manual failover of the attached replication
+                         group (fenced; coexists with auto elections)
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -133,6 +135,7 @@ class Interpreter:
         self._notice = on_notice
         self.deadline_seconds: float | None = None
         self.monitor_endpoint = None  # MetricsEndpoint from 'monitor serve'
+        self.replication = None  # ReplicationGroup attached by embedder
 
     # -- public API ----------------------------------------------------------
 
@@ -681,6 +684,25 @@ class Interpreter:
             return ["(no replication events recorded -- the timeline "
                     "fills once a replication group ships commits)"]
         return render_timeline(timeline).splitlines()
+
+    def _run_promote(self, statement: ast.Promote) -> list[str]:
+        group = self.replication
+        if group is None:
+            return ["promote: no replication group attached -- embed "
+                    "the interpreter with interp.replication = group"]
+        report = group.promote(statement.name)
+        output = [f"promote: {report}"]
+        if group.lease is not None:
+            output.append(
+                "promote: automatic elections stay armed -- the manual "
+                f"term {report.new_term} fences the old leadership "
+                "either way"
+            )
+        output.append(
+            f"promote: attach the new primary on {report.chosen!r} to "
+            f"claim term {report.new_term} (attach_primary consumes it)"
+        )
+        return output
 
     def _run_deadlinecmd(self, statement: ast.DeadlineCmd) -> list[str]:
         if statement.mode == "set":

@@ -13,6 +13,7 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "deadline" [ NUMBER | "off" ]
                 | "monitor" [ "serve" [ NUMBER ] | "stop" ]
                 | "timeline" [ STRING ]
+                | "promote" [ NAME | STRING ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -130,6 +131,7 @@ class _Parser:
             "deadline": self._parse_deadline,
             "monitor": self._parse_monitor,
             "timeline": self._parse_timeline,
+            "promote": self._parse_promote,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -488,6 +490,13 @@ class _Parser:
         if self.current.kind == "STRING":
             path = self._advance().text
         return ast.Timeline(path)
+
+    def _parse_promote(self) -> ast.Promote:
+        self._advance()  # promote
+        name: str | None = None
+        if self.current.kind in ("NAME", "STRING"):
+            name = self._advance().text
+        return ast.Promote(name)
 
     # -- values ------------------------------------------------------------------------------
 

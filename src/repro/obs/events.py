@@ -409,6 +409,10 @@ _TIMELINE_KINDS = {
     "replication.catch_up": "catch_up",
     "replication.snapshot_bootstrap": "snapshot_bootstrap",
     "replication.snapshot_installed": "snapshot_install",
+    "replication.lease_granted": "lease_grant",
+    "replication.lease_renewed": "lease_renew",
+    "replication.lease_expired": "lease_expire",
+    "replication.elected": "elect",
 }
 
 

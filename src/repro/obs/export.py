@@ -204,6 +204,20 @@ def render_monitor(metrics: dict, *, slo: dict | None = None,
                 counters.get("replication.rejoins", 0),
             )
         )
+        lease_held = gauges.get("replication.lease.held")
+        if lease_held is not None:
+            lines.append(
+                "  lease: {} ({:g}s left, quorum {:g}), "
+                "{} renewals, {} expiries, {} elections".format(
+                    "HELD" if lease_held else "LAPSED",
+                    gauges.get("replication.lease.remaining_seconds",
+                               0.0),
+                    gauges.get("replication.lease.needed_acks", 0),
+                    counters.get("replication.lease.renewals", 0),
+                    counters.get("replication.lease.expiries", 0),
+                    counters.get("replication.elections", 0),
+                )
+            )
         snap_raw = counters.get("replication.snapshot.bytes_raw", 0)
         snap_wire = counters.get("replication.snapshot.bytes_wire", 0)
         if snap_raw:
@@ -351,6 +365,18 @@ def render_replication(replication: dict, *,
     if not replication.get("servable", True):
         head += " — STALENESS UNSERVABLE"
     lines = [head]
+    lease = replication.get("lease")
+    if lease:
+        state = "HELD" if lease.get("held") else (
+            "LAPSED" if lease.get("granted") else "not granted")
+        row = f"  lease: {state}"
+        if lease.get("remaining_seconds") is not None:
+            row += f", {lease['remaining_seconds']:g}s left"
+        row += (f" (quorum {lease.get('needed_acks', '?')}, "
+                f"{lease.get('acks', 0)} fresh acks, "
+                f"duration {lease.get('duration', '?')}s "
+                f"± {lease.get('margin', '?')}s)")
+        lines.append(row)
     for name, info in sorted(replication.get("replicas", {}).items()):
         row = (
             f"  {name}: acked seq {info.get('acked_seq', 0)}, "
@@ -441,6 +467,24 @@ def render_timeline(timeline) -> str:
             "ack_timeout": lambda e: f"seq {e.commit_seq} got "
                                      f"{e.attrs.get('acks', '?')}/"
                                      f"{e.attrs.get('needed', '?')} acks",
+            "lease_grant": lambda e:
+                f"node {e.attrs.get('node', '?')} term {e.term} "
+                f"(duration {e.attrs.get('duration', '?')}s "
+                f"± {e.attrs.get('margin', '?')}s)",
+            "lease_renew": lambda e: f"term {e.term}, "
+                                     f"{e.attrs.get('acks', '?')} acks"
+                                     + (" (recovered)"
+                                        if e.attrs.get("recovered")
+                                        else ""),
+            "lease_expire": lambda e:
+                f"term {e.term} silent {e.attrs.get('age', '?')}s "
+                f"({e.attrs.get('acks', '?')}/"
+                f"{e.attrs.get('needed_acks', '?')} votes) — "
+                f"self-demoted",
+            "elect": lambda e: f"{e.replica} elected at seq "
+                               f"{e.attrs.get('applied_seq', '?')} "
+                               f"({e.attrs.get('votes', '?')} expiry "
+                               f"votes)",
         }.get(entry.kind, lambda e: "")
         lines.append(
             f"  #{entry.order:<6} {entry.kind:<18} {detail(entry)}"

@@ -1,5 +1,6 @@
 """WAL-shipping replication: primary/replica roles, commit modes,
-epoch-fenced failover, and bounded-staleness reads.
+epoch-fenced failover, lease-based leadership, and bounded-staleness
+reads.
 
 Layering (see docs/REPLICATION.md):
 
@@ -12,7 +13,10 @@ Layering (see docs/REPLICATION.md):
   ranges out of the primary's :class:`repro.fdb.wal.UpdateLog`;
 * :mod:`repro.replication.group` — the control plane: ``async`` /
   ``sync(k)`` / ``quorum`` commit modes, the monotone term fence,
-  promotion, rejoin repair, catch-up and staleness-bounded reads.
+  promotion, rejoin repair, catch-up and staleness-bounded reads;
+* :mod:`repro.replication.lease` — leadership liveness: the
+  quorum-renewed lease, heartbeat failure detection, and the
+  coordinator that elects and promotes without an operator.
 """
 
 from repro.replication.group import (
@@ -21,6 +25,13 @@ from repro.replication.group import (
     PromotionReport,
     RejoinReport,
     ReplicationGroup,
+)
+from repro.replication.lease import (
+    FailoverCoordinator,
+    FailureDetector,
+    LeaseClock,
+    LeaseConfig,
+    LeaseManager,
 )
 from repro.replication.replica import Replica
 from repro.replication.shipper import (
@@ -38,7 +49,12 @@ from repro.replication.transport import (
 __all__ = [
     "CatchUpReport",
     "CommitMode",
+    "FailoverCoordinator",
+    "FailureDetector",
     "InProcessTransport",
+    "LeaseClock",
+    "LeaseConfig",
+    "LeaseManager",
     "PromotionReport",
     "RejoinReport",
     "Replica",

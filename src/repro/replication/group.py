@@ -239,6 +239,7 @@ class ReplicationGroup:
         # taken unguarded (single-threaded harnesses).
         self.exclusive = None
         self._logged = None
+        self._lease = None  # LeaseManager once enable_lease() ran
         self._replicas: dict[str, Replica] = {}
         self._fences: dict[int, int] = {}  # deposed term -> fence seq
         self._pending_term: int | None = None
@@ -277,6 +278,9 @@ class ReplicationGroup:
                 if old._journal is not None:
                     self.shipper._journal = old._journal
                     self.shipper._journal_through = old._journal_through
+            if self._lease is not None:
+                self.shipper.lease = self._lease
+                self._lease.grant(term)
             if OBS.enabled:
                 OBS.gauge("replication.term", term)
                 OBS.action("replication.primary_attached",
@@ -285,17 +289,55 @@ class ReplicationGroup:
 
     def check_primary(self, token: int) -> None:
         """The epoch fence: raise :exc:`StalePrimary` unless ``token``
-        is the group's current term. Called on the primary's write
-        path *before* the WAL append."""
+        is the group's current term *and* (with a lease enabled) a
+        quorum confirmed this leadership inside the lease's validity
+        window. Called on the primary's write path *before* the WAL
+        append — a deposed or leaderless primary never reaches its
+        log."""
         with self._lock:
             current = self.term
             deposed = (token != current or self._pending_term is not None)
+            lease = self._lease
         if deposed:
             if OBS.enabled:
                 OBS.inc("replication.fenced_writes")
                 OBS.action("replication.write_fenced",
                            writer_term=token, group_term=current)
             raise StalePrimary(token, current)
+        if lease is not None:
+            lease.check()  # raises LeaseExpired once the lease lapsed
+
+    def enable_lease(self, config=None, *, clock=None):
+        """Turn on lease-based leadership for this group: subsequent
+        shipper exchanges carry heartbeat stamps and count as renewal
+        votes, and :meth:`check_primary` additionally self-demotes a
+        primary whose lease lapsed. Returns the :class:`LeaseManager
+        <repro.replication.lease.LeaseManager>` (start its renewer for
+        idle-primary heartbeats)."""
+        from repro.replication.lease import LeaseConfig, LeaseManager
+        with self._lock:
+            if self._lease is None:
+                self._lease = LeaseManager(
+                    self, config or LeaseConfig(), clock=clock
+                )
+            if self.shipper is not None:
+                self.shipper.lease = self._lease
+            if self._logged is not None:
+                self._lease.grant(self.term)
+            return self._lease
+
+    @property
+    def lease(self):
+        """The group's :class:`LeaseManager`, or ``None``."""
+        return self._lease
+
+    def leaderless(self) -> bool:
+        """True when lease-based leadership is on and no node can
+        currently prove leadership — the service layer fails writes
+        fast (:exc:`LeaseExpired` is a :exc:`ServiceReadOnly`) instead
+        of queueing them behind locks."""
+        lease = self._lease
+        return lease is not None and not lease.held()
 
     # -- membership ---------------------------------------------------------
 
@@ -568,6 +610,12 @@ class ReplicationGroup:
             self._fences[old_term] = applied
             self._pending_term = new_term
             self.term = new_term
+            if self._lease is not None:
+                # The deposed term's lease dies with the promotion —
+                # the polls this election just ran (and any late acks)
+                # must not renew it; attach_primary re-grants for the
+                # new term.
+                self._lease.revoke()
             shipper.remove(chosen)
             # Surviving links must not carry acks — or history — past
             # the fence into the new term. A replica whose applied
@@ -833,7 +881,7 @@ class ReplicationGroup:
                  or info["lag_seconds"] <= max_lag_seconds)
             for info in lags.values()
         )
-        return {
+        out = {
             "role": "primary",
             "node": self.primary_name,
             "term": self.term,
@@ -846,6 +894,9 @@ class ReplicationGroup:
             "servable": servable,
             "pipeline": self.pipeline_stats(),
         }
+        if self._lease is not None:
+            out["lease"] = self._lease.status()
+        return out
 
     def _require_shipper(self) -> WalShipper:
         shipper = self.shipper

@@ -73,6 +73,9 @@ class Replica:
         self.term = 0
         self.crashed = False
         self.diverged = False
+        # Attached by FailoverCoordinator.watch(): tracks lease expiry
+        # from the heartbeat stamps observed on incoming frames.
+        self.failure_detector = None
         self._lock = threading.RLock()
         self._last_progress = time.monotonic()
 
@@ -123,6 +126,13 @@ class Replica:
         """Serve one shipper request (see module docstring)."""
         if self.crashed:
             raise ConnectionError(f"replica {self.name} is down")
+        lease = message.get("lease")
+        detector = self.failure_detector
+        if lease is not None and detector is not None:
+            # Any frame from a live leader is a heartbeat: feed the
+            # failure detector before dispatch (a crashed replica
+            # hears nothing — the check above already threw).
+            detector.observe(lease)
         kind = message.get("type")
         if kind == "append":
             return self._handle_append(message)

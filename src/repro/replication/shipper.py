@@ -91,6 +91,10 @@ class WalShipper:
         self.log = log
         self.term = term
         self.batch_limit = batch_limit
+        # Set by ReplicationGroup.enable_lease(): when present, every
+        # outbound frame carries a heartbeat stamp and every ok reply
+        # counts as a lease renewal vote (piggybacked heartbeats).
+        self.lease = None
         self._links: dict[str, ReplicaLink] = {}
         self._lock = threading.Lock()
         self._journal: list[tuple[int, str]] | None = \
@@ -273,10 +277,12 @@ decode_snapshot`.
         return link.acked_seq
 
     def poll_status(self, link: ReplicaLink) -> dict | None:
-        """The replica's own view, or ``None`` if unreachable."""
+        """The replica's own view, or ``None`` if unreachable. Status
+        polls ride the same lease-stamped exchange as shipping, so a
+        healthy poll also renews the lease."""
         try:
-            reply = link.transport.request({"type": "status"})
-        except (ConnectionError, TimeoutError, OSError):
+            reply = self._exchange(link, {"type": "status"})
+        except ConnectionError:
             return None
         if not reply.get("ok"):
             return None
@@ -318,10 +324,22 @@ decode_snapshot`.
                 )
 
     def _exchange(self, link: ReplicaLink, message: dict) -> dict:
+        # Piggyback the lease heartbeat: stamp the frame, and time the
+        # renewal vote from *before* the request goes out so a slow
+        # round trip shortens the lease instead of stretching it.
+        lease = self.lease
+        started = 0.0
+        if lease is not None:
+            message = dict(message)
+            message["lease"] = lease.heartbeat_frame()
+            started = lease.clock()
         try:
-            return link.transport.request(message)
+            reply = link.transport.request(message)
         except (ConnectionError, TimeoutError, OSError) as exc:
             link.note_error(str(exc))
             if OBS.enabled:
                 OBS.inc("replication.ship_errors")
             raise ConnectionError(str(exc)) from exc
+        if lease is not None and reply.get("ok"):
+            lease.note_ack(link.name, started)
+        return reply

@@ -181,13 +181,34 @@ class SocketTransport:
     One persistent connection, re-established on the next request
     after any failure; the protocol is one-request-one-reply, so a
     reconnect can never interleave frames.
+
+    ``connect_timeout`` / ``send_timeout`` / ``recv_timeout`` bound
+    each phase of an exchange (all default to ``timeout``): a silently
+    dead peer — SYN black hole, send buffer that never drains, reply
+    that never comes — surfaces as :exc:`TimeoutError` within the
+    bound instead of blocking the shipper (and the lease renewer, and
+    therefore the failure detectors) forever. A timed-out exchange
+    drops the connection: the reply may still arrive later, and
+    reading it against the *next* request would desynchronise the
+    framing. The shipper treats the error as retryable-unreachable,
+    the same as any ``ConnectionError`` — and a heartbeat lost to it
+    counts toward lease expiry like any other missed beat.
     """
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float = 5.0, name: str | None = None) -> None:
+                 timeout: float = 5.0, name: str | None = None,
+                 connect_timeout: float | None = None,
+                 send_timeout: float | None = None,
+                 recv_timeout: float | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout \
+            if connect_timeout is not None else timeout
+        self.send_timeout = send_timeout \
+            if send_timeout is not None else timeout
+        self.recv_timeout = recv_timeout \
+            if recv_timeout is not None else timeout
         self.name = name or f"{host}:{port}"
         self.partitioned = False
         self._sock: socket.socket | None = None
@@ -199,8 +220,15 @@ class SocketTransport:
         with self._lock:
             try:
                 sock = self._connect()
+                sock.settimeout(self.send_timeout)
                 send_frame(sock, message)
+                sock.settimeout(self.recv_timeout)
                 reply = recv_frame(sock)
+            except TimeoutError as exc:
+                self._drop()
+                raise TimeoutError(
+                    f"exchange with {self.name} timed out: {exc}"
+                ) from exc
             except (OSError, ConnectionError) as exc:
                 self._drop()
                 raise ConnectionError(
@@ -215,9 +243,19 @@ class SocketTransport:
 
     def _connect(self) -> socket.socket:
         if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
             )
+            if sock.getsockname() == sock.getpeername():
+                # Linux TCP simultaneous-open quirk: connecting to a
+                # *free* port in the ephemeral range can connect the
+                # socket to itself, and every frame we send would echo
+                # back as its own reply. Refuse it like any dead peer.
+                sock.close()
+                raise ConnectionError(
+                    f"self-connection to {self.name} (no listener)"
+                )
+            self._sock = sock
         return self._sock
 
     def _drop(self) -> None:
@@ -242,13 +280,22 @@ class ReplicaServer:
     becomes an ``{"ok": False, "error": ...}`` reply, never a dropped
     connection — transport failures must stay distinguishable from
     replica refusals.
+
+    ``idle_timeout`` (seconds; ``None`` keeps the historical
+    wait-forever behaviour) bounds how long a connection thread blocks
+    on the next frame: a client that died without closing — or that
+    stalls mid-frame — gets its connection reaped instead of pinning a
+    server thread forever. Clients reconnect transparently on their
+    next request.
     """
 
     def __init__(self, handler: Callable[[dict], dict], *,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 idle_timeout: float | None = None) -> None:
         self._handler = handler
         self.host = host
         self.port = port
+        self.idle_timeout = idle_timeout
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = False
@@ -269,21 +316,29 @@ class ReplicaServer:
         return self
 
     def _accept_loop(self) -> None:
-        assert self._listener is not None
+        listener = self._listener
+        assert listener is not None
         while self._running:
             try:
-                conn, _ = self._listener.accept()
+                conn, _ = listener.accept()
             except OSError:
-                return  # listener closed by stop()
+                return  # listener shut down by stop()
+            if not self._running:
+                conn.close()
+                return
             threading.Thread(
                 target=self._serve, args=(conn,), daemon=True,
             ).start()
 
     def _serve(self, conn: socket.socket) -> None:
         with conn:
+            if self.idle_timeout is not None:
+                conn.settimeout(self.idle_timeout)
             while True:
                 try:
                     message = recv_frame(conn)
+                except TimeoutError:
+                    return  # idle or half-dead client: reap the thread
                 except ConnectionError:
                     return
                 if message is None:
@@ -300,15 +355,35 @@ class ReplicaServer:
 
     def stop(self) -> None:
         self._running = False
-        if self._listener is not None:
+        listener = self._listener
+        if listener is not None:
+            # close() alone does not wake a thread blocked in
+            # accept() — the kernel keeps the socket (and the bound
+            # port) alive until the accept returns, so a connect
+            # racing in right after stop() would still be served.
+            # shutdown() forces the accept out first.
             try:
-                self._listener.close()
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                listener.close()
             except OSError:
                 pass
             self._listener = None
+        thread = self._accept_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=2.0)
+            self._accept_thread = None
 
     def transport(self, *, timeout: float = 5.0,
-                  name: str | None = None) -> SocketTransport:
+                  name: str | None = None,
+                  connect_timeout: float | None = None,
+                  send_timeout: float | None = None,
+                  recv_timeout: float | None = None) -> SocketTransport:
         """A client transport pointed at this server."""
         return SocketTransport(self.host, self.port,
-                               timeout=timeout, name=name)
+                               timeout=timeout, name=name,
+                               connect_timeout=connect_timeout,
+                               send_timeout=send_timeout,
+                               recv_timeout=recv_timeout)

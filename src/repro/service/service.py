@@ -421,6 +421,13 @@ class DatabaseService:
                     limit: Deadline | None) -> int | None:
         """One write attempt; returns the WAL sequence number of the
         commit (None without a log)."""
+        # Leaderless fast-fail: with a lapsed leadership lease there is
+        # no point queueing behind the write lock — surface the
+        # self-demotion (LeaseExpired: a StalePrimary *and* a
+        # ServiceReadOnly) before taking anything. The fence below
+        # still guards the logged path itself.
+        if self.replication is not None and self.replication.leaderless():
+            self.replication.check_primary(self._repl_term)
         gated = self.logged is not None
         if gated:
             self.breaker.allow()
@@ -550,6 +557,9 @@ class DatabaseService:
 
     def _rmw_once(self, names: tuple[str, ...], build,
                   limit: Deadline | None):
+        # Same leaderless fast-fail as _write_once, before any lock.
+        if self.replication is not None and self.replication.leaderless():
+            self.replication.check_primary(self._repl_term)
         clusters = self._clusters_for(names)
         me = threading.get_ident()
         try:
@@ -729,6 +739,14 @@ class DatabaseService:
                 # Bounded-staleness reads cannot be served: surface
                 # the outage as a 503 rather than silent stale data.
                 verdict["healthy"] = False
+            lease = repl.get("lease")
+            if lease is not None:
+                verdict["leaderless"] = not lease["held"]
+                if not lease["held"]:
+                    # The lease lapsed: writes are being refused
+                    # (LeaseExpired) until a quorum renews or a new
+                    # primary is elected — that is an outage.
+                    verdict["healthy"] = False
         return verdict
 
     # -- reporting ----------------------------------------------------------
