@@ -2,9 +2,9 @@
 
 Usage::
 
-    python -m repro.bench                 # full E1–E18 suite
+    python -m repro.bench                 # full E1–E19 suite
     python -m repro.bench e4 e10          # a named subset
-    python -m repro.bench --smoke         # scaled-down E4/E10/E15/E16/E18 (CI)
+    python -m repro.bench --smoke         # scaled-down E4/E10/E15/E16/E18/E19 (CI)
     python -m repro.bench --list          # what exists
 
 Each selected bench runs through :func:`repro.bench.runner.run_bench`,
@@ -36,7 +36,7 @@ from repro.bench.runner import (
 )
 from repro.bench.scale import ENV_VAR, scale_factor
 
-SMOKE_EXPS = ("e4", "e10", "e15", "e16", "e18")
+SMOKE_EXPS = ("e4", "e10", "e15", "e16", "e18", "e19")
 SMOKE_SCALE = 0.25
 
 
@@ -54,11 +54,11 @@ def _repo_root() -> Path:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the E1-E18 benches with metric snapshots and "
+        description="Run the E1-E19 benches with metric snapshots and "
                     "a regression comparison.",
     )
     parser.add_argument("exps", nargs="*",
-                        help="experiment keys (e1..e18); default all")
+                        help="experiment keys (e1..e19); default all")
     parser.add_argument("--smoke", action="store_true",
                         help=f"scaled-down {'/'.join(SMOKE_EXPS)} at "
                              f"scale {SMOKE_SCALE} (CI smoke job)")

@@ -1,4 +1,4 @@
-"""Discovery and execution of the E1–E18 benches without pytest.
+"""Discovery and execution of the E1–E19 benches without pytest.
 
 The bench modules under ``benchmarks/`` are pytest files using exactly
 two fixtures — ``benchmark`` (pytest-benchmark's callable protocol)

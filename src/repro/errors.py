@@ -32,6 +32,7 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceReadOnly",
     "ServiceClosed",
+    "CrossShardError",
     "ReplicationError",
     "StalePrimary",
     "LeaseExpired",
@@ -169,6 +170,15 @@ class ServiceReadOnly(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service is draining or closed and accepts no new requests."""
+
+
+class CrossShardError(ServiceError):
+    """An operation crossed shard-lane boundaries where the sharded
+    facade guarantees none (e.g. read-modify-write over clusters owned
+    by different shards, or a single-lane read spanning shards).
+    Callers should use the facade's scatter-gather or multi-shard
+    write paths, which carry weaker guarantees — see
+    ``docs/SHARDING.md``."""
 
 
 class ReplicationError(ServiceError):

@@ -17,6 +17,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--soak", action="store_true",
                         help="run the concurrent chaos soak instead of "
                              "the crash matrix")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="with --soak: run the sharded-keyspace "
+                             "soak (parallel per-shard write lanes, "
+                             "multi-shard global-lane writes, "
+                             "scatter-gather reads) across this many "
+                             "lanes; combine with --replicas R for a "
+                             "replication group per lane and "
+                             "--auto-failover for a leased shard-0 "
+                             "lane failed over by election mid-run")
     parser.add_argument("--replicas", type=int, default=0,
                         help="with --soak: run the replication soak "
                              "(partition / replica-crash / "
@@ -64,6 +73,25 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.harness import main as matrix_main
 
         return matrix_main()
+
+    if args.shards > 0:
+        from repro.faults.shard import ShardSoakConfig, run_shard_soak
+
+        shard_report = run_shard_soak(ShardSoakConfig(
+            shards=args.shards,
+            threads=args.threads,
+            ops_per_thread=args.ops,
+            seed=args.seed,
+            replicas=args.replicas,
+            auto_failover=args.auto_failover,
+            jsonl=args.jsonl,
+            faults=not args.no_faults,
+            serve_endpoint=not args.no_endpoint,
+            scrape_dir=args.scrape_dir,
+        ))
+        for line in shard_report.lines():
+            print(line)
+        return 0 if shard_report.ok else 1
 
     if args.replicas > 0:
         from repro.faults.replication import (

@@ -102,6 +102,10 @@ class FunctionalDatabase:
         self._derived: dict[str, DerivedFunction] = {}
         self.nulls = NullFactory()
         self.ncs = NCRegistry(self.table)
+        # Bumped on every schema-shaping declaration so derived caches
+        # (the service's cluster map, shard routing tables) can
+        # invalidate on change instead of probing for staleness.
+        self.schema_version = 0
         # One open transaction per database: the snapshot/restore model
         # covers the whole instance, so overlapping snapshots (from a
         # second thread, or a nested ``with db.transaction():``) would
@@ -117,6 +121,7 @@ class FunctionalDatabase:
         self.schema.add(function)
         table = FunctionTable(function.name)
         self._tables[function.name] = table
+        self.schema_version += 1
         return table
 
     def declare_derived(
@@ -150,6 +155,7 @@ class FunctionalDatabase:
         self.schema.add(function)
         derived = DerivedFunction(function, derivations)
         self._derived[function.name] = derived
+        self.schema_version += 1
         return derived
 
     @classmethod

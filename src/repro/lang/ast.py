@@ -275,6 +275,23 @@ class Promote(Statement):
 
 
 @dataclass(frozen=True)
+class ShardMapCmd(Statement):
+    """``shardmap [N]`` — preview the sharded-keyspace placement.
+
+    Builds a :class:`repro.shard.ShardMap` over the committed schema
+    and prints which shard lane each derivation cluster (and so each
+    function) would land on at ``N`` lanes (default 2) under the
+    stable hash placement. A planning view: the REPL itself runs
+    unsharded, but the map is the same one
+    :class:`repro.shard.ShardedDatabaseService` routes by, so this is
+    how an operator sees which clusters a pin override should move
+    before deploying lanes.
+    """
+
+    shards: int = 2
+
+
+@dataclass(frozen=True)
 class Resolve(Statement):
     """``resolve`` — run FD-driven null resolution."""
 

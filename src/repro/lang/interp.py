@@ -88,6 +88,8 @@ Inspection:
   timeline "path"        fold a JSONL event artifact instead
   promote [name]         manual failover of the attached replication
                          group (fenced; coexists with auto elections)
+  shardmap [n]           preview cluster -> shard lane placement at n
+                         lanes (default 2) for the sharded keyspace
   worlds                 possible-worlds analysis (counts + marginals)
 Constraints:
   constraint include f.domain in g.range
@@ -649,6 +651,30 @@ class Interpreter:
                           "stale; 'trace on' enables collection)")
         output.extend(
             render_monitor(OBS.metrics.snapshot()).splitlines()
+        )
+        return output
+
+    def _run_shardmapcmd(self, statement: ast.ShardMapCmd) -> list[str]:
+        db, output = self._require_db()
+        from repro.shard import ShardMap
+
+        shard_map = ShardMap(db, statement.shards)
+        assignments = shard_map.assignments()
+        output.append(
+            f"shard map: {len(assignments)} clusters over "
+            f"{statement.shards} lanes (stable hash placement, schema "
+            f"version {shard_map.version})"
+        )
+        for shard in range(statement.shards):
+            clusters = shard_map.clusters_on(shard)
+            names = shard_map.names_on(shard)
+            output.append(
+                f"  shard {shard}: {len(clusters)} clusters | "
+                + (", ".join(names) if names else "(empty)")
+            )
+        output.append(
+            "  (writes inside one cluster stay on one lane; pin "
+            "overrides via repro.shard.ShardMap(pins=...))"
         )
         return output
 

@@ -14,6 +14,7 @@ Grammar (EBNF; ``;`` terminators optional everywhere)::
                 | "monitor" [ "serve" [ NUMBER ] | "stop" ]
                 | "timeline" [ STRING ]
                 | "promote" [ NAME | STRING ]
+                | "shardmap" [ NUMBER ]
                 | "insert" NAME "(" value "," value ")"
                 | "delete" NAME "(" value "," value ")"
                 | "replace" NAME "(" value "," value ")"
@@ -132,6 +133,7 @@ class _Parser:
             "monitor": self._parse_monitor,
             "timeline": self._parse_timeline,
             "promote": self._parse_promote,
+            "shardmap": self._parse_shardmap,
             "resolve": lambda: self._nullary(ast.Resolve),
             "help": lambda: self._nullary(ast.Help),
             "insert": lambda: self._parse_fact_stmt(ast.Insert),
@@ -490,6 +492,18 @@ class _Parser:
         if self.current.kind == "STRING":
             path = self._advance().text
         return ast.Timeline(path)
+
+    def _parse_shardmap(self) -> ast.ShardMapCmd:
+        self._advance()  # shardmap
+        shards = 2
+        if self.current.kind == "NUMBER":
+            value = self._parse_number()
+            shards = int(value)
+            if shards != value or shards < 1:
+                raise self._error(
+                    "shardmap takes a positive whole lane count"
+                )
+        return ast.ShardMapCmd(shards)
 
     def _parse_promote(self) -> ast.Promote:
         self._advance()  # promote

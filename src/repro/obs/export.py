@@ -133,6 +133,50 @@ def render_monitor(metrics: dict, *, slo: dict | None = None,
                 "  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
             )
 
+    # -- shard lanes (present only behind a ShardedDatabaseService) -----
+    shard_ids = sorted({
+        int(name.split(".")[2])
+        for name in (*counters, *gauges, *histograms)
+        if name.startswith("service.shard.")
+        and name.split(".")[2].isdigit()
+    })
+    if shard_ids:
+        lines.append("shards:")
+        rows = []
+        for shard in shard_ids:
+            prefix = f"service.shard.{shard}."
+            dur = histograms.get(prefix + "duration_seconds", {})
+            rows.append((
+                str(shard),
+                str(counters.get(prefix + "requests", 0)),
+                str(counters.get(prefix + "errors", 0)),
+                "{:g}".format(gauges.get(prefix + "committed", 0)),
+                _seconds(dur.get("p50")),
+                _seconds(dur.get("p99")),
+            ))
+        headers = ("lane", "requests", "errors", "committed",
+                   "p50", "p99")
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines.append(
+            "  " + "  ".join(h.ljust(w)
+                             for h, w in zip(headers, widths))
+        )
+        for row in rows:
+            lines.append(
+                "  " + "  ".join(c.ljust(w)
+                                 for c, w in zip(row, widths))
+            )
+        lines.append(
+            "  global lane: multi-shard retries={} "
+            "scatter reads={}".format(
+                counters.get("service.shard.multi_retries", 0),
+                counters.get("service.shard.scatter_reads", 0),
+            )
+        )
+
     # -- lock contention ------------------------------------------------
     lines.append("locks:")
     lines.append(

@@ -32,9 +32,14 @@ each waits for the other's shared release — and the cycle search
 reports it; the retry loop in :class:`repro.service.DatabaseService`
 then makes one of them back off and redo its read.
 
-Everything is guarded by one condition variable: acquisition latency
-here is dominated by *waiting*, not by lock-manager bookkeeping, so a
-single lock keeps the invariants easy to believe.
+Everything is guarded by one mutex: acquisition latency here is
+dominated by *waiting*, not by lock-manager bookkeeping, so a single
+lock keeps the invariants easy to believe. Each waiter parks on its
+own condition variable (sharing that mutex), and a release notifies
+only the waiters whose (resource, mode) request may now be grantable
+on a just-released resource — not the whole herd. Waits stay sliced at
+50ms so a wait-for cycle formed *after* a waiter parked is still
+detected within one slice.
 """
 
 from __future__ import annotations
@@ -60,7 +65,11 @@ class LockManager:
 
     def __init__(self, *, default_timeout: float = 5.0) -> None:
         self.default_timeout = default_timeout
-        self._cond = threading.Condition()
+        self._mutex = threading.Lock()
+        # owner -> the condition it parks on. One per owner, allocated
+        # on first wait and reused; all share self._mutex, so the
+        # grant-check/park pair stays atomic against releases.
+        self._conds: dict[int, threading.Condition] = {}
         # resource -> owner -> hold count (re-entrant shared holds)
         self._shared: dict[str, dict[int, int]] = {}
         # resource -> (owner, hold count)
@@ -136,7 +145,7 @@ class LockManager:
             limit = min(limit, max(deadline.remaining(), 0.0))
         expires = time.monotonic() + limit
         started = time.monotonic()
-        with self._cond:
+        with self._mutex:
             if (OBS.enabled and mode == EXCLUSIVE
                     and me in self._shared.get(resource, ())):
                 OBS.inc("service.lock.upgrades")
@@ -171,11 +180,20 @@ class LockManager:
                         f"could not acquire {resource!r} ({mode}) "
                         f"within {limit:.3f}s"
                     )
+                cond = self._conds.get(me)
+                if cond is None:
+                    cond = self._conds[me] = threading.Condition(
+                        self._mutex
+                    )
                 self._waiting[me] = (resource, mode)
                 if OBS.enabled:
                     OBS.gauge("service.lock.waiters", len(self._waiting))
                 try:
-                    self._cond.wait(min(remaining, 0.05))
+                    # Sliced, not open-ended: the 50ms cap doubles as
+                    # the deadlock-detection cadence for cycles formed
+                    # while parked, and as insurance against a wakeup
+                    # this manager's targeted notify did not foresee.
+                    cond.wait(min(remaining, 0.05))
                 finally:
                     self._waiting.pop(me, None)
                     if OBS.enabled:
@@ -200,18 +218,40 @@ class LockManager:
     def _note_released(self, resource: str, owner: int,
                        mode: str) -> None:
         """The owner's last hold on ``resource`` just went away; feed
-        the per-cluster hold-time histogram. Caller holds ``_cond``."""
+        the per-cluster hold-time histogram. Caller holds ``_mutex``."""
         since = self._held_since.pop((resource, owner, mode), None)
         if since is not None and OBS.enabled:
             OBS.observe_log(f"service.lock.hold.{mode}.{resource}",
                             time.monotonic() - since)
+
+    def _wake(self, released: Iterable[str]) -> None:
+        """Notify exactly the waiters whose parked (resource, mode)
+        request may now be grantable on a just-released resource.
+        Caller holds ``_mutex``. Waking a waiter does not reserve the
+        grant — the woken thread re-runs :meth:`_may_grant` itself, so
+        two compatible wakeups racing stays correct (the loser simply
+        re-parks); what this avoids is the notify_all herd where every
+        waiter on every resource stampedes the mutex per release."""
+        targets = set(released)
+        woken = 0
+        for owner, (resource, mode) in self._waiting.items():
+            if resource not in targets:
+                continue
+            if not self._may_grant(resource, mode, owner):
+                continue
+            cond = self._conds.get(owner)
+            if cond is not None:
+                cond.notify()
+                woken += 1
+        if woken and OBS.enabled:
+            OBS.inc("service.lock.wakeups", woken)
 
     def release(self, resource: str, mode: str = SHARED, *,
                 owner: int | None = None) -> None:
         """Release one hold; raises ``RuntimeError`` on a hold the
         owner does not have (always a caller bug worth hearing about)."""
         me = threading.get_ident() if owner is None else owner
-        with self._cond:
+        with self._mutex:
             if mode == SHARED:
                 holders = self._shared.get(resource)
                 if not holders or me not in holders:
@@ -237,12 +277,13 @@ class LockManager:
                 else:
                     del self._exclusive[resource]
                     self._note_released(resource, me, EXCLUSIVE)
-            self._cond.notify_all()
+            self._wake((resource,))
 
     def release_all(self, owner: int | None = None) -> None:
         """Drop every hold of ``owner`` — the deadlock victim's exit."""
         me = threading.get_ident() if owner is None else owner
-        with self._cond:
+        with self._mutex:
+            released: list[str] = []
             for resource in [r for r, holders in self._shared.items()
                              if me in holders]:
                 holders = self._shared[resource]
@@ -250,11 +291,13 @@ class LockManager:
                 self._note_released(resource, me, SHARED)
                 if not holders:
                     del self._shared[resource]
+                released.append(resource)
             for resource in [r for r, (o, _) in self._exclusive.items()
                              if o == me]:
                 del self._exclusive[resource]
                 self._note_released(resource, me, EXCLUSIVE)
-            self._cond.notify_all()
+                released.append(resource)
+            self._wake(released)
 
     @contextmanager
     def held(self, resources: Iterable[str], mode: str = SHARED, *,
@@ -280,7 +323,7 @@ class LockManager:
 
     def holders(self, resource: str) -> dict[str, tuple[int, ...]]:
         """Who holds ``resource`` right now (for tests and debugging)."""
-        with self._cond:
+        with self._mutex:
             shared = tuple(self._shared.get(resource, ()))
             exclusive = self._exclusive.get(resource)
             return {

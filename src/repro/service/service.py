@@ -80,7 +80,7 @@ from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.locks import EXCLUSIVE, SHARED, LockManager
 from repro.service.retry import DEFAULT_RETRYABLE, RetryPolicy
 
-__all__ = ["DatabaseService", "WRITE_RESOURCE"]
+__all__ = ["DatabaseService", "WRITE_RESOURCE", "clusters_of"]
 
 # Sorts before every "fn:..." cluster resource, so the lock manager's
 # sorted acquisition order is: write token first, then clusters.
@@ -89,7 +89,7 @@ WRITE_RESOURCE = "__write__"
 _WRITE_RETRYABLE = DEFAULT_RETRYABLE + (PersistenceError,)
 
 
-def _clusters(db: FunctionalDatabase) -> dict[str, str]:
+def clusters_of(db: FunctionalDatabase) -> dict[str, str]:
     """function name -> cluster resource, by union-find over each
     derived function joined with the bases of its derivations."""
     parent: dict[str, str] = {}
@@ -138,6 +138,7 @@ class DatabaseService:
         *,
         log: wal_module.UpdateLog | str | Path | None = None,
         lock_timeout: float = 1.0,
+        shard: int | None = None,
         default_deadline: float | None = None,
         retry: RetryPolicy | None = None,
         max_concurrent: int = 8,
@@ -169,7 +170,21 @@ class DatabaseService:
         self.endpoint: MetricsEndpoint | None = None
         self._rng = random.Random(seed)
         self._rng_lock = threading.Lock()
-        self._cluster_of = _clusters(db)
+        # The cluster map is derived purely from the schema, so it is
+        # cached against the database's schema_version and rebuilt only
+        # when a declaration actually changed the schema — never on an
+        # unknown-name probe (which used to re-run the union-find).
+        self._cluster_of = clusters_of(db)
+        self._cluster_version = db.schema_version
+        # When this service is one lane of a ShardedDatabaseService
+        # (see repro.shard), ``shard`` labels its telemetry
+        # (service.shard.<i>.*) and ``cross_markers`` journals the
+        # global ordering tokens of multi-shard writes as
+        # (marker, committed-log index) pairs — strictly increasing in
+        # both coordinates, which is what keeps this lane's replay
+        # oracle sequential.
+        self.shard = shard
+        self.cross_markers: list[tuple[int, int]] = []
         # Commit-ordered log of every update this service applied;
         # appended while the writer still holds __write__, so replaying
         # it sequentially reproduces the live state exactly.
@@ -275,18 +290,26 @@ class DatabaseService:
                 OBS.observe_log(
                     f"service.red.{family}.duration_seconds", elapsed
                 )
+                if self.shard is not None:
+                    prefix = f"service.shard.{self.shard}"
+                    OBS.inc(f"{prefix}.requests")
+                    if error:
+                        OBS.inc(f"{prefix}.errors")
+                    OBS.observe_log(
+                        f"{prefix}.duration_seconds", elapsed
+                    )
             self.slo.maybe_evaluate()
 
     def cluster_of(self, name: str) -> str:
         """The lock resource guarding ``name`` (exposed for tests)."""
-        try:
-            return self._cluster_of[name]
-        except KeyError:
-            # A function declared after service construction; map it
-            # now. Schema changes are rare and single-threaded by
-            # convention, so rebuilding the whole map is fine.
-            self._cluster_of = _clusters(self.db)
-            return self._cluster_of[name]
+        if self.db.schema_version != self._cluster_version:
+            # A function was declared after the map was built. Schema
+            # changes are rare and single-threaded by convention, so
+            # rebuilding the whole map is fine; unknown names no
+            # longer trigger a rebuild (they raise KeyError directly).
+            self._cluster_of = clusters_of(self.db)
+            self._cluster_version = self.db.schema_version
+        return self._cluster_of[name]
 
     def _clusters_for(self, names: Iterable[str]) -> set[str]:
         return {self.cluster_of(name) for name in names}
@@ -424,15 +447,14 @@ class DatabaseService:
         # Leaderless fast-fail: with a lapsed leadership lease there is
         # no point queueing behind the write lock — surface the
         # self-demotion (LeaseExpired: a StalePrimary *and* a
-        # ServiceReadOnly) before taking anything. The fence below
-        # still guards the logged path itself.
+        # ServiceReadOnly) before taking anything. The fence in
+        # apply_prelocked still guards the logged path itself.
         if self.replication is not None and self.replication.leaderless():
             self.replication.check_primary(self._repl_term)
         gated = self.logged is not None
         if gated:
             self.breaker.allow()
-        storage_verdict = False
-        seq: int | None = None
+        settled = False
         try:
             with ExitStack() as stack:
                 with OBS.span("service.locks", mode=EXCLUSIVE,
@@ -441,36 +463,77 @@ class DatabaseService:
                         {WRITE_RESOURCE} | clusters, EXCLUSIVE,
                         timeout=self.lock_timeout, deadline=limit,
                     ))
-                # The epoch fence, checked while holding __write__ and
-                # before the WAL append: a deposed primary's write is
-                # rejected here (StalePrimary), never logged.
-                if self.replication is not None:
-                    self.replication.check_primary(self._repl_term)
-                with deadline_scope(limit):
-                    with OBS.span("service.engine"):
-                        if self.logged is not None:
-                            try:
-                                seq = self.logged.execute(update)
-                            except (OSError, PersistenceError) as exc:
-                                storage_verdict = True
-                                self.breaker.record_failure(exc)
-                                raise
+                settled = True
+                return self.apply_prelocked(update, limit=limit,
+                                            gated=gated)
+        finally:
+            # The attempt died before reaching the storage path (lock
+            # timeout, deadlock victimhood): return the probe slot.
+            if gated and not settled:
+                self.breaker.release_probe()
+
+    def apply_prelocked(self, update: Update | UpdateSequence, *,
+                        limit: Deadline | None = None,
+                        marker: int | None = None,
+                        gated: bool | None = None) -> int | None:
+        """Apply one update while the caller already holds this
+        service's write token (and the update's clusters) exclusively.
+
+        The commit tail shared by every write path: epoch fence, engine
+        apply (WAL-logged or in-memory transactional), committed-log
+        append, and replication journaling. The sharded facade's
+        multi-shard lane (:mod:`repro.shard`) calls this directly after
+        acquiring every involved lane's ``__write__`` token in sorted
+        shard-id order. ``gated=None`` runs the breaker's full
+        allow→verdict cycle here; callers that already spent
+        :meth:`CircuitBreaker.allow` pass the gating verdict they
+        computed. ``marker`` journals a cross-shard ordering token
+        against the committed-log index. Returns the WAL sequence of
+        the commit (None without a log)."""
+        if gated is None:
+            gated = self.logged is not None
+            if gated:
+                self.breaker.allow()
+        storage_verdict = False
+        seq: int | None = None
+        try:
+            # The epoch fence, checked while holding __write__ and
+            # before the WAL append: a deposed primary's write is
+            # rejected here (StalePrimary), never logged.
+            if self.replication is not None:
+                self.replication.check_primary(self._repl_term)
+            with deadline_scope(limit):
+                with OBS.span("service.engine"):
+                    if self.logged is not None:
+                        try:
+                            seq = self.logged.execute(update)
+                        except (OSError, PersistenceError) as exc:
                             storage_verdict = True
-                            self.breaker.record_success()
-                        else:
-                            with Transaction(self.db):
-                                if isinstance(update, UpdateSequence):
-                                    for simple in update:
-                                        apply_update(self.db, simple)
-                                else:
-                                    apply_update(self.db, update)
-                # Still holding __write__: commit order == list order.
-                with self._committed_lock:
-                    self.committed.append(update)
-                if self.replication is not None and seq is not None:
-                    # Journal for the shipped-stream oracle before a
-                    # checkpoint can fold the record away.
-                    self.replication.note_commit(seq)
+                            self.breaker.record_failure(exc)
+                            raise
+                        storage_verdict = True
+                        self.breaker.record_success()
+                    else:
+                        with Transaction(self.db):
+                            if isinstance(update, UpdateSequence):
+                                for simple in update:
+                                    apply_update(self.db, simple)
+                            else:
+                                apply_update(self.db, update)
+            # Still holding __write__: commit order == list order.
+            with self._committed_lock:
+                self.committed.append(update)
+                if marker is not None:
+                    self.cross_markers.append(
+                        (marker, len(self.committed) - 1)
+                    )
+            if OBS.enabled and self.shard is not None:
+                OBS.gauge(f"service.shard.{self.shard}.committed",
+                          len(self.committed))
+            if self.replication is not None and seq is not None:
+                # Journal for the shipped-stream oracle before a
+                # checkpoint can fold the record away.
+                self.replication.note_commit(seq)
             return seq
         finally:
             if gated and not storage_verdict:
@@ -581,8 +644,7 @@ class DatabaseService:
                 gated = self.logged is not None
                 if gated:
                     self.breaker.allow()
-                storage_verdict = False
-                seq: int | None = None
+                settled = False
                 try:
                     with ExitStack() as write_stack:
                         with OBS.span("service.locks", mode=EXCLUSIVE,
@@ -593,39 +655,12 @@ class DatabaseService:
                                 timeout=self.lock_timeout,
                                 deadline=limit,
                             ))
-                        if self.replication is not None:
-                            self.replication.check_primary(
-                                self._repl_term
-                            )
-                        with deadline_scope(limit):
-                            with OBS.span("service.engine"):
-                                if self.logged is not None:
-                                    try:
-                                        seq = self.logged.execute(update)
-                                    except (OSError,
-                                            PersistenceError) as exc:
-                                        storage_verdict = True
-                                        self.breaker.record_failure(exc)
-                                        raise
-                                    storage_verdict = True
-                                    self.breaker.record_success()
-                                else:
-                                    with Transaction(self.db):
-                                        if isinstance(update,
-                                                      UpdateSequence):
-                                            for simple in update:
-                                                apply_update(self.db,
-                                                             simple)
-                                        else:
-                                            apply_update(self.db, update)
-                        with self._committed_lock:
-                            self.committed.append(update)
-                        if self.replication is not None \
-                                and seq is not None:
-                            self.replication.note_commit(seq)
+                        settled = True
+                        seq = self.apply_prelocked(update, limit=limit,
+                                                   gated=gated)
                     return update, seq
                 finally:
-                    if gated and not storage_verdict:
+                    if gated and not settled:
                         self.breaker.release_probe()
         except BaseException:
             # A deadlock victim (or timeout) may have left partial

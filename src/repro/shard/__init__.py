@@ -1,0 +1,16 @@
+"""Sharded keyspace: parallel per-shard write lanes.
+
+Derivation clusters partition the function space (every update's
+side-effects stay in one cluster), so clusters are the natural unit of
+*placement*: :class:`ShardMap` hashes each cluster onto a shard
+(with explicit pin overrides), and :class:`ShardedDatabaseService`
+routes operations to N fully independent service lanes — each its own
+database, WAL, lock manager and optional replication group — so writes
+to clusters on different shards commit truly in parallel. See
+``docs/SHARDING.md``.
+"""
+
+from repro.shard.map import ShardMap
+from repro.shard.sharded import ShardedDatabaseService
+
+__all__ = ["ShardMap", "ShardedDatabaseService"]

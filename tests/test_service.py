@@ -464,3 +464,62 @@ class TestServiceConcurrency:
         assert len(service.committed_ops()) == 2
         stats = service.stats()
         assert stats["deadlocks"] + stats["lock_timeouts"] >= 1
+
+
+class TestClusterMapCache:
+    """The function -> cluster map is schema metadata: it must be
+    rebuilt only when a declaration moves ``db.schema_version``, never
+    on an unknown-name probe (which used to re-run the union-find on
+    every miss)."""
+
+    def test_unknown_probe_does_not_recluster(self, monkeypatch):
+        import repro.service.service as service_module
+
+        service = DatabaseService(pupil_database())
+        calls = []
+        real = service_module.clusters_of
+
+        def counting(db):
+            calls.append(1)
+            return real(db)
+
+        monkeypatch.setattr(service_module, "clusters_of", counting)
+        try:
+            for _ in range(5):
+                with pytest.raises(KeyError):
+                    service.cluster_of("no_such_function")
+            assert calls == []  # misses never rebuild
+            service.cluster_of("teach")
+            assert calls == []  # hits ride the cache too
+        finally:
+            service.close()
+
+    def test_declaration_rebuilds_once(self, monkeypatch):
+        from repro.core.schema import (
+            FunctionDef,
+            ObjectType,
+            TypeFunctionality,
+        )
+        import repro.service.service as service_module
+
+        service = DatabaseService(pupil_database())
+        calls = []
+        real = service_module.clusters_of
+
+        def counting(db):
+            calls.append(1)
+            return real(db)
+
+        monkeypatch.setattr(service_module, "clusters_of", counting)
+        try:
+            service.db.declare_base(FunctionDef(
+                "late_fn", ObjectType("L0"), ObjectType("L1"),
+                TypeFunctionality.MANY_MANY,
+            ))
+            assert service.cluster_of("late_fn") == "fn:late_fn"
+            assert len(calls) == 1  # the version bump: one rebuild
+            service.cluster_of("late_fn")
+            service.cluster_of("teach")
+            assert len(calls) == 1  # and only one
+        finally:
+            service.close()

@@ -231,3 +231,82 @@ class TestTimeouts:
             assert acquired.wait(5.0)
         finally:
             worker.join(5.0)
+
+
+class TestTargetedWakeups:
+    """A release must notify exactly the parked waiters whose request
+    became grantable — never the whole herd (the
+    ``service.lock.wakeups`` counter is the observable)."""
+
+    @staticmethod
+    def _wakeups():
+        from repro.obs import OBS
+        return OBS.metrics.counter("service.lock.wakeups").value
+
+    @pytest.fixture(autouse=True)
+    def obs_enabled(self):
+        from repro.obs import OBS
+        OBS.enable()
+        yield
+        OBS.disable()
+        OBS.reset()
+        OBS.metrics.clear()
+
+    def test_release_notifies_only_its_resource(self):
+        locks = LockManager()
+        locks.acquire("a", EXCLUSIVE, owner=1)
+        locks.acquire("b", EXCLUSIVE, owner=2)
+        got_a, got_b = threading.Event(), threading.Event()
+
+        def wait_on(resource, flag):
+            locks.acquire(resource, EXCLUSIVE, timeout=5.0)
+            flag.set()
+            locks.release_all()
+
+        threads = [
+            threading.Thread(target=wait_on, args=("a", got_a)),
+            threading.Thread(target=wait_on, args=("b", got_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            _wait_for(lambda: len(locks._waiting) == 2)
+            base = self._wakeups()
+            locks.release("a", EXCLUSIVE, owner=1)
+            assert got_a.wait(5.0)
+            # b's waiter was not part of that wakeup.
+            assert not got_b.wait(0.05)
+            assert self._wakeups() == base + 1
+            locks.release("b", EXCLUSIVE, owner=2)
+            assert got_b.wait(5.0)
+            assert self._wakeups() == base + 2
+        finally:
+            for thread in threads:
+                thread.join(5.0)
+
+    def test_ungrantable_waiter_is_not_notified(self):
+        locks = LockManager()
+        locks.acquire("r", SHARED, owner=1)
+        locks.acquire("r", SHARED, owner=2)
+        got = threading.Event()
+
+        def writer():
+            locks.acquire("r", EXCLUSIVE, timeout=5.0)
+            got.set()
+            locks.release_all()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            _wait_for(lambda: len(locks._waiting) == 1)
+            base = self._wakeups()
+            # One shared holder remains: the exclusive request is
+            # still not grantable, so no notify is spent on it.
+            locks.release("r", SHARED, owner=1)
+            assert not got.wait(0.05)
+            assert self._wakeups() == base
+            locks.release("r", SHARED, owner=2)
+            assert got.wait(5.0)
+            assert self._wakeups() == base + 1
+        finally:
+            thread.join(5.0)
